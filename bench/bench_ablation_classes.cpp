@@ -1,0 +1,124 @@
+// Ablation: what does each of Algorithm 1's two optimizations buy?
+//
+//   (1) the pure-mutator early ack (respond at eps+X instead of waiting
+//       for execution), justified by Lemma C.11;
+//   (2) the pure-accessor back-dating + no-broadcast path (respond at
+//       d+eps-X without a broadcast), justified by Lemmas C.9/C.13/C.14.
+//
+// Each is disabled by reclassifying that operation group as OOP (the
+// conservative broadcast-and-wait path, always correct).  The ablated
+// variants stay linearizable but lose exactly the latency the paper's
+// analysis predicts; the full algorithm also sends fewer messages
+// (accessors are never broadcast).
+#include "bench_common.h"
+#include "core/driver.h"
+#include "core/workload.h"
+#include "spec/reclassify.h"
+#include "types/queue_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+struct AblationResult {
+  bool linearizable = false;
+  Tick mutator_worst = kNoTime;
+  Tick accessor_worst = kNoTime;
+  double messages_per_op = 0;
+};
+
+AblationResult run_variant(const std::shared_ptr<const ObjectModel>& exec_model,
+                           const QueueModel& base, Tick x) {
+  SystemOptions options;
+  options.n = kN;
+  options.timing = default_timing();
+  options.x = x;
+  options.delays = std::make_shared<ExtremalDelayPolicy>(options.timing, 99);
+  options.clock_offsets = {0, 300, 0, 300};
+
+  ReplicaSystem system(std::shared_ptr<const ObjectModel>(exec_model), options);
+  Rng rng(4242);
+  std::vector<ClientScript> scripts;
+  const OpMix mix{2, 2, 1};
+  for (int p = 0; p < kN; ++p) {
+    Rng crng = rng.split(static_cast<std::uint64_t>(p));
+    scripts.push_back({p, random_queue_ops(crng, 15, mix), 1000, 0});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+  const History history = system.run_to_completion();
+
+  // Group latencies by the BASE classification so variants are comparable.
+  LatencyReport latency;
+  latency.absorb(base, system.sim().trace());
+
+  AblationResult result;
+  result.linearizable = check_linearizable(base, history).ok;
+  result.mutator_worst = latency.worst_for_class(OpClass::kPureMutator);
+  result.accessor_worst = latency.worst_for_class(OpClass::kPureAccessor);
+  result.messages_per_op =
+      static_cast<double>(system.sim().trace().messages.size()) /
+      static_cast<double>(history.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: Algorithm 1's mutator-ack and accessor-path tricks");
+  const SystemTiming t = default_timing();
+  auto base = std::make_shared<QueueModel>();
+  bool ok = true;
+
+  struct Variant {
+    const char* name;
+    ReclassifyModel::Demote demote;
+  };
+  const Variant variants[] = {
+      {"full Algorithm 1", {false, false}},
+      {"no accessor path (AOP as OOP)", {true, false}},
+      {"no early ack (MOP as OOP)", {false, true}},
+      {"neither (all ops as OOP)", {true, true}},
+  };
+
+  // X = 600 so the accessor path's advantage is visible: full Algorithm 1
+  // answers peeks in d+eps-X = 700us; the ablated variant pays the OOP
+  // price of up to d+eps = 1300us.
+  const Tick x = 600;
+  AblationResult full_result;
+  TextTable table({"variant", "enqueue worst", "peek worst", "msgs/op",
+                   "linearizable"});
+  for (const Variant& v : variants) {
+    std::shared_ptr<const ObjectModel> exec_model =
+        (v.demote.accessors || v.demote.mutators)
+            ? std::static_pointer_cast<const ObjectModel>(
+                  std::make_shared<ReclassifyModel>(base, v.demote))
+            : std::static_pointer_cast<const ObjectModel>(base);
+    const AblationResult r = run_variant(exec_model, *base, x);
+    char msgs[32];
+    std::snprintf(msgs, sizeof(msgs), "%.2f", r.messages_per_op);
+    table.add_row({v.name, format_ticks(r.mutator_worst),
+                   format_ticks(r.accessor_worst), msgs,
+                   r.linearizable ? "yes" : "NO"});
+    ok = ok && r.linearizable;
+
+    if (!v.demote.accessors && !v.demote.mutators) {
+      full_result = r;
+      ok = ok && r.mutator_worst == t.eps + x &&
+           r.accessor_worst == t.d + t.eps - x;
+    }
+    if (v.demote.accessors) {
+      ok = ok && r.accessor_worst > full_result.accessor_worst;   // slower reads
+      ok = ok && r.messages_per_op > full_result.messages_per_op; // more traffic
+    }
+    if (v.demote.mutators) ok = ok && r.mutator_worst > t.eps + x;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nThe early ack buys mutators d+eps -> eps; the accessor path keeps\n"
+      "reads off the network entirely (messages per op drops) and enables\n"
+      "the X trade-off.  Both ablations remain linearizable -- the paper's\n"
+      "optimizations are pure latency wins, not correctness trades.\n");
+  return finish(ok);
+}

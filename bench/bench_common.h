@@ -1,0 +1,55 @@
+// Shared configuration and helpers for the table/figure bench binaries.
+//
+// Default system: n = 4, d = 1000us, u = 400us, and eps set to the OPTIMAL
+// skew (1 - 1/n) u = 300us (achievable per the clock-sync substrate; see
+// bench_clocksync).  With these numbers eps <= d/3, so the paper's
+// tightness conditions hold and the tables print matching LB/UB columns.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/format.h"
+#include "harness/bounds_table.h"
+#include "harness/experiment.h"
+
+namespace linbound::bench {
+
+inline constexpr int kN = 4;
+
+inline SystemTiming default_timing() {
+  SystemTiming t;
+  t.d = 1000;
+  t.u = 400;
+  t.eps = 300;  // optimal: (1 - 1/4) * 400
+  return t;
+}
+
+inline SweepOptions default_sweep(Tick x) {
+  SweepOptions o;
+  o.n = kN;
+  o.timing = default_timing();
+  o.x = x;
+  o.seeds = 6;
+  return o;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("################################################################\n\n");
+}
+
+inline void print_sweep_status(const char* label, const SweepResult& result) {
+  std::printf("%-28s %3d runs, %s\n", label, result.runs,
+              result.all_linearizable() ? "all linearizable"
+                                        : "LINEARIZABILITY VIOLATED");
+}
+
+/// Common exit convention: 0 when every consistency expectation held.
+inline int finish(bool ok) {
+  std::printf("\n%s\n", ok ? "RESULT: PASS" : "RESULT: FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace linbound::bench

@@ -1,0 +1,87 @@
+// Reproduces Figure 1: "Operation Time and Linearizability".
+//
+//   (a) a read that responds too fast misses a completed write(1) and
+//       returns the stale 0 -- not linearizable;
+//   (b) lengthening the *write* makes it overlap the read, legalizing the
+//       stale value;
+//   (c) lengthening the *read* (the compliant d+eps-X wait) lets it learn
+//       about write(1) and return 1.
+#include "bench_common.h"
+#include "shift/proof_scenarios.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+ScenarioOutcome run_chain(const std::shared_ptr<const ObjectModel>& model,
+                          const SystemTiming& t, Tick write_latency,
+                          Tick read_latency, const AlgorithmDelays& algo,
+                          const char* name) {
+  const Scenario s = chained_schedule(
+      name, t, 3,
+      {{0, reg::write(0), write_latency},
+       {0, reg::write(1), write_latency},
+       {1, reg::read(), read_latency}},
+      10000);
+  return run_scenario(model, s, algo);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 1: operation time vs linearizability (register)");
+  const SystemTiming t = default_timing();
+  auto model = std::make_shared<RegisterModel>();
+  const AlgorithmDelays standard = AlgorithmDelays::standard(t, 0);
+  bool ok = true;
+
+  // (a) eager read: responds before any broadcast can arrive.
+  AlgorithmDelays eager_read = standard;
+  eager_read.aop_respond = t.min_delay() - 2;
+  const auto a = run_chain(model, t, standard.mop_ack, eager_read.aop_respond,
+                           eager_read, "fig1a");
+  std::printf("(a) |write|=%lldus (compliant), |read|=%lldus (too fast)\n",
+              static_cast<long long>(standard.mop_ack),
+              static_cast<long long>(eager_read.aop_respond));
+  std::printf("    read returned %s; linearizable: %s   <- the paper's violation\n\n",
+              a.history.ops().back().ret.to_string().c_str(),
+              a.linearizable.ok ? "YES" : "NO");
+  ok = ok && !a.linearizable.ok;
+
+  // (b) longer write: write(1) slowed so it overlaps the (still too fast)
+  // read; write(0) ∘ read(0) ∘ write(1) becomes a legal permutation.  The
+  // chain deliberately under-estimates write(1)'s latency so the read is
+  // invoked while write(1) is still pending.
+  AlgorithmDelays slow_write = eager_read;
+  slow_write.mop_ack = 2 * t.d;  // write(1) still pending when read returns
+  const Scenario fig1b = chained_schedule(
+      "fig1b", t, 3,
+      {{0, reg::write(0), slow_write.mop_ack},
+       {0, reg::write(1), /*assumed_latency=*/100},  // read starts mid-write
+       {1, reg::read(), slow_write.aop_respond}},
+      10000);
+  const auto b = run_scenario(model, fig1b, slow_write);
+  std::printf("(b) |write|=%lldus (lengthened), |read|=%lldus\n",
+              static_cast<long long>(slow_write.mop_ack),
+              static_cast<long long>(slow_write.aop_respond));
+  std::printf("    read returned %s; linearizable: %s   <- overlap legalizes it\n\n",
+              b.history.ops().back().ret.to_string().c_str(),
+              b.linearizable.ok ? "YES" : "NO");
+  ok = ok && b.linearizable.ok;
+
+  // (c) longer read: the compliant d+eps-X wait.
+  const auto c = run_chain(model, t, standard.mop_ack, standard.aop_respond,
+                           standard, "fig1c");
+  std::printf("(c) |write|=%lldus, |read|=%lldus (compliant d+eps-X)\n",
+              static_cast<long long>(standard.mop_ack),
+              static_cast<long long>(standard.aop_respond));
+  std::printf("    read returned %s; linearizable: %s   <- learns about write(1)\n",
+              c.history.ops().back().ret.to_string().c_str(),
+              c.linearizable.ok ? "YES" : "NO");
+  ok = ok && c.linearizable.ok &&
+       c.history.ops().back().ret == Value(1);
+
+  return finish(ok);
+}

@@ -1,0 +1,108 @@
+// Reproduces Figure 4 and Lemma B.1: "Standard Time Shift and Modified
+// Time Shift" -- the chop-and-extend construction.
+//
+// Part (a): midpoint delays shifted by u/2 stay admissible (standard).
+// Part (b): all-d delays shifted by u produce one invalid delay d+u; the
+// chop cuts each process's view at t* / t* + D_{j,k}, and the audited
+// chopped run is admissible again.  We execute a real Algorithm-1 run with
+// the invalid delays, chop its recorded trace, and machine-check every
+// clause of the lemma.
+#include "bench_common.h"
+#include "core/replica_algorithm.h"
+#include "shift/scenario.h"
+#include "shift/shift.h"
+#include "sim/simulator.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+int main() {
+  print_header("Figure 4 / Lemma B.1: modified time shift (chop + extend)");
+  const SystemTiming t = default_timing();
+  bool ok = true;
+
+  // ---- Part (a): the standard shift staying valid.
+  {
+    MatrixDelayPolicy m(2, t.d - t.u / 2);
+    const MatrixDelayPolicy shifted = m.shifted({0, t.u / 2});
+    std::printf("(a) midpoint delays shifted by u/2: d'_{i,j}=%lldus, "
+                "d'_{j,i}=%lldus -> %s\n\n",
+                static_cast<long long>(shifted.get(0, 1)),
+                static_cast<long long>(shifted.get(1, 0)),
+                shifted.invalid_entries(t).empty() ? "both admissible"
+                                                   : "INVALID");
+    ok = ok && shifted.invalid_entries(t).empty();
+  }
+
+  // ---- Part (b): over-shift, chop, audit.  The base run keeps p1's clock
+  // eps ahead and the p2->p1 delay at d-u, so after the u-shift exactly one
+  // delay (0->1, now d+u) is invalid and the clocks stay within eps --
+  // Lemma B.1's single-invalid-delay hypothesis.
+  MatrixDelayPolicy m(3, t.d);
+  m.set(2, 1, t.d - t.u);
+  const std::vector<Tick> shift = {0, t.u, 0};
+  const MatrixDelayPolicy shifted = m.shifted(shift);
+  const auto invalid = shifted.invalid_entries(t);
+  std::printf("(b) all-d delays, p1 shifted by u: d'_{0,1} = %lldus\n",
+              static_cast<long long>(shifted.get(0, 1)));
+  std::printf("    invalid entries after shift: %zu (expected 1)\n",
+              invalid.size());
+  ok = ok && invalid.size() == 1;
+
+  // Execute a real run under the invalid matrix: two concurrent rmw's.
+  auto model = std::make_shared<RegisterModel>();
+  SimConfig config;
+  config.timing = t;
+  config.clock_offsets = shifted_offsets({0, t.eps, 0}, shift);
+  config.delays = std::make_shared<MatrixDelayPolicy>(shifted);
+  Simulator sim(std::move(config));
+  const AlgorithmDelays algo = AlgorithmDelays::standard(t, 0);
+  for (int i = 0; i < 3; ++i) {
+    sim.add_process(std::make_unique<ReplicaProcess>(model, algo));
+  }
+  const Tick t0 = 10000;
+  sim.invoke_at(t0, 0, reg::rmw(1));
+  sim.invoke_at(t0 + t.u, 1, reg::rmw(2));
+  sim.start();
+  sim.run();
+  std::printf("    executed run: %zu messages, admissible as-is: %s\n",
+              sim.trace().messages.size(),
+              sim.trace().audit().admissible ? "yes" : "no (as expected)");
+  ok = ok && !sim.trace().audit().admissible;
+
+  // First 0->1 message in the trace is the first send across the invalid
+  // edge; chop with delta = d - u.
+  Tick first_send = kNoTime;
+  for (const MessageRecord& msg : sim.trace().messages) {
+    if (msg.from == 0 && msg.to == 1) {
+      first_send = msg.send_time;
+      break;
+    }
+  }
+  const Tick delta = t.d - t.u;
+  const ChopSpec spec = compute_chop(shifted, 0, 1, first_send, delta);
+  std::printf("    chop: first 0->1 send at %lldus, t* = %lldus, view ends = "
+              "[%lldus, %lldus, %lldus]\n",
+              static_cast<long long>(first_send),
+              static_cast<long long>(spec.t_star),
+              static_cast<long long>(spec.view_end[0]),
+              static_cast<long long>(spec.view_end[1]),
+              static_cast<long long>(spec.view_end[2]));
+
+  const Trace chopped = chop_trace(sim.trace(), spec.view_end);
+  const AdmissibilityReport report = audit_chopped(chopped, spec.view_end);
+  std::printf("    chopped run: %zu messages kept, Lemma B.1 audit: %s\n",
+              chopped.messages.size(), report.admissible ? "ADMISSIBLE" : "VIOLATED");
+  for (const std::string& v : report.violations) {
+    std::printf("      violation: %s\n", v.c_str());
+  }
+  ok = ok && report.admissible;
+
+  std::printf(
+      "\nThe over-shifted run (shift u > what the standard technique allows)\n"
+      "becomes admissible after the chop -- the mechanism that buys the\n"
+      "d+min{eps,u,d/3} lower bound of Theorem C.1 its extra m over d.\n");
+
+  return finish(ok);
+}

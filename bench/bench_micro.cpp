@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the infrastructure itself: simulator
+// event throughput, Algorithm 1 end-to-end runs, the linearizability
+// checker, and the To_Execute heap.
+#include <benchmark/benchmark.h>
+
+#include "checker/lin_checker.h"
+#include "core/driver.h"
+#include "core/system.h"
+#include "core/to_execute.h"
+#include "core/workload.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemOptions options(int n) {
+  SystemOptions o;
+  o.n = n;
+  o.timing = SystemTiming{1000, 400, 300};
+  return o;
+}
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o = options(4);
+    o.delays = std::make_shared<UniformDelayPolicy>(o.timing, 7);
+    ReplicaSystem system(model, o);
+    std::vector<ClientScript> scripts;
+    Rng rng(11);
+    for (int p = 0; p < 4; ++p) {
+      scripts.push_back({p, random_register_ops(rng, 50, OpMix{1, 2, 1}), 1000, 0});
+    }
+    WorkloadDriver driver(system.sim(), std::move(scripts));
+    driver.arm();
+    state.ResumeTiming();
+    system.run_to_completion();
+    state.counters["events"] = static_cast<double>(system.sim().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicaRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto model = std::make_shared<QueueModel>();
+    ReplicaSystem system(model, options(n));
+    std::vector<ClientScript> scripts;
+    Rng rng(5);
+    for (int p = 0; p < n; ++p) {
+      scripts.push_back({p, random_queue_ops(rng, 20, OpMix{1, 2, 1}), 1000, 0});
+    }
+    WorkloadDriver driver(system.sim(), std::move(scripts));
+    driver.arm();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.run_to_completion());
+  }
+}
+BENCHMARK(BM_ReplicaRun)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_LinearizabilityChecker(benchmark::State& state) {
+  const int per_proc = static_cast<int>(state.range(0));
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, options(4));
+  std::vector<ClientScript> scripts;
+  Rng rng(3);
+  for (int p = 0; p < 4; ++p) {
+    scripts.push_back(
+        {p, random_register_ops(rng, per_proc, OpMix{2, 2, 1}), 1000, 0});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+  const History history = system.run_to_completion();
+  for (auto _ : state) {
+    auto result = check_linearizable(*model, history);
+    benchmark::DoNotOptimize(result.ok);
+    state.counters["states"] = static_cast<double>(result.states_explored);
+  }
+  state.counters["ops"] = static_cast<double>(history.size());
+}
+BENCHMARK(BM_LinearizabilityChecker)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_ToExecuteHeap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99);
+  std::vector<PendingOp> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(PendingOp{
+        Timestamp{rng.uniform_tick(0, 1 << 20), static_cast<ProcessId>(i % 16)},
+        reg::write(i), -1});
+  }
+  for (auto _ : state) {
+    ToExecuteQueue q;
+    for (const PendingOp& e : entries) q.add(e);
+    while (!q.empty()) benchmark::DoNotOptimize(q.extract_min());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ToExecuteHeap)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace linbound
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Reproduces Table III: Summary of Operation Time Bounds on a Stack.
+//
+//   push          prev LB u/2    new LB (1-1/n)u          UB eps
+//   pop           prev LB d      new LB d+min{eps,u,d/3}  UB d+eps
+//   push+peek     prev LB d      new LB d+min{eps,u,d/3}  UB d+2eps
+#include "bench_common.h"
+#include "core/workload.h"
+#include "types/stack_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+int main() {
+  print_header("Table III: stack (push / pop / peek)");
+
+  auto model = std::make_shared<StackModel>();
+  const SystemTiming t = default_timing();
+  const OpMix mix{2, 2, 2};
+  WorkloadFactory workload = [&](ProcessId, Rng& rng) {
+    return random_stack_ops(rng, 12, mix);
+  };
+
+  const SweepResult result = run_replica_sweep(model, workload, default_sweep(0));
+  print_sweep_status("sweep @ X=0:", result);
+  std::printf("\n");
+
+  BoundsTable table("Table III: stack", t, kN, 0);
+  table.add_row({"push", "u/2", t.u / 2, "(1-1/n)u",
+                 eval_one_minus_inv_n_u(t, kN), "eps", t.eps,
+                 result.latency.worst_for_code(StackModel::kPush)});
+  table.add_row({"pop", "d", t.d, "d+min{eps,u,d/3}", eval_d_plus_m(t),
+                 "d+eps", eval_d_plus_eps(t),
+                 result.latency.worst_for_code(StackModel::kPop)});
+  const Tick push_plus_peek = result.latency.worst_for_code(StackModel::kPush) +
+                              result.latency.worst_for_code(StackModel::kPeek);
+  table.add_row({"push + peek", "d", t.d, "d+min{eps,u,d/3}", eval_d_plus_m(t),
+                 "d+2eps", eval_d_plus_2eps(t), push_plus_peek});
+  std::printf("%s", table.render().c_str());
+
+  return finish(result.all_linearizable() && table.consistent());
+}

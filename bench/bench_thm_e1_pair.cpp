@@ -1,0 +1,124 @@
+// Theorem E.1 (Figs. 15-17): for a non-overwriting, immediately
+// self-commuting mutator OP and a pure accessor AOP,
+// |OP| + |AOP| >= d + min{eps, u, d/3}  (enqueue+peek, push+peek).
+//
+// The bench maps the violation frontier of the Algorithm-1 family: for a
+// grid of (A, B) = (|MOP| ack, |AOP| wait) it runs the three-scenario
+// battery and reports whether any run violates linearizability.  The
+// theorem predicts violations for every split with A + B < d + m; the
+// family's achievable frontier is A >= eps + X and B >= d + eps - X, i.e.
+// A + B = d + 2eps -- the paper's upper bound, leaving its open gap of eps
+// visible in the output.
+#include "bench_common.h"
+#include "shift/proof_scenarios.h"
+#include "types/queue_type.h"
+#include "types/stack_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+bool violates(const std::shared_ptr<const ObjectModel>& model,
+              const SystemTiming& t, const Operation& mut_a,
+              const Operation& mut_b, const Operation& acc, Tick a, Tick b,
+              Tick x) {
+  AlgorithmDelays algo = AlgorithmDelays::standard(t, x);
+  algo.mop_ack = a;
+  algo.aop_respond = b;
+  for (const Scenario& s : pair_bound_battery(t, mut_a, mut_b, acc, algo, 10000)) {
+    const ScenarioOutcome outcome = run_scenario(model, s, algo);
+    if (outcome.admissibility.admissible && !outcome.linearizable.ok) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Theorem E.1: |MOP| + |AOP| >= d + min{eps,u,d/3} (enqueue+peek)");
+  const SystemTiming t = default_timing();
+  const Tick m = t.m();
+  const Tick lb = t.d + m;
+  const Tick ub = t.d + 2 * t.eps;
+  bool ok = true;
+
+  std::printf("theorem LB: d+m = %lldus; Algorithm 1 UB: d+2eps = %lldus "
+              "(open gap: %lldus)\n\n",
+              static_cast<long long>(lb), static_cast<long long>(ub),
+              static_cast<long long>(ub - lb));
+
+  auto queue_model = std::make_shared<QueueModel>();
+  const Operation enq1 = queue_ops::enqueue(1);
+  const Operation enq2 = queue_ops::enqueue(2);
+  const Operation peek = queue_ops::peek();
+
+  // Grid: X in {0, 150, 300}; totals from below the LB up to the UB.
+  std::printf("violation map over (total = A+B, split): X = back-dating parameter\n");
+  TextTable table({"total A+B", "vs d+m", "A=eps+X, B=rest", "A=total/2",
+                   "A=total-(d-1), B=d-1"});
+  for (Tick total : {lb - 200, lb - 2, lb, ub - 100, ub - 2, ub}) {
+    std::vector<std::string> row{format_ticks(total),
+                                 total < lb ? "below" : (total < ub ? "in gap" : "at UB")};
+    // Split 1: mutator gets the compliant eps+X share (X=0), accessor the rest.
+    {
+      const Tick a = t.eps;
+      const Tick b = total - a;
+      row.push_back(violates(queue_model, t, enq1, enq2, peek, a, b, 0) ? "VIOLATES"
+                                                                        : "safe");
+    }
+    // Split 2: even split.
+    {
+      const Tick a = total / 2;
+      const Tick b = total - a;
+      row.push_back(violates(queue_model, t, enq1, enq2, peek, a, b, 0) ? "VIOLATES"
+                                                                        : "safe");
+    }
+    // Split 3: accessor pinned just below d, mutator takes the rest.
+    {
+      const Tick b = t.d - 1;
+      const Tick a = total - b;
+      row.push_back(a < 0 ? "-"
+                          : (violates(queue_model, t, enq1, enq2, peek, a, b, 0)
+                                 ? "VIOLATES"
+                                 : "safe"));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Assertions (margins account for integer-tick granularity): with the
+  // compliant mutator share A = eps, totals comfortably below the bound
+  // violate via the gap-mutator run; the compliant point
+  // (A, B) = (eps, d+eps) never does.
+  for (Tick total : {lb - 200, lb - 50}) {
+    ok = ok && violates(queue_model, t, enq1, enq2, peek, t.eps, total - t.eps, 0);
+  }
+  ok = ok && !violates(queue_model, t, enq1, enq2, peek, t.eps, t.d + t.eps, 0);
+
+  // Stack mirror: the stack's peek masks the gap-mutator state (peek after
+  // {push2} equals peek after {push1, push2}), so its violation mechanism
+  // is the order flip, which needs the mutator share squeezed below eps.
+  auto stack_model = std::make_shared<StackModel>();
+  const bool stack_flip = violates(stack_model, t, stack_ops::push(1),
+                                   stack_ops::push(2), stack_ops::peek(),
+                                   t.eps - 2, t.d, 0);
+  const bool stack_compliant = violates(stack_model, t, stack_ops::push(1),
+                                        stack_ops::push(2), stack_ops::peek(),
+                                        t.eps, t.d + t.eps, 0);
+  std::printf("\npush+peek: violates with mutator share eps-2: %s; "
+              "compliant d+2eps safe: %s\n",
+              stack_flip ? "YES" : "no", stack_compliant ? "NO (bug)" : "yes");
+  ok = ok && stack_flip && !stack_compliant;
+
+  std::printf(
+      "\nReading the map: with the compliant mutator share (A = eps) the\n"
+      "family violates for totals below ~d+eps = d+m, matching the theorem's\n"
+      "frontier for these splits.  Splits that over-provision the mutator\n"
+      "(A >= u) evade every executable counterexample we construct -- the\n"
+      "thesis's generic-algorithm proof does not hand us a schedule there\n"
+      "(see EXPERIMENTS.md).  The compliant total d+2eps is safe everywhere;\n"
+      "whether an algorithm can live inside the (d+m, d+2eps) gap is the\n"
+      "paper's open question (Chapter VII).\n");
+  return finish(ok);
+}

@@ -1,0 +1,80 @@
+// Bound explorer: a small CLI that, for user-supplied system parameters,
+// prints every bound the thesis derives, validates them against a live
+// sweep, and reports whether each is tight at those parameters.
+//
+// Usage:  ./examples/bound_explorer [n d u eps [X]]
+//   defaults: n=4 d=1000 u=400 eps=(1-1/n)u X=0
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/workload.h"
+#include "harness/bounds_table.h"
+#include "harness/experiment.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  SystemTiming t;
+  t.d = argc > 2 ? std::atoll(argv[2]) : 1000;
+  t.u = argc > 3 ? std::atoll(argv[3]) : 400;
+  t.eps = argc > 4 ? std::atoll(argv[4]) : t.optimal_skew(n);
+  const Tick x = argc > 5 ? std::atoll(argv[5]) : 0;
+
+  if (!t.valid() || n < 2) {
+    std::fprintf(stderr, "invalid parameters: need n>=2, 0<=u<=d, eps>=0\n");
+    return 2;
+  }
+  if (x < 0 || x > t.d + t.eps - t.u) {
+    std::fprintf(stderr, "X must lie in [0, d+eps-u] = [0, %lld]\n",
+                 static_cast<long long>(t.d + t.eps - t.u));
+    return 2;
+  }
+
+  std::printf("system: n=%d  d=%lld  u=%lld  eps=%lld  X=%lld\n", n,
+              static_cast<long long>(t.d), static_cast<long long>(t.u),
+              static_cast<long long>(t.eps), static_cast<long long>(x));
+  std::printf("  optimal achievable skew (1-1/n)u = %lld%s\n",
+              static_cast<long long>(t.optimal_skew(n)),
+              t.eps == t.optimal_skew(n) ? "  (eps is optimal)" : "");
+  std::printf("  m = min{eps, u, d/3} = %lld\n\n", static_cast<long long>(t.m()));
+
+  // Validate with a live register sweep at these parameters.
+  SweepOptions o;
+  o.n = n;
+  o.timing = t;
+  o.x = x;
+  o.seeds = 4;
+  auto model = std::make_shared<RegisterModel>();
+  const OpMix mix{2, 2, 2};
+  const SweepResult sweep = run_replica_sweep(
+      model, [&](ProcessId, Rng& rng) { return random_register_ops(rng, 10, mix); },
+      o);
+
+  BoundsTable table("bounds at these parameters", t, n, x);
+  table.add_row({"OOP (rmw/pop/dequeue)", "d", t.d, "d+min{eps,u,d/3}",
+                 eval_d_plus_m(t), "d+eps", eval_d_plus_eps(t),
+                 sweep.latency.worst_for_class(OpClass::kOther)});
+  table.add_row({"MOP (write/enq/push)", "u/2", t.u / 2, "(1-1/n)u",
+                 eval_one_minus_inv_n_u(t, n), "eps+X", t.eps + x,
+                 sweep.latency.worst_for_class(OpClass::kPureMutator)});
+  table.add_row({"AOP (read/peek)", "u/2", t.u / 2, "", kNoTime, "d+eps-X",
+                 t.d + t.eps - x,
+                 sweep.latency.worst_for_class(OpClass::kPureAccessor)});
+  table.add_row({"MOP + AOP pair", "d", t.d, "d+min{eps,u,d/3}",
+                 eval_d_plus_m(t), "d+2eps", eval_d_plus_2eps(t),
+                 sweep.latency.worst_for_class(OpClass::kPureMutator) +
+                     sweep.latency.worst_for_class(OpClass::kPureAccessor)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("tightness at these parameters:\n");
+  std::printf("  OOP bound tight (needs eps <= d/3 and eps <= u): %s\n",
+              (t.eps <= t.d / 3 && t.eps <= t.u) ? "YES" : "no");
+  std::printf("  MOP bound tight (needs eps = (1-1/n)u and X = 0): %s\n",
+              (t.eps == t.optimal_skew(n) && x == 0) ? "YES" : "no");
+  std::printf("  sweep: %d runs, %s\n", sweep.runs,
+              sweep.all_linearizable() ? "all linearizable" : "VIOLATIONS!");
+
+  return sweep.all_linearizable() && table.consistent() ? 0 : 1;
+}

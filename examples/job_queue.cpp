@@ -1,0 +1,76 @@
+// A distributed job queue: producers enqueue work items, consumers dequeue
+// them, a monitor peeks -- the motivating workload for Table II.
+//
+// Demonstrates the closed-loop WorkloadDriver, adversarial delay policies,
+// per-class latency accounting, and end-to-end linearizability checking.
+//
+// Build & run:  ./examples/job_queue [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/driver.h"
+#include "core/system.h"
+#include "harness/latency.h"
+#include "types/queue_type.h"
+
+using namespace linbound;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  SystemOptions options;
+  options.n = 6;
+  options.timing = SystemTiming{1000, 400, 300};
+  options.x = 0;
+  // Adversarial network: every message is as fast or as slow as allowed.
+  options.delays = std::make_shared<ExtremalDelayPolicy>(options.timing, seed);
+  options.clock_offsets = {0, 300, 0, 300, 150, 0};  // skew at the bound
+
+  auto model = std::make_shared<QueueModel>();
+  ReplicaSystem system(model, options);
+
+  // Processes 0-1 produce, 2-3 consume, 4-5 monitor.
+  std::vector<ClientScript> scripts;
+  for (ProcessId producer : {0, 1}) {
+    std::vector<Operation> ops;
+    for (int job = 0; job < 10; ++job) {
+      ops.push_back(queue_ops::enqueue(producer * 100 + job));
+    }
+    scripts.push_back({producer, std::move(ops), 1000, /*think=*/50});
+  }
+  for (ProcessId consumer : {2, 3}) {
+    scripts.push_back({consumer, std::vector<Operation>(8, queue_ops::dequeue()),
+                       2000, /*think=*/200});
+  }
+  scripts.push_back({4, std::vector<Operation>(5, queue_ops::peek()), 1500, 800});
+  scripts.push_back({5, std::vector<Operation>(5, queue_ops::size()), 1500, 800});
+
+  int jobs_consumed = 0;
+  WorkloadDriver driver(system.sim(), std::move(scripts),
+                        [&](const OperationRecord& rec) {
+                          if (rec.op.code == QueueModel::kDequeue &&
+                              !rec.ret.is_unit()) {
+                            ++jobs_consumed;
+                          }
+                        });
+  driver.arm();
+
+  History history = system.run_to_completion();
+  const CheckResult check = check_linearizable(*model, history);
+
+  LatencyReport latency;
+  latency.absorb(*model, system.sim().trace());
+
+  std::printf("job queue run: %zu operations, %d jobs consumed, seed %llu\n",
+              history.size(), jobs_consumed,
+              static_cast<unsigned long long>(seed));
+  std::printf("linearizable: %s\n\n", check.ok ? "yes" : "NO");
+  for (const auto& [cls, summary] : latency.by_class) {
+    std::printf("  %-4s latency: %s\n", to_string(cls).c_str(),
+                summary.to_string().c_str());
+  }
+  std::printf(
+      "\nenqueues ack at exactly eps+X; dequeues stay under d+eps even with\n"
+      "the extremal adversary reordering every message it can.\n");
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// A replicated membership directory built on the set type: nodes join and
+// leave, health checkers query membership.
+//
+// Demonstrates the X trade-off knob live: the same workload is run with
+// X = 0 (fast joins/leaves, slow lookups) and X = d+eps-u (slow
+// joins/leaves, lookups at u), and the observed latencies flip while the
+// sum stays pinned at d + 2eps.
+//
+// Build & run:  ./examples/membership_directory
+#include <cstdio>
+
+#include "core/driver.h"
+#include "core/system.h"
+#include "harness/latency.h"
+#include "types/set_type.h"
+
+using namespace linbound;
+
+namespace {
+
+struct RunResult {
+  bool linearizable = false;
+  Tick mutator_worst = kNoTime;
+  Tick accessor_worst = kNoTime;
+};
+
+RunResult run_directory(Tick x) {
+  SystemOptions options;
+  options.n = 5;
+  options.timing = SystemTiming{1000, 400, 300};
+  options.x = x;
+  options.delays = std::make_shared<UniformDelayPolicy>(options.timing, 2024);
+
+  auto model = std::make_shared<SetModel>();
+  ReplicaSystem system(model, options);
+
+  std::vector<ClientScript> scripts;
+  // Nodes 0-2 churn: join, leave, rejoin.
+  for (ProcessId node : {0, 1, 2}) {
+    scripts.push_back({node,
+                       {set_ops::insert(node), set_ops::erase(node),
+                        set_ops::insert(node)},
+                       1000,
+                       300});
+  }
+  // Nodes 3-4 health-check.
+  for (ProcessId checker : {3, 4}) {
+    std::vector<Operation> ops;
+    for (int round = 0; round < 4; ++round) {
+      ops.push_back(set_ops::contains(round % 3));
+      ops.push_back(set_ops::size());
+    }
+    scripts.push_back({checker, std::move(ops), 1200, 100});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+
+  History history = system.run_to_completion();
+  LatencyReport latency;
+  latency.absorb(*model, system.sim().trace());
+
+  RunResult result;
+  result.linearizable = check_linearizable(*model, history).ok;
+  result.mutator_worst = latency.worst_for_class(OpClass::kPureMutator);
+  result.accessor_worst = latency.worst_for_class(OpClass::kPureAccessor);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const SystemTiming t{1000, 400, 300};
+  bool ok = true;
+  std::printf("membership directory under two X settings (d=%lld u=%lld eps=%lld):\n\n",
+              static_cast<long long>(t.d), static_cast<long long>(t.u),
+              static_cast<long long>(t.eps));
+  for (Tick x : {Tick{0}, t.d + t.eps - t.u}) {
+    const RunResult r = run_directory(x);
+    std::printf("X = %4lld:  join/leave worst = %4lldus   lookup worst = %4lldus"
+                "   sum = %lldus   linearizable: %s\n",
+                static_cast<long long>(x),
+                static_cast<long long>(r.mutator_worst),
+                static_cast<long long>(r.accessor_worst),
+                static_cast<long long>(r.mutator_worst + r.accessor_worst),
+                r.linearizable ? "yes" : "NO");
+    ok = ok && r.linearizable;
+  }
+  std::printf(
+      "\nPick X per deployment: churn-heavy clusters want X = 0 (joins at\n"
+      "eps = (1-1/n)u); read-heavy monitoring wants X = d+eps-u (lookups\n"
+      "at u).  Either way the pair cost is d+2eps (Chapter V.D).\n");
+  return ok ? 0 : 1;
+}

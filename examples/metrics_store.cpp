@@ -1,0 +1,89 @@
+// A multi-object metrics store: three counters (registers) plus an event
+// queue, all hosted by ONE replica group running Algorithm 1 over a
+// CompositeModel.  Shows the paper's multi-object linearizability
+// definition in action and Herlihy-Wing locality: the whole-store history
+// checks out iff every per-object restriction does.
+//
+// (Note what this does NOT give you: atomicity across objects.  Each
+// operation is linearizable on its own object; a counter bump and its event
+// record are two operations.)
+//
+// Build & run:  ./examples/metrics_store
+#include <cstdio>
+
+#include "checker/lin_checker.h"
+#include "core/driver.h"
+#include "core/system.h"
+#include "spec/composite.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+
+namespace {
+constexpr int kRequests = 0;  // counter slots
+constexpr int kErrors = 1;
+constexpr int kLatencySum = 2;
+constexpr int kEvents = 3;  // event queue slot
+}  // namespace
+
+int main() {
+  auto model = std::make_shared<CompositeModel>(
+      std::vector<std::shared_ptr<const ObjectModel>>{
+          std::make_shared<RegisterModel>(), std::make_shared<RegisterModel>(),
+          std::make_shared<RegisterModel>(), std::make_shared<QueueModel>()});
+
+  SystemOptions options;
+  options.n = 4;
+  options.timing = SystemTiming{1000, 400, 300};
+  options.x = 0;  // counter bumps ack in eps+X = 300us
+  options.delays = std::make_shared<UniformDelayPolicy>(options.timing, 77);
+  ReplicaSystem system(model, options);
+
+  // Two frontends bump counters and log events; two dashboards read.
+  std::vector<ClientScript> scripts;
+  for (ProcessId frontend : {0, 1}) {
+    std::vector<Operation> ops;
+    for (int req = 0; req < 4; ++req) {
+      ops.push_back(CompositeModel::lift(kRequests, reg::increment(1)));
+      ops.push_back(CompositeModel::lift(kLatencySum, reg::increment(10 + req)));
+      if (req % 2 == 0) {
+        ops.push_back(CompositeModel::lift(kErrors, reg::increment(1)));
+        ops.push_back(
+            CompositeModel::lift(kEvents, queue_ops::enqueue(frontend * 100 + req)));
+      }
+    }
+    scripts.push_back({frontend, std::move(ops), 1000, 50});
+  }
+  for (ProcessId dashboard : {2, 3}) {
+    std::vector<Operation> ops;
+    for (int round = 0; round < 3; ++round) {
+      ops.push_back(CompositeModel::lift(kRequests, reg::read()));
+      ops.push_back(CompositeModel::lift(kErrors, reg::read()));
+      ops.push_back(CompositeModel::lift(kEvents, queue_ops::peek()));
+    }
+    scripts.push_back({dashboard, std::move(ops), 2000, 400});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+
+  const History history = system.run_to_completion();
+  const CheckResult whole = check_linearizable(*model, history);
+  std::printf("metrics store: %zu operations across %d objects\n",
+              history.size(), model->slot_count());
+  std::printf("whole-store linearizable: %s\n", whole.ok ? "yes" : "NO");
+
+  bool ok = whole.ok;
+  for (int k = 0; k < model->slot_count(); ++k) {
+    const History part = restrict_history(history, k);
+    const CheckResult check = check_linearizable(model->slot(k), part);
+    std::printf("  object %d (%s): %2zu ops, restriction linearizable: %s\n", k,
+                model->slot(k).name().c_str(), part.size(),
+                check.ok ? "yes" : "NO");
+    ok = ok && check.ok;
+  }
+  std::printf(
+      "\nLocality at work: one replica group, four objects, one timestamp\n"
+      "order -- and every per-object restriction is independently legal.\n");
+  return ok ? 0 : 1;
+}

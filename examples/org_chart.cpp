@@ -1,0 +1,70 @@
+// A replicated org chart on the rooted tree type: concurrent re-org moves
+// from different sites, resolved linearizably -- the Table IV workload.
+//
+// Shows the move-insert semantics (last re-parent wins), subtree erase, and
+// depth() observing the structure that mutator order determines.
+//
+// Build & run:  ./examples/org_chart
+#include <cstdio>
+
+#include "checker/lin_checker.h"
+#include "core/system.h"
+#include "types/tree_type.h"
+
+using namespace linbound;
+
+int main() {
+  SystemOptions options;
+  options.n = 3;
+  options.timing = SystemTiming{1000, 400, 300};
+  options.x = 0;
+  options.clock_offsets = {0, 300, 150};
+
+  auto model = std::make_shared<TreeModel>();
+  ReplicaSystem system(model, options);
+  Simulator& sim = system.sim();
+
+  // Build the initial chart sequentially from site 0:
+  //   0 (root) -> 1 (eng), 2 (sales); 1 -> 10, 11; 2 -> 20.
+  Tick at = 1000;
+  for (const auto& [k, p] : std::initializer_list<std::pair<int, int>>{
+           {1, 0}, {2, 0}, {10, 1}, {11, 1}, {20, 2}}) {
+    sim.invoke_at(at, 0, tree_ops::insert(k, p));
+    at += 400;  // past the eps+X ack
+  }
+
+  // Concurrent re-org: site 1 moves team 10 under sales while site 2 moves
+  // the whole sales subtree under eng.  Both are legal; the timestamp order
+  // decides, and every replica agrees.
+  sim.invoke_at(10000, 1, tree_ops::insert(10, 2));
+  sim.invoke_at(10000, 2, tree_ops::insert(2, 1));
+
+  // Later: measure the depth and drop employee 11.
+  sim.invoke_at(15000, 0, tree_ops::depth());
+  sim.invoke_at(16000, 1, tree_ops::remove_leaf(11));
+  sim.invoke_at(20000, 2, tree_ops::search(11));
+  sim.invoke_at(20000, 0, tree_ops::depth());
+
+  History history = system.run_to_completion();
+  const CheckResult check = check_linearizable(*model, history);
+
+  std::printf("org chart history:\n");
+  for (const HistoryOp& op : history.ops()) {
+    std::printf("  p%d [%6lld] %-18s -> %s\n", op.proc,
+                static_cast<long long>(op.invoke),
+                model->describe(op.op).c_str(), op.ret.to_string().c_str());
+  }
+  std::printf("\nfinal chart on every replica: %s\n",
+              system.replica(0).local_copy().to_string().c_str());
+  for (ProcessId p = 1; p < system.n(); ++p) {
+    if (!system.replica(0).local_copy().equals(system.replica(p).local_copy())) {
+      std::printf("REPLICA DIVERGENCE at p%d!\n", p);
+      return 1;
+    }
+  }
+  std::printf("linearizable: %s\n", check.ok ? "yes" : "NO");
+  std::printf(
+      "\nThe concurrent moves resolved identically everywhere: move-insert\n"
+      "is the 'last mover wins' mutator behind the tree's (1-1/n)u bound.\n");
+  return check.ok ? 0 : 1;
+}

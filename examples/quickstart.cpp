@@ -1,0 +1,62 @@
+// Quickstart: a linearizable shared register over four simulated processes.
+//
+// Shows the core loop every application of this library follows:
+//   1. pick a data type (an ObjectModel),
+//   2. build a ReplicaSystem (n processes running the paper's Algorithm 1),
+//   3. invoke operations from the application layer,
+//   4. run to quiescence, inspect the history, check linearizability.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "checker/lin_checker.h"
+#include "core/system.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+
+int main() {
+  // The partially synchronous system: message delays in [d-u, d] = [600,
+  // 1000] virtual microseconds, clocks synchronized to within eps = 300us
+  // (the optimal (1-1/n)u for n = 4; see bench_clocksync).
+  SystemOptions options;
+  options.n = 4;
+  options.timing = SystemTiming{/*d=*/1000, /*u=*/400, /*eps=*/300};
+  options.x = 0;  // favor mutators: writes ack in eps+X = 300us
+
+  auto model = std::make_shared<RegisterModel>(/*initial=*/0);
+  ReplicaSystem system(model, options);
+
+  // Application layer: process 0 writes, the others read.
+  system.sim().invoke_at(1000, 0, reg::write(42));
+  system.sim().invoke_at(2000, 1, reg::read());
+  system.sim().invoke_at(2000, 2, reg::read());
+  system.sim().invoke_at(5000, 3, reg::rmw(7));  // fetch-and-store
+
+  History history = system.run_to_completion();
+
+  std::printf("operation history:\n");
+  for (const HistoryOp& op : history.ops()) {
+    std::printf("  p%d  [%6lld, %6lld]  %-12s -> %s   (latency %lldus)\n",
+                op.proc, static_cast<long long>(op.invoke),
+                static_cast<long long>(op.response),
+                model->describe(op.op).c_str(), op.ret.to_string().c_str(),
+                static_cast<long long>(op.response - op.invoke));
+  }
+
+  const CheckResult check = check_linearizable(*model, history);
+  std::printf("\nlinearizable: %s\n", check.ok ? "yes" : "NO");
+  if (check.ok) {
+    std::printf("a witness order: ");
+    for (std::size_t i : check.witness) {
+      std::printf("%s ", model->describe(history.ops()[i].op).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nNote the latencies: the write acked in eps+X = 300us and the reads\n"
+      "in d+eps-X = 1300us -- both beating the folklore centralized bound\n"
+      "of 2d = 2000us, which is the paper's headline result.\n");
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#include "checker/brute_checker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace linbound {
+namespace {
+
+/// Does `perm` (indices into history.ops()) respect program order and,
+/// optionally, real-time precedence?
+bool respects_orders(const History& history, const std::vector<std::size_t>& perm,
+                     bool real_time_order) {
+  std::vector<std::size_t> position(history.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) position[perm[pos]] = pos;
+
+  const auto& ops = history.ops();
+  for (std::size_t a = 0; a < ops.size(); ++a) {
+    for (std::size_t b = 0; b < ops.size(); ++b) {
+      if (a == b) continue;
+      const bool program_before =
+          ops[a].proc == ops[b].proc && ops[a].response <= ops[b].invoke &&
+          ops[a].invoke < ops[b].invoke;
+      const bool real_time_before =
+          real_time_order && ops[a].response < ops[b].invoke;
+      if ((program_before || real_time_before) && position[a] > position[b]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool legal_permutation(const ObjectModel& model, const History& history,
+                       const std::vector<std::size_t>& perm) {
+  auto state = model.initial_state();
+  for (std::size_t i : perm) {
+    const HistoryOp& op = history.ops()[i];
+    if (!(state->apply(op.op) == op.ret)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool brute_force_consistent(const ObjectModel& model, const History& history,
+                            bool real_time_order) {
+  std::vector<std::size_t> perm(history.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end());
+  do {
+    if (!respects_orders(history, perm, real_time_order)) continue;
+    if (legal_permutation(model, history, perm)) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace linbound

@@ -1,0 +1,28 @@
+// Brute-force consistency checking by exhaustive permutation enumeration.
+//
+// Exponential; exists solely to cross-validate the search-based checker on
+// small randomized histories (tests/test_checker_cross.cpp).
+#pragma once
+
+#include "checker/history.h"
+#include "spec/object_model.h"
+
+namespace linbound {
+
+/// Enumerate every permutation of the history that respects per-process
+/// program order (and, when `real_time_order` is set, real-time precedence)
+/// and test legality.  Returns true iff some permutation is legal.
+bool brute_force_consistent(const ObjectModel& model, const History& history,
+                            bool real_time_order);
+
+inline bool brute_force_linearizable(const ObjectModel& model,
+                                     const History& history) {
+  return brute_force_consistent(model, history, /*real_time_order=*/true);
+}
+
+inline bool brute_force_sequentially_consistent(const ObjectModel& model,
+                                                const History& history) {
+  return brute_force_consistent(model, history, /*real_time_order=*/false);
+}
+
+}  // namespace linbound

@@ -1,0 +1,97 @@
+#include "checker/history.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "spec/composite.h"
+
+namespace linbound {
+
+History::History(std::vector<HistoryOp> ops) : ops_(std::move(ops)) { index(); }
+
+History History::from_trace(const Trace& trace) {
+  std::vector<HistoryOp> ops;
+  ops.reserve(trace.ops.size());
+  for (const OperationRecord& rec : trace.ops) {
+    if (!rec.completed()) {
+      throw std::invalid_argument("History::from_trace: operation token " +
+                                  std::to_string(rec.token) +
+                                  " has no response");
+    }
+    ops.push_back(HistoryOp{rec.proc, rec.op, rec.ret, rec.invoke_time,
+                            rec.response_time});
+  }
+  return History(std::move(ops));
+}
+
+void History::index() {
+  ProcessId max_pid = -1;
+  for (const HistoryOp& op : ops_) {
+    if (op.proc < 0) throw std::invalid_argument("history op without process");
+    if (op.response < op.invoke) {
+      throw std::invalid_argument("history op responds before invocation");
+    }
+    max_pid = std::max(max_pid, op.proc);
+  }
+  per_proc_.assign(static_cast<std::size_t>(max_pid + 1), {});
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    per_proc_[static_cast<std::size_t>(ops_[i].proc)].push_back(i);
+  }
+  for (auto& idxs : per_proc_) {
+    std::sort(idxs.begin(), idxs.end(), [this](std::size_t a, std::size_t b) {
+      return ops_[a].invoke < ops_[b].invoke;
+    });
+    // Validate the one-pending-op-per-process model constraint.
+    for (std::size_t k = 1; k < idxs.size(); ++k) {
+      if (ops_[idxs[k]].invoke < ops_[idxs[k - 1]].response) {
+        throw std::invalid_argument(
+            "history has overlapping operations within one process");
+      }
+    }
+  }
+}
+
+const std::vector<std::size_t>& History::by_process(ProcessId pid) const {
+  static const std::vector<std::size_t> kEmpty;
+  if (pid < 0 || static_cast<std::size_t>(pid) >= per_proc_.size()) return kEmpty;
+  return per_proc_[static_cast<std::size_t>(pid)];
+}
+
+std::pair<History, std::vector<PendingInvocation>> history_with_pending(
+    const Trace& trace) {
+  std::vector<HistoryOp> completed;
+  std::vector<PendingInvocation> pending;
+  for (const OperationRecord& rec : trace.ops) {
+    if (rec.invoke_time == kNoTime) continue;  // never dispatched
+    if (rec.completed()) {
+      completed.push_back(HistoryOp{rec.proc, rec.op, rec.ret, rec.invoke_time,
+                                    rec.response_time});
+    } else {
+      pending.push_back(PendingInvocation{rec.proc, rec.op, rec.invoke_time});
+    }
+  }
+  return {History(std::move(completed)), std::move(pending)};
+}
+
+History restrict_history(const History& history, int k) {
+  std::vector<HistoryOp> ops;
+  for (const HistoryOp& op : history.ops()) {
+    if (CompositeModel::slot_of(op.op) != k) continue;
+    HistoryOp lowered = op;
+    lowered.op = CompositeModel::lower(lowered.op);
+    ops.push_back(std::move(lowered));
+  }
+  return History(std::move(ops));
+}
+
+std::string History::to_string(const ObjectModel& model) const {
+  std::ostringstream os;
+  for (const HistoryOp& op : ops_) {
+    os << "p" << op.proc << " [" << op.invoke << ", " << op.response << "] "
+       << model.describe(OpInstance{op.op, op.ret}) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace linbound

@@ -1,0 +1,79 @@
+// Operation histories: the input of the consistency checkers.
+//
+// A history is the application-layer projection of a complete run -- one
+// record per operation with its process, invocation/response real times and
+// observed return value.  Within a process operations never overlap (the
+// model allows one pending operation per process).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+#include "sim/trace.h"
+#include "spec/object_model.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+struct HistoryOp {
+  ProcessId proc = kNoProcess;
+  Operation op;
+  Value ret;
+  Tick invoke = 0;
+  Tick response = 0;
+};
+
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<HistoryOp> ops);
+
+  /// Build from a trace.  Throws std::invalid_argument if any operation is
+  /// incomplete -- checkers require complete histories; complete your run
+  /// (or drop pending invocations) first.
+  static History from_trace(const Trace& trace);
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Operations of one process, ordered by invocation time.  Process-local
+  /// sequentiality (no overlap) is validated on construction.
+  const std::vector<std::size_t>& by_process(ProcessId pid) const;
+
+  int process_count() const { return static_cast<int>(per_proc_.size()); }
+
+  /// Pretty-print (for diagnostics and test failures).
+  std::string to_string(const ObjectModel& model) const;
+
+ private:
+  void index();
+
+  std::vector<HistoryOp> ops_;
+  std::vector<std::vector<std::size_t>> per_proc_;
+};
+
+/// The restriction of a composite-store history (spec/composite.h) to slot
+/// `k`, with operations lowered to the inner model's codes -- the paper's
+/// "restriction of pi to operations on the object O".
+History restrict_history(const History& history, int k);
+
+/// An invocation without a response -- a crashed process's last operation.
+/// It may or may not have taken effect; the pending-aware checker tries
+/// both (with an unconstrained return when included).
+struct PendingInvocation {
+  ProcessId proc = kNoProcess;
+  Operation op;
+  Tick invoke = 0;
+};
+
+/// Split a trace into its completed history plus the pending invocations
+/// (the tolerant counterpart of History::from_trace; never-dispatched
+/// invocations, with no invoke time, are dropped entirely).
+std::pair<History, std::vector<PendingInvocation>> history_with_pending(
+    const Trace& trace);
+
+}  // namespace linbound

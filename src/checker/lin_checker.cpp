@@ -1,0 +1,165 @@
+#include "checker/lin_checker.h"
+
+#include <optional>
+#include <stdexcept>
+#include <sstream>
+#include <unordered_set>
+
+namespace linbound {
+namespace {
+
+class Search {
+ public:
+  Search(const ObjectModel& model, const History& history, bool real_time_order,
+         const CheckLimits& limits,
+         const std::vector<PendingInvocation>* pending = nullptr)
+      : model_(model),
+        history_(history),
+        real_time_order_(real_time_order),
+        limits_(limits) {
+    const int n = history.process_count();
+    frontier_.assign(static_cast<std::size_t>(n), 0);
+    if (pending != nullptr) pending_ = *pending;
+    pending_taken_.assign(pending_.size(), false);
+  }
+
+  CheckResult run() {
+    CheckResult result;
+    auto state = model_.initial_state();
+    std::vector<std::size_t> chosen;
+    chosen.reserve(history_.size());
+    result.ok = dfs(*state, chosen, result);
+    if (result.ok) result.witness = std::move(chosen);
+    return result;
+  }
+
+ private:
+  /// Frontier op index of process p, or nullopt if exhausted.
+  std::optional<std::size_t> front(int p) const {
+    const auto& idxs = history_.by_process(p);
+    const std::size_t k = frontier_[static_cast<std::size_t>(p)];
+    if (k >= idxs.size()) return std::nullopt;
+    return idxs[k];
+  }
+
+  /// Can an operation invoked at `inv` be linearized next?  Under
+  /// real-time order, no *other* remaining completed operation may have
+  /// responded strictly before `inv`.  It suffices to test frontier
+  /// operations: within a process the frontier op has the earliest
+  /// response among that process's remaining ops.  (Pending operations
+  /// never block anyone: they have no response.)
+  bool eligible_at(Tick inv, std::optional<std::size_t> self) const {
+    if (!real_time_order_) return true;
+    for (int p = 0; p < history_.process_count(); ++p) {
+      auto f = front(p);
+      if (!f || (self && *f == *self)) continue;
+      if (history_.ops()[*f].response < inv) return false;
+    }
+    return true;
+  }
+
+  bool eligible(std::size_t cand) const {
+    return eligible_at(history_.ops()[cand].invoke, cand);
+  }
+
+  std::string memo_key(const ObjectState& state) const {
+    std::string key;
+    for (std::size_t f : frontier_) {
+      key += std::to_string(f);
+      key += ',';
+    }
+    for (bool taken : pending_taken_) key += taken ? 'x' : '.';
+    key += '|';
+    key += state.to_string();
+    return key;
+  }
+
+  bool dfs(ObjectState& state, std::vector<std::size_t>& chosen,
+           CheckResult& result) {
+    if (chosen.size() == history_.size()) return true;
+    const std::string key = memo_key(state);
+    if (dead_.count(key)) return false;
+    if (++result.states_explored > limits_.max_states) {
+      throw std::runtime_error(
+          "consistency check exceeded the state budget (" +
+          std::to_string(limits_.max_states) +
+          " states); the history has too much concurrency for exact "
+          "checking");
+    }
+
+    // Pending operations: try linearizing each untaken one here (their
+    // returns are unconstrained, so applying always succeeds).
+    for (std::size_t q = 0; q < pending_.size(); ++q) {
+      if (pending_taken_[q]) continue;
+      if (!eligible_at(pending_[q].invoke, std::nullopt)) continue;
+      auto next = state.clone();
+      next->apply(pending_[q].op);
+      pending_taken_[q] = true;
+      if (dfs(*next, chosen, result)) return true;
+      pending_taken_[q] = false;
+    }
+
+    bool any_candidate = false;
+    for (int p = 0; p < history_.process_count(); ++p) {
+      auto f = front(p);
+      if (!f || !eligible(*f)) continue;
+      any_candidate = true;
+      const HistoryOp& op = history_.ops()[*f];
+      auto next = state.clone();
+      const Value determined = next->apply(op.op);
+      if (!(determined == op.ret)) {
+        if (result.explanation.empty()) {
+          std::ostringstream os;
+          os << "p" << op.proc << " " << model_.describe(op.op) << " returned "
+             << op.ret.to_string() << " but state " << state.to_string()
+             << " determines " << determined.to_string();
+          result.explanation = os.str();
+        }
+        continue;
+      }
+      ++frontier_[static_cast<std::size_t>(p)];
+      chosen.push_back(*f);
+      if (dfs(*next, chosen, result)) return true;
+      chosen.pop_back();
+      --frontier_[static_cast<std::size_t>(p)];
+    }
+
+    if (!any_candidate && result.explanation.empty()) {
+      result.explanation =
+          "no operation is eligible to linearize next (real-time order "
+          "cycle)";
+    }
+    dead_.insert(key);
+    return false;
+  }
+
+  const ObjectModel& model_;
+  const History& history_;
+  const bool real_time_order_;
+  const CheckLimits limits_;
+  std::vector<std::size_t> frontier_;
+  std::vector<PendingInvocation> pending_;
+  std::vector<bool> pending_taken_;
+  std::unordered_set<std::string> dead_;
+};
+
+}  // namespace
+
+CheckResult check_linearizable(const ObjectModel& model, const History& history,
+                               const CheckLimits& limits) {
+  return Search(model, history, /*real_time_order=*/true, limits).run();
+}
+
+CheckResult check_sequentially_consistent(const ObjectModel& model,
+                                          const History& history,
+                                          const CheckLimits& limits) {
+  return Search(model, history, /*real_time_order=*/false, limits).run();
+}
+
+CheckResult check_linearizable_with_pending(
+    const ObjectModel& model, const History& history,
+    const std::vector<PendingInvocation>& pending, const CheckLimits& limits) {
+  return Search(model, history, /*real_time_order=*/true, limits, &pending).run();
+}
+
+}  // namespace linbound

@@ -1,0 +1,67 @@
+// Linearizability and sequential-consistency checking (Wing & Gong style
+// search with state memoization).
+//
+// Linearizability (Chapter III.B.4): there is a permutation pi of all
+// operations in the complete run such that (a) pi is legal under the
+// sequential specification, and (b) if op1's response precedes op2's
+// invocation in real time, op1 precedes op2 in pi.
+//
+// Sequential consistency drops (b) down to per-process program order only --
+// the consistency condition of Lipton & Sandberg / Attiya & Welch that the
+// paper contrasts against.
+//
+// Search: walk the history with a per-process frontier; at each step any
+// frontier operation that is not real-time-preceded by another remaining
+// operation may be linearized next, provided its recorded return equals the
+// return determined by the current object state.  Dead (frontier, state)
+// pairs are memoized by exact key (no hashing shortcuts), so verdicts are
+// sound in both directions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+#include "spec/object_model.h"
+
+namespace linbound {
+
+struct CheckResult {
+  bool ok = false;
+  /// On success: indices into history.ops() in linearization order.
+  std::vector<std::size_t> witness;
+  /// On failure: a human-readable account of the first dead end.
+  std::string explanation;
+  std::size_t states_explored = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+struct CheckLimits {
+  /// Abort (std::runtime_error) after exploring this many distinct
+  /// (frontier, state) pairs.  The search is exponential in the number of
+  /// simultaneously pending operations; the budget turns a pathological
+  /// history into a loud error instead of an OOM.
+  std::size_t max_states = 20'000'000;
+};
+
+/// Is the history linearizable w.r.t. the model?
+CheckResult check_linearizable(const ObjectModel& model, const History& history,
+                               const CheckLimits& limits = {});
+
+/// Is the history sequentially consistent w.r.t. the model?
+CheckResult check_sequentially_consistent(const ObjectModel& model,
+                                          const History& history,
+                                          const CheckLimits& limits = {});
+
+/// Linearizability of a history with pending invocations (crashed
+/// processes): each pending operation may be linearized at any point after
+/// everything that real-time-precedes its invocation -- with an
+/// unconstrained return value -- or omitted entirely (Herlihy-Wing's
+/// treatment of incomplete histories).
+CheckResult check_linearizable_with_pending(
+    const ObjectModel& model, const History& history,
+    const std::vector<PendingInvocation>& pending, const CheckLimits& limits = {});
+
+}  // namespace linbound

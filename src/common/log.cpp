@@ -1,0 +1,22 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace linbound {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg) {
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace linbound

@@ -1,0 +1,42 @@
+// Minimal leveled logging.  Off by default (benchmarks must stay quiet);
+// tests and examples can raise the level to trace simulator internals.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace linbound {
+
+enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Usage: LINBOUND_LOG(kDebug) << "delivered " << msg.id;
+#define LINBOUND_LOG(level)                                               \
+  if (::linbound::LogLevel::level <= ::linbound::log_level())             \
+  ::linbound::internal::LogStream(::linbound::LogLevel::level)
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& x) {
+    os_ << x;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace linbound

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (delay policies, workload generators, fuzz
+// tests) takes an explicit 64-bit seed and owns its own generator, so a run
+// is fully reproducible from its configuration.  We implement
+// SplitMix64 (for seeding) and xoshiro256++ (for the stream) rather than
+// using std::mt19937 so that streams are identical across standard-library
+// implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace linbound {
+
+/// SplitMix64: stateless-seedable 64-bit generator used to expand a single
+/// seed into the 256-bit xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ by Blackman & Vigna -- fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform Tick in [lo, hi] (inclusive); convenience alias for delays.
+  Tick uniform_tick(Tick lo, Tick hi) { return uniform(lo, hi); }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Split off an independent stream (hash of the current stream + salt);
+  /// used to give each process / pair its own generator deterministically.
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace linbound

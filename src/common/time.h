@@ -1,0 +1,68 @@
+// Virtual-time primitives.
+//
+// The whole system runs on integer virtual time: 1 Tick == 1 microsecond of
+// simulated real time.  All of the paper's quantities (message delay upper
+// bound d, uncertainty u, clock skew bound eps, the accessor/mutator
+// trade-off parameter X) are expressed in Ticks, so every time-shift
+// computation in src/shift is exact integer arithmetic -- no floating point,
+// no rounding, and admissibility checks are decidable equalities.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace linbound {
+
+/// One tick of virtual time (1 simulated microsecond).  Used both for
+/// absolute time points and for durations; the distinction is kept by
+/// variable naming (``*_time`` vs ``*_delay``/``*_delta``).
+using Tick = std::int64_t;
+
+/// Sentinel for "no time" / unset timers (the paper's bottom value for a
+/// timer variable).
+inline constexpr Tick kNoTime = std::numeric_limits<Tick>::min();
+
+/// Largest representable time, used as an "until forever" horizon.
+inline constexpr Tick kTimeInfinity = std::numeric_limits<Tick>::max();
+
+/// Identifier of a process in the system; processes are numbered 0..n-1.
+using ProcessId = std::int32_t;
+
+/// Sentinel process id (e.g. "no sender" for locally generated events).
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Timing parameters of the partially synchronous system, exactly as in the
+/// paper's model (Chapter III): every message delay lies in
+/// [d - u, d] and the pairwise clock skew is at most eps.
+struct SystemTiming {
+  Tick d = 1000;    ///< message delay upper bound
+  Tick u = 400;     ///< message delay uncertainty (delays lie in [d-u, d])
+  Tick eps = 100;   ///< clock skew upper bound (|c_i - c_j| <= eps)
+
+  constexpr Tick min_delay() const { return d - u; }
+  constexpr Tick max_delay() const { return d; }
+
+  /// True when ``delay`` is admissible for this system.
+  constexpr bool delay_admissible(Tick delay) const {
+    return delay >= d - u && delay <= d;
+  }
+
+  /// m = min{eps, u, d/3}: the additive term in the Theorem C.1 / E.1
+  /// lower bounds.  d/3 uses integer division; the paper's proofs only need
+  /// m <= d/3 so flooring is sound.
+  constexpr Tick m() const {
+    Tick m = eps;
+    if (u < m) m = u;
+    if (d / 3 < m) m = d / 3;
+    return m;
+  }
+
+  /// Optimal achievable clock skew for n processes: (1 - 1/n) * u
+  /// (Lundelius & Lynch).  Computed as u - u/n in exact arithmetic when u is
+  /// divisible by n; callers that need exactness pick such parameters.
+  constexpr Tick optimal_skew(int n) const { return u - u / n; }
+
+  constexpr bool valid() const { return d > 0 && u >= 0 && u <= d && eps >= 0; }
+};
+
+}  // namespace linbound

@@ -1,0 +1,27 @@
+// Lamport-style operation timestamps, exactly as in the paper's Algorithm 1:
+// a timestamp is the pair <clock_time, process_id>, compared
+// lexicographically.  Uniqueness among concurrently pending operations is
+// guaranteed because a process has at most one pending operation per clock
+// instant (the paper proves pure-accessor back-dating cannot collide either;
+// we assert it dynamically in the core algorithm).
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/time.h"
+
+namespace linbound {
+
+struct Timestamp {
+  Tick clock_time = kNoTime;
+  ProcessId pid = kNoProcess;
+
+  friend auto operator<=>(const Timestamp&, const Timestamp&) = default;
+
+  std::string to_string() const {
+    return "<" + std::to_string(clock_time) + "," + std::to_string(pid) + ">";
+  }
+};
+
+}  // namespace linbound

@@ -1,0 +1,172 @@
+#include "common/value.h"
+
+#include <sstream>
+
+namespace linbound {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void hash_into(std::uint64_t& h, const Value& v);
+
+struct Hasher {
+  std::uint64_t& h;
+  void operator()(const Value::Unit&) const {
+    char tag = 'u';
+    fnv_bytes(h, &tag, 1);
+  }
+  void operator()(std::int64_t x) const {
+    char tag = 'i';
+    fnv_bytes(h, &tag, 1);
+    fnv_bytes(h, &x, sizeof(x));
+  }
+  void operator()(bool b) const {
+    char tag = 'b';
+    fnv_bytes(h, &tag, 1);
+    fnv_bytes(h, &b, sizeof(b));
+  }
+  void operator()(const std::string& s) const {
+    char tag = 's';
+    fnv_bytes(h, &tag, 1);
+    std::uint64_t n = s.size();
+    fnv_bytes(h, &n, sizeof(n));
+    fnv_bytes(h, s.data(), s.size());
+  }
+  void operator()(const Value::List& xs) const {
+    char tag = 'l';
+    fnv_bytes(h, &tag, 1);
+    std::uint64_t n = xs.size();
+    fnv_bytes(h, &n, sizeof(n));
+    for (const Value& x : xs) hash_into(h, x);
+  }
+};
+
+void hash_into(std::uint64_t& h, const Value& v) {
+  // Re-dispatch through the public interface to avoid friending.
+  if (v.is_unit()) {
+    Hasher{h}(Value::Unit{});
+  } else if (v.is_int()) {
+    Hasher{h}(v.as_int());
+  } else if (v.is_bool()) {
+    Hasher{h}(v.as_bool());
+  } else if (v.is_str()) {
+    Hasher{h}(v.as_str());
+  } else {
+    Hasher{h}(v.as_list());
+  }
+}
+
+}  // namespace
+
+std::string Value::to_string() const {
+  if (is_unit()) return "()";
+  if (is_int()) return std::to_string(as_int());
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_str()) return "\"" + as_str() + "\"";
+  std::ostringstream os;
+  os << "[";
+  const List& xs = as_list();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ", ";
+    os << xs[i].to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+std::uint64_t Value::hash() const {
+  std::uint64_t h = kFnvOffset;
+  hash_into(h, *this);
+  return h;
+}
+
+namespace {
+
+/// Recursive-descent parser over the to_string() grammar.  `pos` advances
+/// past the parsed value; whitespace is skipped between tokens.
+std::optional<Value> parse_value(std::string_view s, std::size_t& pos) {
+  auto skip_ws = [&] {
+    while (pos < s.size() && s[pos] == ' ') ++pos;
+  };
+  skip_ws();
+  if (pos >= s.size()) return std::nullopt;
+
+  if (s.compare(pos, 2, "()") == 0) {
+    pos += 2;
+    return Value::unit();
+  }
+  if (s.compare(pos, 4, "true") == 0) {
+    pos += 4;
+    return Value(true);
+  }
+  if (s.compare(pos, 5, "false") == 0) {
+    pos += 5;
+    return Value(false);
+  }
+  if (s[pos] == '"') {
+    const std::size_t end = s.find('"', pos + 1);
+    if (end == std::string_view::npos) return std::nullopt;
+    Value out(std::string(s.substr(pos + 1, end - pos - 1)));
+    pos = end + 1;
+    return out;
+  }
+  if (s[pos] == '[') {
+    ++pos;
+    Value::List items;
+    skip_ws();
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return Value(std::move(items));
+    }
+    while (true) {
+      auto item = parse_value(s, pos);
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_ws();
+      if (pos >= s.size()) return std::nullopt;
+      if (s[pos] == ']') {
+        ++pos;
+        return Value(std::move(items));
+      }
+      if (s[pos] != ',') return std::nullopt;
+      ++pos;
+    }
+  }
+  // Integer: optional sign, then digits.
+  {
+    std::size_t end = pos;
+    if (end < s.size() && (s[end] == '-' || s[end] == '+')) ++end;
+    const std::size_t digits_start = end;
+    while (end < s.size() && s[end] >= '0' && s[end] <= '9') ++end;
+    if (end == digits_start) return std::nullopt;
+    std::int64_t x = 0;
+    bool negative = s[pos] == '-';
+    for (std::size_t i = digits_start; i < end; ++i) {
+      x = x * 10 + (s[i] - '0');
+    }
+    pos = end;
+    return Value(negative ? -x : x);
+  }
+}
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text) {
+  std::size_t pos = 0;
+  auto out = parse_value(text, pos);
+  if (!out) return std::nullopt;
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos != text.size()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+}  // namespace linbound

@@ -1,0 +1,78 @@
+// A small dynamically-typed value used for operation arguments and return
+// values across all shared-object data types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace linbound {
+
+/// Operation arguments and results are drawn from this closed universe:
+///  - Unit      (no value; acknowledgements of pure mutators)
+///  - Int       (register contents, queue/stack elements, tree keys, ...)
+///  - Bool      (membership answers)
+///  - Str       (symbolic payloads)
+///  - List      (composite results, e.g. RMW returning old state pieces)
+///
+/// Value is a regular type: copyable, equality-comparable, totally ordered,
+/// hashable and printable, so it can live in histories, priority queues and
+/// test matchers without friction.
+class Value {
+ public:
+  struct Unit {
+    friend bool operator==(const Unit&, const Unit&) { return true; }
+    friend auto operator<=>(const Unit&, const Unit&) = default;
+  };
+  using List = std::vector<Value>;
+
+  Value() : v_(Unit{}) {}
+  Value(std::int64_t x) : v_(x) {}        // NOLINT(google-explicit-constructor)
+  Value(int x) : v_(std::int64_t{x}) {}   // NOLINT(google-explicit-constructor)
+  Value(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(List xs) : v_(std::move(xs)) {}   // NOLINT(google-explicit-constructor)
+
+  static Value unit() { return Value(); }
+
+  bool is_unit() const { return std::holds_alternative<Unit>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_str() const { return std::holds_alternative<std::string>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+
+  /// Accessors abort (via std::get) on type mismatch -- a mismatch is a
+  /// programming error in a sequential specification, not a runtime
+  /// condition to recover from.
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+  const std::string& as_str() const { return std::get<std::string>(v_); }
+  const List& as_list() const { return std::get<List>(v_); }
+
+  /// Human-readable rendering, used in traces, test failures and the bench
+  /// table output.
+  std::string to_string() const;
+
+  /// Parse the to_string() grammar back into a Value:
+  ///   () | <int> | true | false | "str" | [v, v, ...]
+  /// Strings may not contain '"'.  Returns nullopt on malformed input or
+  /// trailing garbage -- the exact inverse of to_string() (round-trip
+  /// tested).
+  static std::optional<Value> parse(std::string_view text);
+
+  /// Stable 64-bit fingerprint (FNV-1a over a canonical encoding); used by
+  /// the linearizability checker's memoization of object states.
+  std::uint64_t hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+ private:
+  std::variant<Unit, std::int64_t, bool, std::string, List> v_;
+};
+
+}  // namespace linbound

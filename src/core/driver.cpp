@@ -1,0 +1,52 @@
+#include "core/driver.h"
+
+#include <stdexcept>
+
+namespace linbound {
+
+WorkloadDriver::WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
+                               std::function<void(const OperationRecord&)> on_response)
+    : sim_(sim), scripts_(std::move(scripts)), on_response_(std::move(on_response)) {
+  next_op_.assign(scripts_.size(), 0);
+  script_of_proc_.assign(static_cast<std::size_t>(sim_.process_count()), -1);
+  for (std::size_t s = 0; s < scripts_.size(); ++s) {
+    const ProcessId pid = scripts_[s].pid;
+    if (pid < 0 || pid >= sim_.process_count()) {
+      throw std::invalid_argument("ClientScript targets unknown process");
+    }
+    if (script_of_proc_[static_cast<std::size_t>(pid)] != -1) {
+      throw std::invalid_argument("two scripts target the same process");
+    }
+    script_of_proc_[static_cast<std::size_t>(pid)] = static_cast<ProcessId>(s);
+  }
+  sim_.set_response_hook([this](const OperationRecord& rec) { handle_response(rec); });
+}
+
+void WorkloadDriver::arm() {
+  for (std::size_t s = 0; s < scripts_.size(); ++s) {
+    const ClientScript& script = scripts_[s];
+    if (script.ops.empty()) continue;
+    next_op_[s] = 1;
+    sim_.invoke_at(script.start_time, script.pid, script.ops.front());
+  }
+}
+
+bool WorkloadDriver::done() const {
+  for (std::size_t s = 0; s < scripts_.size(); ++s) {
+    if (next_op_[s] < scripts_[s].ops.size()) return false;
+  }
+  return true;
+}
+
+void WorkloadDriver::handle_response(const OperationRecord& rec) {
+  if (on_response_) on_response_(rec);
+  const ProcessId script_idx = script_of_proc_.at(static_cast<std::size_t>(rec.proc));
+  if (script_idx < 0) return;
+  const auto s = static_cast<std::size_t>(script_idx);
+  if (next_op_[s] >= scripts_[s].ops.size()) return;
+  const Operation& op = scripts_[s].ops[next_op_[s]];
+  ++next_op_[s];
+  sim_.invoke_at(sim_.now() + scripts_[s].think_time, rec.proc, op);
+}
+
+}  // namespace linbound

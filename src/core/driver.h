@@ -1,0 +1,48 @@
+// Closed-loop application driver (the paper's application layer).
+//
+// Each process runs a script: a list of operations invoked one at a time --
+// the next operation is issued `think_time` after the previous response,
+// honoring the model's one-pending-operation-per-process rule.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+struct ClientScript {
+  ProcessId pid = kNoProcess;
+  std::vector<Operation> ops;
+  Tick start_time = 0;   ///< real time of the first invocation
+  Tick think_time = 0;   ///< gap between a response and the next invocation
+};
+
+class WorkloadDriver {
+ public:
+  /// Installs the simulator's response hook; at most one driver per
+  /// simulator.  `on_response` (optional) is forwarded every response so
+  /// callers can still observe completions.
+  WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
+                 std::function<void(const OperationRecord&)> on_response = {});
+
+  /// Schedule the first invocation of every script.  Call after
+  /// Simulator::start() is not required -- events are queued either way.
+  void arm();
+
+  /// True once every script ran to completion.
+  bool done() const;
+
+ private:
+  void handle_response(const OperationRecord& rec);
+
+  Simulator& sim_;
+  std::vector<ClientScript> scripts_;
+  std::vector<std::size_t> next_op_;        // per script
+  std::vector<ProcessId> script_of_proc_;   // process -> script index or -1
+  std::function<void(const OperationRecord&)> on_response_;
+};
+
+}  // namespace linbound

@@ -1,0 +1,62 @@
+#include "core/system.h"
+
+#include <stdexcept>
+
+namespace linbound {
+
+ObjectSystem::ObjectSystem(std::shared_ptr<const ObjectModel> model,
+                           const SystemOptions& options)
+    : model_(std::move(model)) {
+  SimConfig config;
+  config.timing = options.timing;
+  config.clock_offsets = options.clock_offsets;
+  config.delays = options.delays;
+  config.max_events = options.max_events;
+  sim_ = std::make_unique<Simulator>(std::move(config));
+}
+
+History ObjectSystem::run_to_completion() {
+  sim_->start();
+  if (!sim_->run()) {
+    throw std::runtime_error("simulation exceeded the event cap");
+  }
+  return History::from_trace(sim_->trace());
+}
+
+CheckResult ObjectSystem::run_and_check() {
+  return check_linearizable(*model_, run_to_completion());
+}
+
+ReplicaSystem::ReplicaSystem(std::shared_ptr<const ObjectModel> model,
+                             const SystemOptions& options)
+    : ObjectSystem(std::move(model), options),
+      delays_(options.algorithm_delays
+                  ? *options.algorithm_delays
+                  : AlgorithmDelays::standard(options.timing, options.x)) {
+  for (int i = 0; i < options.n; ++i) {
+    sim_->add_process(std::make_unique<ReplicaProcess>(model_, delays_));
+  }
+}
+
+ReplicaProcess& ReplicaSystem::replica(ProcessId pid) {
+  return dynamic_cast<ReplicaProcess&>(sim_->process(pid));
+}
+
+CentralizedSystem::CentralizedSystem(std::shared_ptr<const ObjectModel> model,
+                                     const SystemOptions& options)
+    : ObjectSystem(std::move(model), options) {
+  for (int i = 0; i < options.n; ++i) {
+    sim_->add_process(
+        std::make_unique<CentralizedProcess>(model_, /*coordinator=*/0));
+  }
+}
+
+TobSystem::TobSystem(std::shared_ptr<const ObjectModel> model,
+                     const SystemOptions& options)
+    : ObjectSystem(std::move(model), options) {
+  for (int i = 0; i < options.n; ++i) {
+    sim_->add_process(std::make_unique<TobProcess>(model_, /*sequencer=*/0));
+  }
+}
+
+}  // namespace linbound

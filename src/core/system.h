@@ -1,0 +1,82 @@
+// Convenience builders: a simulator pre-populated with n replicas running
+// Algorithm 1 (or the centralized baseline) over a given object model.
+// This is the library's primary entry point -- see examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "checker/history.h"
+#include "checker/lin_checker.h"
+#include "core/centralized_algorithm.h"
+#include "core/replica_algorithm.h"
+#include "core/tob_algorithm.h"
+#include "sim/simulator.h"
+#include "spec/object_model.h"
+
+namespace linbound {
+
+struct SystemOptions {
+  int n = 3;
+  SystemTiming timing;
+  /// Trade-off parameter X in [0, d+eps-u] (Algorithm 1 only).
+  Tick x = 0;
+  std::shared_ptr<DelayPolicy> delays;     ///< default: worst case (all d)
+  std::vector<Tick> clock_offsets;         ///< default: all zero
+  /// Override the algorithm's internal delays (eager variants for the
+  /// lower-bound demonstrations).  Algorithm 1 only.
+  std::optional<AlgorithmDelays> algorithm_delays;
+  std::size_t max_events = 10'000'000;
+};
+
+/// A simulator plus the shared-object processes living in it.
+class ObjectSystem {
+ public:
+  Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
+  const ObjectModel& model() const { return *model_; }
+  std::shared_ptr<const ObjectModel> model_ptr() const { return model_; }
+  int n() const { return sim_->process_count(); }
+
+  /// Run to quiescence and return the resulting history.  Throws if the
+  /// event cap tripped or an operation never completed.
+  History run_to_completion();
+
+  /// Shorthand: run to completion and check linearizability.
+  CheckResult run_and_check();
+
+ protected:
+  ObjectSystem(std::shared_ptr<const ObjectModel> model, const SystemOptions& options);
+
+  std::shared_ptr<const ObjectModel> model_;
+  std::unique_ptr<Simulator> sim_;
+};
+
+/// n processes running Algorithm 1.
+class ReplicaSystem final : public ObjectSystem {
+ public:
+  ReplicaSystem(std::shared_ptr<const ObjectModel> model, const SystemOptions& options);
+
+  const AlgorithmDelays& algorithm_delays() const { return delays_; }
+  ReplicaProcess& replica(ProcessId pid);
+
+ private:
+  AlgorithmDelays delays_;
+};
+
+/// n processes running the folklore centralized algorithm; process 0 is the
+/// coordinator.
+class CentralizedSystem final : public ObjectSystem {
+ public:
+  CentralizedSystem(std::shared_ptr<const ObjectModel> model,
+                    const SystemOptions& options);
+};
+
+/// n processes running the sequencer-based total-order-broadcast baseline;
+/// process 0 is the sequencer.
+class TobSystem final : public ObjectSystem {
+ public:
+  TobSystem(std::shared_ptr<const ObjectModel> model, const SystemOptions& options);
+};
+
+}  // namespace linbound

@@ -1,0 +1,50 @@
+#include "core/to_execute.h"
+
+#include <cassert>
+#include <utility>
+
+namespace linbound {
+
+void ToExecuteQueue::add(PendingOp entry) {
+  heap_.push_back(std::move(entry));
+  sift_up(heap_.size() - 1);
+}
+
+std::optional<Timestamp> ToExecuteQueue::min() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().ts;
+}
+
+PendingOp ToExecuteQueue::extract_min() {
+  assert(!heap_.empty());
+  PendingOp out = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void ToExecuteQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent].ts <= heap_[i].ts) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void ToExecuteQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < n && heap_[l].ts < heap_[best].ts) best = l;
+    if (r < n && heap_[r].ts < heap_[best].ts) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace linbound

@@ -1,0 +1,48 @@
+// The To_Execute priority queue of Algorithm 1.
+//
+// Holds <op, arg, ts> triples received (or self-added) but not yet applied
+// to the local copy, keyed by timestamp.  The paper specifies the three
+// operations add / min / extract_min; we implement a binary min-heap from
+// scratch (timestamps are unique among queued entries -- a process invokes
+// at most one operation per clock instant -- so the ordering is strict).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+struct PendingOp {
+  Timestamp ts{};
+  Operation op;
+  /// Invocation token when this entry is the holding process's own
+  /// operation (so its execution can produce the response); -1 otherwise.
+  std::int64_t own_token = -1;
+};
+
+class ToExecuteQueue {
+ public:
+  void add(PendingOp entry);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Smallest queued timestamp; nullopt when empty.
+  std::optional<Timestamp> min() const;
+
+  /// Remove and return the entry with the smallest timestamp.
+  /// Precondition: !empty().
+  PendingOp extract_min();
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<PendingOp> heap_;
+};
+
+}  // namespace linbound

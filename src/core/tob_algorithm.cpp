@@ -1,0 +1,56 @@
+#include "core/tob_algorithm.h"
+
+namespace linbound {
+
+TobProcess::TobProcess(std::shared_ptr<const ObjectModel> model,
+                       ProcessId sequencer)
+    : model_(std::move(model)),
+      sequencer_(sequencer),
+      obj_(model_->initial_state()) {}
+
+void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
+  if (is_sequencer()) {
+    sequence(op, token, id());
+    return;
+  }
+  send(sequencer_, std::make_shared<TobSubmitPayload>(op, token, id()));
+}
+
+void TobProcess::on_message(ProcessId /*from*/, const MessagePayload& payload) {
+  if (const auto* submit = dynamic_cast<const TobSubmitPayload*>(&payload)) {
+    sequence(submit->op, submit->token, submit->origin);
+    return;
+  }
+  if (const auto* deliver_msg = dynamic_cast<const TobDeliverPayload*>(&payload)) {
+    deliver(*deliver_msg);
+    return;
+  }
+}
+
+void TobProcess::sequence(const Operation& op, std::int64_t token,
+                          ProcessId origin) {
+  const std::int64_t seq = next_seq_to_assign_++;
+  broadcast(std::make_shared<TobDeliverPayload>(op, token, origin, seq));
+  // The sequencer delivers to itself immediately (it defines the order).
+  buffer_[seq] = Buffered{op, token, origin};
+  apply_in_order();
+}
+
+void TobProcess::deliver(const TobDeliverPayload& msg) {
+  buffer_[msg.seq] = Buffered{msg.op, msg.token, msg.origin};
+  apply_in_order();
+}
+
+void TobProcess::apply_in_order() {
+  while (true) {
+    auto it = buffer_.find(next_seq_to_apply_);
+    if (it == buffer_.end()) return;
+    const Buffered& entry = it->second;
+    const Value ret = obj_->apply(entry.op);
+    if (entry.origin == id()) respond(entry.token, ret);
+    buffer_.erase(it);
+    ++next_seq_to_apply_;
+  }
+}
+
+}  // namespace linbound

@@ -1,0 +1,157 @@
+#include "core/workload.h"
+
+#include "types/array_type.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/set_type.h"
+#include "types/stack_type.h"
+#include "types/tree_type.h"
+
+namespace linbound {
+namespace {
+
+constexpr std::int64_t kValueDomain = 10;
+
+/// Pick one of the three op groups according to the mix weights.
+enum class Group { kAccessor, kMutator, kOther };
+
+Group pick_group(Rng& rng, const OpMix& mix) {
+  const int total = mix.accessors + mix.mutators + mix.others;
+  const std::int64_t roll = rng.uniform(0, total - 1);
+  if (roll < mix.accessors) return Group::kAccessor;
+  if (roll < mix.accessors + mix.mutators) return Group::kMutator;
+  return Group::kOther;
+}
+
+std::int64_t small_value(Rng& rng) { return rng.uniform(0, kValueDomain - 1); }
+
+}  // namespace
+
+std::vector<Operation> random_register_ops(Rng& rng, int count, const OpMix& mix) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(reg::read());
+        break;
+      case Group::kMutator:
+        out.push_back(rng.chance(0.5) ? reg::write(small_value(rng))
+                                      : reg::increment(rng.uniform(1, 3)));
+        break;
+      case Group::kOther:
+        out.push_back(rng.chance(0.5)
+                          ? reg::rmw(small_value(rng))
+                          : reg::cas(small_value(rng), small_value(rng)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> random_queue_ops(Rng& rng, int count, const OpMix& mix) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(rng.chance(0.7) ? queue_ops::peek() : queue_ops::size());
+        break;
+      case Group::kMutator:
+        out.push_back(queue_ops::enqueue(small_value(rng)));
+        break;
+      case Group::kOther:
+        out.push_back(queue_ops::dequeue());
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> random_stack_ops(Rng& rng, int count, const OpMix& mix) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(rng.chance(0.7) ? stack_ops::peek() : stack_ops::size());
+        break;
+      case Group::kMutator:
+        out.push_back(stack_ops::push(small_value(rng)));
+        break;
+      case Group::kOther:
+        out.push_back(stack_ops::pop());
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> random_set_ops(Rng& rng, int count, const OpMix& mix) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(rng.chance(0.7) ? set_ops::contains(small_value(rng))
+                                      : set_ops::size());
+        break;
+      case Group::kMutator:
+      case Group::kOther:  // sets have no OOP operations; use a mutator
+        out.push_back(rng.chance(0.6) ? set_ops::insert(small_value(rng))
+                                      : set_ops::erase(small_value(rng)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> random_tree_ops(Rng& rng, int count, const OpMix& mix) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(rng.chance(0.5) ? tree_ops::search(small_value(rng))
+                                      : tree_ops::depth());
+        break;
+      case Group::kMutator:
+      case Group::kOther: {  // trees have no OOP operations; use a mutator
+        const double roll = rng.uniform01();
+        if (roll < 0.6) {
+          out.push_back(tree_ops::insert(rng.uniform(1, kValueDomain - 1),
+                                         rng.uniform(0, kValueDomain - 1)));
+        } else if (roll < 0.8) {
+          out.push_back(tree_ops::remove_leaf(rng.uniform(1, kValueDomain - 1)));
+        } else {
+          out.push_back(tree_ops::erase(rng.uniform(1, kValueDomain - 1)));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,
+                                        int array_size) {
+  std::vector<Operation> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t idx = rng.uniform(1, array_size);
+    switch (pick_group(rng, mix)) {
+      case Group::kAccessor:
+        out.push_back(array_ops::get(idx));
+        break;
+      case Group::kMutator:
+        out.push_back(array_ops::put(idx, small_value(rng)));
+        break;
+      case Group::kOther:
+        out.push_back(array_ops::update_next(idx, small_value(rng)));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace linbound

@@ -1,0 +1,31 @@
+// Workload generation: deterministic random operation streams per data
+// type, used by the integration tests and the latency benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+/// Mix weights for a generated stream; weights of opcodes a type does not
+/// have are ignored by that type's generator.
+struct OpMix {
+  int accessors = 1;  ///< read / peek / contains / search / depth / get
+  int mutators = 1;   ///< write / enqueue / push / insert / erase / put
+  int others = 1;     ///< rmw / dequeue / pop / update_next
+};
+
+/// Random streams over small value domains (values 0..9) so that histories
+/// exercise conflicts rather than wandering a huge state space.
+std::vector<Operation> random_register_ops(Rng& rng, int count, const OpMix& mix);
+std::vector<Operation> random_queue_ops(Rng& rng, int count, const OpMix& mix);
+std::vector<Operation> random_stack_ops(Rng& rng, int count, const OpMix& mix);
+std::vector<Operation> random_set_ops(Rng& rng, int count, const OpMix& mix);
+std::vector<Operation> random_tree_ops(Rng& rng, int count, const OpMix& mix);
+std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,
+                                        int array_size);
+
+}  // namespace linbound

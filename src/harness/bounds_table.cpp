@@ -1,0 +1,54 @@
+#include "harness/bounds_table.h"
+
+#include <sstream>
+
+namespace linbound {
+
+BoundsTable::BoundsTable(std::string title, SystemTiming timing, int n, Tick x)
+    : title_(std::move(title)), timing_(timing), n_(n), x_(x) {}
+
+void BoundsTable::add_row(BoundsRow row) { rows_.push_back(std::move(row)); }
+
+std::string BoundsTable::render() const {
+  std::ostringstream os;
+  os << "== " << title_ << " ==  (n=" << n_ << " d=" << timing_.d
+     << "us u=" << timing_.u << "us eps=" << timing_.eps << "us X=" << x_
+     << "us)\n";
+  TextTable table({"operation", "previous LB", "new LB (paper)", "UB (paper)",
+                   "measured worst"});
+  auto cell = [](const std::string& formula, Tick value) {
+    if (formula.empty()) return std::string("-");
+    if (value == kNoTime) return formula;
+    return formula + " = " + format_ticks(value);
+  };
+  for (const BoundsRow& row : rows_) {
+    table.add_row({row.operation, cell(row.previous_lb_formula, row.previous_lb),
+                   cell(row.new_lb_formula, row.new_lb),
+                   cell(row.ub_formula, row.ub), format_ticks(row.measured_worst)});
+  }
+  os << table.render();
+  return os.str();
+}
+
+bool BoundsTable::consistent() const {
+  for (const BoundsRow& row : rows_) {
+    if (row.measured_worst == kNoTime) continue;
+    if (row.new_lb != kNoTime && row.measured_worst < row.new_lb) return false;
+    if (row.ub != kNoTime && row.measured_worst > row.ub) return false;
+  }
+  return true;
+}
+
+Tick eval_d_plus_m(const SystemTiming& timing) { return timing.d + timing.m(); }
+
+Tick eval_one_minus_inv_n_u(const SystemTiming& timing, int n) {
+  return timing.u - timing.u / n;
+}
+
+Tick eval_d_plus_eps(const SystemTiming& timing) { return timing.d + timing.eps; }
+
+Tick eval_d_plus_2eps(const SystemTiming& timing) {
+  return timing.d + 2 * timing.eps;
+}
+
+}  // namespace linbound

@@ -1,0 +1,54 @@
+// Rendering of the paper's Tables I-IV: each row carries the previous lower
+// bound, the thesis's new lower bound, its upper bound (all as formulas AND
+// evaluated ticks for the configured system), and the measured worst-case
+// latency from the sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "common/time.h"
+
+namespace linbound {
+
+struct BoundsRow {
+  std::string operation;
+  std::string previous_lb_formula;
+  Tick previous_lb = kNoTime;
+  std::string new_lb_formula;
+  Tick new_lb = kNoTime;
+  std::string ub_formula;
+  Tick ub = kNoTime;
+  Tick measured_worst = kNoTime;
+};
+
+class BoundsTable {
+ public:
+  BoundsTable(std::string title, SystemTiming timing, int n, Tick x);
+
+  void add_row(BoundsRow row);
+
+  /// Render the table plus a parameter header, e.g.
+  ///   == Table I: register ==  (n=4 d=1000us u=400us eps=100us X=0us)
+  std::string render() const;
+
+  /// True iff every measured value respects its bounds:
+  /// new_lb <= measured <= ub (rows without a bound are skipped).
+  bool consistent() const;
+
+ private:
+  std::string title_;
+  SystemTiming timing_;
+  int n_;
+  Tick x_;
+  std::vector<BoundsRow> rows_;
+};
+
+/// Formula evaluation helpers shared by the bench binaries.
+Tick eval_d_plus_m(const SystemTiming& timing);            // d + min{eps,u,d/3}
+Tick eval_one_minus_inv_n_u(const SystemTiming& timing, int n);  // (1-1/n)u
+Tick eval_d_plus_eps(const SystemTiming& timing);          // d + eps
+Tick eval_d_plus_2eps(const SystemTiming& timing);         // d + 2eps
+
+}  // namespace linbound

@@ -1,0 +1,155 @@
+#include "harness/experiment.h"
+
+#include <sstream>
+
+#include "core/driver.h"
+
+namespace linbound {
+namespace {
+
+enum class PolicyKind { kAllMax, kAllMin, kUniform, kExtremal };
+enum class OffsetKind { kZero, kAlternating, kRandom };
+
+std::shared_ptr<DelayPolicy> make_policy(PolicyKind kind, const SystemTiming& timing,
+                                         std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kAllMax:
+      return std::make_shared<FixedDelayPolicy>(timing.max_delay());
+    case PolicyKind::kAllMin:
+      return std::make_shared<FixedDelayPolicy>(timing.min_delay());
+    case PolicyKind::kUniform:
+      return std::make_shared<UniformDelayPolicy>(timing, seed);
+    case PolicyKind::kExtremal:
+      return std::make_shared<ExtremalDelayPolicy>(timing, seed);
+  }
+  return nullptr;
+}
+
+std::vector<Tick> make_offsets(OffsetKind kind, int n, const SystemTiming& timing,
+                               Rng& rng) {
+  std::vector<Tick> out(static_cast<std::size_t>(n), 0);
+  switch (kind) {
+    case OffsetKind::kZero:
+      break;
+    case OffsetKind::kAlternating:
+      for (int i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 0 : timing.eps;
+      }
+      break;
+    case OffsetKind::kRandom:
+      // Offsets in [0, eps] keep every pairwise skew within eps.
+      for (int i = 0; i < n; ++i) {
+        out[static_cast<std::size_t>(i)] = rng.uniform_tick(0, timing.eps);
+      }
+      break;
+  }
+  return out;
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAllMax:
+      return "all-max";
+    case PolicyKind::kAllMin:
+      return "all-min";
+    case PolicyKind::kUniform:
+      return "uniform";
+    case PolicyKind::kExtremal:
+      return "extremal";
+  }
+  return "?";
+}
+
+const char* offset_name(OffsetKind kind) {
+  switch (kind) {
+    case OffsetKind::kZero:
+      return "zero";
+    case OffsetKind::kAlternating:
+      return "alternating";
+    case OffsetKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+template <typename SystemT>
+SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
+                           const WorkloadFactory& workload,
+                           const SweepOptions& options) {
+  SweepResult result;
+  const PolicyKind policies[] = {PolicyKind::kAllMax, PolicyKind::kAllMin,
+                                 PolicyKind::kUniform, PolicyKind::kExtremal};
+  const OffsetKind offsets[] = {OffsetKind::kZero, OffsetKind::kAlternating,
+                                OffsetKind::kRandom};
+
+  std::uint64_t run_id = 0;
+  for (PolicyKind policy : policies) {
+    for (OffsetKind offset : offsets) {
+      const bool randomized =
+          policy == PolicyKind::kUniform || policy == PolicyKind::kExtremal ||
+          offset == OffsetKind::kRandom;
+      const int reps = randomized ? options.seeds : 1;
+      for (int rep = 0; rep < reps; ++rep, ++run_id) {
+        Rng rng(options.base_seed + run_id * 0x9e3779b97f4a7c15ull);
+
+        SystemOptions sys;
+        sys.n = options.n;
+        sys.timing = options.timing;
+        sys.x = options.x;
+        sys.delays = make_policy(policy, options.timing, rng.next_u64());
+        sys.clock_offsets = make_offsets(offset, options.n, options.timing, rng);
+
+        SystemT system(model, sys);
+
+        std::vector<ClientScript> scripts;
+        scripts.reserve(static_cast<std::size_t>(options.n));
+        for (int pid = 0; pid < options.n; ++pid) {
+          Rng client_rng = rng.split(static_cast<std::uint64_t>(pid));
+          scripts.push_back(ClientScript{static_cast<ProcessId>(pid),
+                                         workload(pid, client_rng),
+                                         /*start_time=*/1000,
+                                         options.think_time});
+        }
+        WorkloadDriver driver(system.sim(), std::move(scripts));
+        driver.arm();
+
+        History history = system.run_to_completion();
+        const CheckResult check = check_linearizable(*model, history);
+
+        ++result.runs;
+        if (check.ok) {
+          ++result.linearizable_runs;
+        } else {
+          std::ostringstream os;
+          os << "policy=" << policy_name(policy) << " offsets=" << offset_name(offset)
+             << " rep=" << rep << ": " << check.explanation;
+          result.failures.push_back(os.str());
+        }
+        result.latency.absorb(*model, system.sim().trace());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult run_replica_sweep(const std::shared_ptr<const ObjectModel>& model,
+                              const WorkloadFactory& workload,
+                              const SweepOptions& options) {
+  return run_sweep_impl<ReplicaSystem>(model, workload, options);
+}
+
+SweepResult run_centralized_sweep(const std::shared_ptr<const ObjectModel>& model,
+                                  const WorkloadFactory& workload,
+                                  const SweepOptions& options) {
+  return run_sweep_impl<CentralizedSystem>(model, workload, options);
+}
+
+SweepResult run_tob_sweep(const std::shared_ptr<const ObjectModel>& model,
+                          const WorkloadFactory& workload,
+                          const SweepOptions& options) {
+  return run_sweep_impl<TobSystem>(model, workload, options);
+}
+
+}  // namespace linbound

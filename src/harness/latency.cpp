@@ -1,0 +1,77 @@
+#include "harness/latency.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace linbound {
+
+void LatencySummary::record(Tick latency) {
+  if (count == 0 || latency < min) min = latency;
+  if (count == 0 || latency > max) max = latency;
+  ++count;
+  total += latency;
+  samples.push_back(latency);
+}
+
+Tick LatencySummary::percentile(double p) const {
+  if (samples.empty()) return kNoTime;
+  std::vector<Tick> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  // Nearest-rank: ceil(p/100 * n), 1-indexed.
+  const auto rank = static_cast<std::size_t>(
+      (p * static_cast<double>(sorted.size()) + 99.999) / 100.0);
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+std::string LatencySummary::to_string() const {
+  std::ostringstream os;
+  os << "min=" << min << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max << " mean=" << mean() << " n=" << count;
+  return os.str();
+}
+
+void LatencyReport::absorb(const ObjectModel& model, const Trace& trace) {
+  for (const OperationRecord& rec : trace.ops) {
+    if (!rec.completed()) continue;
+    const Tick latency = rec.latency();
+    by_code[rec.op.code].record(latency);
+    by_class[model.classify(rec.op)].record(latency);
+  }
+}
+
+void LatencyReport::merge(const LatencyReport& other) {
+  for (const auto& [code, summary] : other.by_code) {
+    LatencySummary& mine = by_code[code];
+    if (summary.count == 0) continue;
+    if (mine.count == 0 || summary.min < mine.min) mine.min = summary.min;
+    if (mine.count == 0 || summary.max > mine.max) mine.max = summary.max;
+    mine.count += summary.count;
+    mine.total += summary.total;
+    mine.samples.insert(mine.samples.end(), summary.samples.begin(),
+                        summary.samples.end());
+  }
+  for (const auto& [cls, summary] : other.by_class) {
+    LatencySummary& mine = by_class[cls];
+    if (summary.count == 0) continue;
+    if (mine.count == 0 || summary.min < mine.min) mine.min = summary.min;
+    if (mine.count == 0 || summary.max > mine.max) mine.max = summary.max;
+    mine.count += summary.count;
+    mine.total += summary.total;
+    mine.samples.insert(mine.samples.end(), summary.samples.begin(),
+                        summary.samples.end());
+  }
+}
+
+Tick LatencyReport::worst_for_code(OpCode code) const {
+  auto it = by_code.find(code);
+  return it == by_code.end() ? kNoTime : it->second.max;
+}
+
+Tick LatencyReport::worst_for_class(OpClass cls) const {
+  auto it = by_class.find(cls);
+  return it == by_class.end() ? kNoTime : it->second.max;
+}
+
+}  // namespace linbound

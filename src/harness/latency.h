@@ -1,0 +1,45 @@
+// Latency accounting over recorded runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/trace.h"
+#include "spec/object_model.h"
+
+namespace linbound {
+
+struct LatencySummary {
+  Tick min = kNoTime;
+  Tick max = kNoTime;
+  std::int64_t count = 0;
+  Tick total = 0;
+  /// All samples, kept for exact percentiles (runs are small; the whole
+  /// suite records thousands of operations, not millions).
+  std::vector<Tick> samples;
+
+  void record(Tick latency);
+
+  double mean() const { return count ? static_cast<double>(total) / count : 0.0; }
+
+  /// Exact percentile by nearest-rank (p in [0, 100]); kNoTime when empty.
+  Tick percentile(double p) const;
+
+  std::string to_string() const;
+};
+
+/// Latencies keyed by opcode and by Chapter V class.
+struct LatencyReport {
+  std::map<OpCode, LatencySummary> by_code;
+  std::map<OpClass, LatencySummary> by_class;
+
+  void absorb(const ObjectModel& model, const Trace& trace);
+  void merge(const LatencyReport& other);
+
+  Tick worst_for_code(OpCode code) const;
+  Tick worst_for_class(OpClass cls) const;
+};
+
+}  // namespace linbound

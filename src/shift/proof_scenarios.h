@@ -1,0 +1,110 @@
+// Builders for the runs used by the paper's lower-bound proofs and their
+// executable violation demonstrations.
+//
+// Two kinds of scenario live here:
+//
+//  * *Paper runs*: the exact configurations (clock offsets, pairwise delay
+//    matrices, invocation times) of the proofs of Theorems C.1 and D.1 --
+//    R1/R2/R3 of Fig. 6-9 and the R1/R2 of Fig. 10-14.  These narrate the
+//    proof: the compliant algorithm stays linearizable on all of them, and
+//    the benches display the shift/chop bookkeeping.
+//
+//  * *Violation runs*: admissible runs on which the eager (too fast)
+//    variants of Algorithm 1 demonstrably violate linearizability at
+//    latencies just below each theorem's bound.  The proofs show *no*
+//    algorithm below the bound survives every admissible run; the violation
+//    runs pin down where this particular timestamp-based family breaks.
+#pragma once
+
+#include <vector>
+
+#include "shift/scenario.h"
+
+namespace linbound {
+
+// ---------------------------------------------------------------- Thm C.1
+
+/// The proof's five runs for two strongly-INSC operations op1 (invoked by
+/// p0 = the paper's p_i) and op2 (p1 = p_j), n = 3: R1, R1' (only op1), R2,
+/// R3 and R3''' (only op2).  Base invocation time t0.
+std::vector<Scenario> thm_c1_paper_runs(const SystemTiming& timing,
+                                        const Operation& op1,
+                                        const Operation& op2, Tick t0);
+
+/// Admissible run on which an eager-OOP variant with total OOP latency
+/// L <= d + m - 2 returns inconsistent values for two strongly-INSC
+/// operations: p1's clock leads by m, p1 invokes op2 at t0 while p0 invokes
+/// op1 at t0 + m - 1; op1 gets the smaller timestamp but reaches p1 only at
+/// t0 + m - 1 + d, after p1's eager response.
+Scenario oop_order_flip(const SystemTiming& timing, const Operation& op1,
+                        const Operation& op2, Tick t0);
+
+// ---------------------------------------------------------------- Thm D.1
+
+/// The proof's R1 delay matrix (Fig. 10): d_{i,j} = d - ((i-j) mod k)/k * u
+/// for i, j < k; everything touching a process >= k is d - u/2.
+/// Requires u divisible by 2k.
+MatrixDelayPolicy thm_d1_r1_matrix(const SystemTiming& timing, int n, int k);
+
+/// The proof's shift vector (Step 2, Fig. 12-14), scaled to exact ticks:
+/// x_i = u * (-(k-1)/2 + ((z-i) mod k)/k) for i < k, else 0.
+/// Requires u divisible by 2k.
+std::vector<Tick> thm_d1_shift_vector(const SystemTiming& timing, int n, int k,
+                                      int z);
+
+/// R1 of Theorem D.1: k mutators (one per process, all invoked at t0) under
+/// the Fig. 10 matrix, followed by a probe accessor on process k % n once
+/// everything settles.
+Scenario thm_d1_paper_run(const SystemTiming& timing,
+                          const std::vector<Operation>& mutators,
+                          const Operation& probe, Tick t0);
+
+/// Admissible run on which an eager-MOP variant with ack latency
+/// L <= eps - 2 orders two *non-overlapping* mutators against real time:
+/// p0's clock leads by eps; p0 invokes mutA at t0 (ack at t0+L), p1 invokes
+/// mutB at t0+L+1 -- later in real time but with the smaller timestamp.  A
+/// probe accessor on p2 then observes the inverted order.
+Scenario mop_order_flip(const SystemTiming& timing, const Operation& mut_a,
+                        const Operation& mut_b, const Operation& probe, Tick t0);
+
+// ---------------------------------------------------------------- Thm E.1
+
+/// Violation battery for the pair bound |MOP| + |AOP| (Theorem E.1), for an
+/// algorithm variant with mutator ack latency A (= mop_ack), accessor
+/// latency B (= aop_respond) and back-dating X (= aop_backdate):
+///   [0] pair-order-flip: real-time-ordered mutators inverted by skew
+///       (violates when A <= eps - 2);
+///   [1] accessor-miss: the accessor responds before the mutator's
+///       broadcast arrives (violates when A + B <= d - 2);
+///   [2] backdate-skip: the accessor's back-dated timestamp undercuts a
+///       mutator that precedes it in real time (violates when
+///       A <= eps + X - 1);
+///   [3] gap-mutator: two real-time-ordered mutators; the accessor applies
+///       the later one (fast path, small timestamp via skew) but misses the
+///       earlier one -- a state no legal prefix produces.  Violates when
+///       roughly A + B + X <= d + eps (exact to integer slop), provided the
+///       precedence gap A + 1 fits under u.  This is the mechanism that
+///       separates the *non-overwriting* pair bound from the plain d of
+///       write+read: a queue exposes {later-without-earlier}, a register
+///       overwrite masks it.
+/// The compliant setting A = eps+X, B = d+eps-X passes all four.
+std::vector<Scenario> pair_bound_battery(const SystemTiming& timing,
+                                         const Operation& mut_a,
+                                         const Operation& mut_b,
+                                         const Operation& accessor,
+                                         const AlgorithmDelays& algo, Tick t0);
+
+// ---------------------------------------------------------------- Fig. 1
+
+/// One chained-schedule scenario: entry k is invoked on its process
+/// `assumed_latency[k-1] + 1` after entry k-1 (static schedule; latencies of
+/// Algorithm 1 are deterministic, so callers can compute them exactly).
+struct ChainEntry {
+  ProcessId pid = kNoProcess;
+  Operation op;
+  Tick assumed_latency = 0;
+};
+Scenario chained_schedule(std::string name, const SystemTiming& timing, int n,
+                          const std::vector<ChainEntry>& entries, Tick t0);
+
+}  // namespace linbound

@@ -1,0 +1,57 @@
+#include "shift/scenario.h"
+
+#include <stdexcept>
+
+#include "shift/shift.h"
+#include "sim/simulator.h"
+
+namespace linbound {
+
+ScenarioOutcome run_scenario(const std::shared_ptr<const ObjectModel>& model,
+                             const Scenario& scenario,
+                             const AlgorithmDelays& algo) {
+  SimConfig config;
+  config.timing = scenario.timing;
+  config.clock_offsets = scenario.clock_offsets;
+  config.delays = scenario.delays
+                      ? scenario.delays
+                      : std::make_shared<FixedDelayPolicy>(scenario.timing.d);
+  Simulator sim(std::move(config));
+  for (int i = 0; i < scenario.n; ++i) {
+    sim.add_process(std::make_unique<ReplicaProcess>(model, algo));
+  }
+  for (const ScheduledInvocation& inv : scenario.invocations) {
+    sim.invoke_at(inv.at, inv.pid, inv.op);
+  }
+  sim.start();
+  if (!sim.run()) {
+    throw std::runtime_error("scenario '" + scenario.name +
+                             "' exceeded the event cap");
+  }
+
+  ScenarioOutcome outcome{History::from_trace(sim.trace()), {}, sim.trace().audit(),
+                          sim.trace()};
+  outcome.linearizable = check_linearizable(*model, outcome.history);
+  return outcome;
+}
+
+Scenario shift_scenario(const Scenario& scenario, const std::vector<Tick>& x) {
+  auto* matrix = dynamic_cast<MatrixDelayPolicy*>(scenario.delays.get());
+  if (matrix == nullptr) {
+    throw std::invalid_argument(
+        "shift_scenario requires a MatrixDelayPolicy (pairwise-uniform "
+        "delays), as in the paper's shift arguments");
+  }
+  Scenario out = scenario;
+  out.name = scenario.name + "+shift";
+  std::vector<Tick> offsets = scenario.clock_offsets;
+  offsets.resize(static_cast<std::size_t>(scenario.n), 0);
+  out.clock_offsets = shifted_offsets(offsets, x);
+  out.delays = std::make_shared<MatrixDelayPolicy>(matrix->shifted(x));
+  for (ScheduledInvocation& inv : out.invocations) {
+    inv.at = shifted_time(inv.at, inv.pid, x);
+  }
+  return out;
+}
+
+}  // namespace linbound

@@ -1,0 +1,53 @@
+// Scenario runs: fixed configurations (offsets, delay matrix, invocation
+// schedule) executed under Algorithm 1 or one of its eager variants.  The
+// lower-bound benches run these and hand the histories to the checker.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+#include "checker/lin_checker.h"
+#include "core/replica_algorithm.h"
+#include "sim/delay_policy.h"
+#include "spec/object_model.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+struct ScheduledInvocation {
+  Tick at = 0;
+  ProcessId pid = kNoProcess;
+  Operation op;
+};
+
+struct Scenario {
+  std::string name;
+  int n = 3;
+  SystemTiming timing;
+  std::vector<Tick> clock_offsets;          ///< defaults to all-zero
+  std::shared_ptr<DelayPolicy> delays;      ///< defaults to FixedDelayPolicy(d)
+  std::vector<ScheduledInvocation> invocations;
+};
+
+struct ScenarioOutcome {
+  History history;
+  CheckResult linearizable;
+  AdmissibilityReport admissibility;
+  Trace trace;  ///< the full recorded run, for shift/chop post-processing
+};
+
+/// Execute the scenario with `algo` delays over `model`; run to quiescence,
+/// audit admissibility, and check linearizability.
+ScenarioOutcome run_scenario(const std::shared_ptr<const ObjectModel>& model,
+                             const Scenario& scenario,
+                             const AlgorithmDelays& algo);
+
+/// The standard shift of a scenario by vector x: offsets become c - x, the
+/// delay matrix is transformed by formula 4.1 (requires a MatrixDelayPolicy)
+/// and each invocation moves with its process.  The shift-invariance tests
+/// assert run_scenario produces the "same" local behavior on both.
+Scenario shift_scenario(const Scenario& scenario, const std::vector<Tick>& x);
+
+}  // namespace linbound

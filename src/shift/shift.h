@@ -1,0 +1,60 @@
+// Executable time shifts (Chapter IV.A/B).
+//
+// A standard shift by vector x moves every step of process i by x_i in real
+// time while local clocks keep reading the same values; equivalently the
+// clock offset becomes c_i - x_i and the pairwise delays become
+// d'_{i,j} = d_{i,j} - x_i + x_j (formula 4.1).  Because processes observe
+// only local time, a deterministic algorithm behaves *identically* in the
+// shifted run -- the shift invariance tests exercise exactly that.
+//
+// The modified shift allows the shifted delays to leave [d-u, d] and then
+// restores admissibility by chopping (Lemma B.1): given pairwise-uniform
+// delays with exactly one invalid entry (i,j) and the first i->j message
+// sent at ts, cut each view at
+//     t* = ts + min(d_{i,j}, delta),        view_end[j]  = t*
+//     view_end[k] = t* + D_{j,k}            (shortest-path distances)
+// This module computes the cut and audits the chopped run, making the lemma
+// itself a testable artifact.
+#pragma once
+
+#include <vector>
+
+#include "sim/delay_policy.h"
+#include "sim/trace.h"
+
+namespace linbound {
+
+/// Offsets after shifting process i by x_i in real time: c_i' = c_i - x_i.
+std::vector<Tick> shifted_offsets(const std::vector<Tick>& offsets,
+                                  const std::vector<Tick>& x);
+
+/// Real times of an invocation schedule after the shift (each invocation
+/// moves with its process).
+Tick shifted_time(Tick t, ProcessId pid, const std::vector<Tick>& x);
+
+/// The chop cut of Lemma B.1.
+struct ChopSpec {
+  Tick t_star = 0;
+  std::vector<Tick> view_end;  ///< per process; views end just *before* this
+};
+
+/// Compute the cut for `matrix` whose only invalid entry is (from, to), with
+/// the first from->to message sent at `first_send` and parameter
+/// delta in [d-u, d].
+ChopSpec compute_chop(const MatrixDelayPolicy& matrix, ProcessId from,
+                      ProcessId to, Tick first_send, Tick delta);
+
+/// Restrict a recorded trace to the per-process view ends: operations
+/// invoked at/after their process's cut are dropped; responses beyond the
+/// cut become pending; messages received at/after the recipient's cut
+/// become undelivered.
+Trace chop_trace(const Trace& trace, const std::vector<Tick>& view_end);
+
+/// Admissibility audit for a chopped run (the run-level clauses of
+/// Lemma B.1): every delivered delay within [d-u, d]; every undelivered
+/// message's recipient view ends before send + d; every received message
+/// was sent inside the sender's view; clock skew within eps.
+AdmissibilityReport audit_chopped(const Trace& chopped,
+                                  const std::vector<Tick>& view_end);
+
+}  // namespace linbound

@@ -1,0 +1,68 @@
+#include "sim/delay_policy.h"
+
+#include <cassert>
+
+namespace linbound {
+
+MatrixDelayPolicy::MatrixDelayPolicy(int n, Tick default_delay)
+    : n_(n), cells_(static_cast<std::size_t>(n) * n, default_delay) {}
+
+void MatrixDelayPolicy::set(ProcessId from, ProcessId to, Tick delay) {
+  assert(from >= 0 && from < n_ && to >= 0 && to < n_);
+  cells_[static_cast<std::size_t>(from) * n_ + to] = delay;
+}
+
+Tick MatrixDelayPolicy::get(ProcessId from, ProcessId to) const {
+  assert(from >= 0 && from < n_ && to >= 0 && to < n_);
+  return cells_[static_cast<std::size_t>(from) * n_ + to];
+}
+
+MatrixDelayPolicy MatrixDelayPolicy::shifted(const std::vector<Tick>& shift) const {
+  assert(static_cast<int>(shift.size()) == n_);
+  MatrixDelayPolicy out(n_, 0);
+  for (ProcessId i = 0; i < n_; ++i) {
+    for (ProcessId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      out.set(i, j, get(i, j) - shift[static_cast<std::size_t>(i)] +
+                        shift[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+Tick MatrixDelayPolicy::shortest_path(ProcessId from, ProcessId to) const {
+  if (from == to) return 0;
+  // Bellman-Ford on the complete digraph; n is tiny (<= a few dozen).
+  std::vector<Tick> dist(static_cast<std::size_t>(n_), kTimeInfinity);
+  dist[static_cast<std::size_t>(from)] = 0;
+  for (int round = 0; round < n_; ++round) {
+    bool changed = false;
+    for (ProcessId i = 0; i < n_; ++i) {
+      if (dist[static_cast<std::size_t>(i)] == kTimeInfinity) continue;
+      for (ProcessId j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        const Tick cand = dist[static_cast<std::size_t>(i)] + get(i, j);
+        if (cand < dist[static_cast<std::size_t>(j)]) {
+          dist[static_cast<std::size_t>(j)] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist[static_cast<std::size_t>(to)];
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> MatrixDelayPolicy::invalid_entries(
+    const SystemTiming& timing) const {
+  std::vector<std::pair<ProcessId, ProcessId>> out;
+  for (ProcessId i = 0; i < n_; ++i) {
+    for (ProcessId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      if (!timing.delay_admissible(get(i, j))) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace linbound

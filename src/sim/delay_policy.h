@@ -1,0 +1,123 @@
+// Message-delay policies: the adversary of the partially synchronous model.
+//
+// A policy assigns a delay to each sent message.  Policies are allowed to
+// return delays outside [d-u, d]; the simulator executes them anyway and the
+// trace audit reports the inadmissibility.  This is deliberate: the modified
+// time shift of Chapter IV reasons about runs with exactly one invalid delay
+// before chopping them, and the shift experiments need to execute such runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace linbound {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Delay of the message sent from `from` to `to` at real time `send_time`;
+  /// `msg_seq` is the per-run message sequence number (for policies that
+  /// vary over time deterministically).
+  virtual Tick delay(ProcessId from, ProcessId to, Tick send_time,
+                     std::int64_t msg_seq) = 0;
+};
+
+/// Every message takes exactly `delay` (default: the worst case d).
+class FixedDelayPolicy final : public DelayPolicy {
+ public:
+  explicit FixedDelayPolicy(Tick delay) : delay_(delay) {}
+  Tick delay(ProcessId, ProcessId, Tick, std::int64_t) override { return delay_; }
+
+ private:
+  Tick delay_;
+};
+
+/// Pairwise-uniform delays d_{i,j}, the shape every lower-bound proof in the
+/// paper uses.  Entries can be edited cell by cell to build the proofs'
+/// adversarial matrices (Figs. 7, 10, 13, 16).
+class MatrixDelayPolicy final : public DelayPolicy {
+ public:
+  /// All entries start at `default_delay`.
+  MatrixDelayPolicy(int n, Tick default_delay);
+
+  void set(ProcessId from, ProcessId to, Tick delay);
+  Tick get(ProcessId from, ProcessId to) const;
+  int size() const { return n_; }
+
+  Tick delay(ProcessId from, ProcessId to, Tick, std::int64_t) override {
+    return get(from, to);
+  }
+
+  /// The shifted matrix d'_{i,j} = d_{i,j} - shift[i] + shift[j]
+  /// (formula 4.1 of the paper).
+  MatrixDelayPolicy shifted(const std::vector<Tick>& shift) const;
+
+  /// Shortest-path distance D_{j,k} in the complete digraph weighted by the
+  /// matrix (used by the chop construction, Lemma B.1).
+  Tick shortest_path(ProcessId from, ProcessId to) const;
+
+  /// Messages whose delay falls outside [d-u, d].
+  std::vector<std::pair<ProcessId, ProcessId>> invalid_entries(
+      const SystemTiming& timing) const;
+
+ private:
+  int n_;
+  std::vector<Tick> cells_;  // n x n, diagonal unused
+};
+
+/// Independent uniform delays in [d-u, d]; the "random adversary" used by
+/// the randomized sweeps.
+class UniformDelayPolicy final : public DelayPolicy {
+ public:
+  UniformDelayPolicy(SystemTiming timing, std::uint64_t seed)
+      : timing_(timing), rng_(seed) {}
+
+  Tick delay(ProcessId, ProcessId, Tick, std::int64_t) override {
+    return rng_.uniform_tick(timing_.min_delay(), timing_.max_delay());
+  }
+
+ private:
+  SystemTiming timing_;
+  Rng rng_;
+};
+
+/// Bimodal adversary: each message is either as fast as possible or as slow
+/// as possible, chosen at random.  This is the policy that actually attains
+/// the worst-case reordering inside Algorithm 1's hold-back window, so the
+/// latency sweeps use it to drive measured latencies to the bounds.
+class ExtremalDelayPolicy final : public DelayPolicy {
+ public:
+  ExtremalDelayPolicy(SystemTiming timing, std::uint64_t seed, double p_slow = 0.5)
+      : timing_(timing), rng_(seed), p_slow_(p_slow) {}
+
+  Tick delay(ProcessId, ProcessId, Tick, std::int64_t) override {
+    return rng_.chance(p_slow_) ? timing_.max_delay() : timing_.min_delay();
+  }
+
+ private:
+  SystemTiming timing_;
+  Rng rng_;
+  double p_slow_;
+};
+
+/// Wrap an arbitrary function as a policy (scenario one-offs).
+class LambdaDelayPolicy final : public DelayPolicy {
+ public:
+  using Fn = std::function<Tick(ProcessId, ProcessId, Tick, std::int64_t)>;
+  explicit LambdaDelayPolicy(Fn fn) : fn_(std::move(fn)) {}
+
+  Tick delay(ProcessId from, ProcessId to, Tick send_time,
+             std::int64_t msg_seq) override {
+    return fn_(from, to, send_time, msg_seq);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace linbound

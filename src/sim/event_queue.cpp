@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace linbound {
+
+std::uint64_t EventQueue::push(Tick time, EventPriority priority,
+                               std::function<void()> fire) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(SimEvent{time, static_cast<int>(priority), seq, std::move(fire)});
+  sift_up(heap_.size() - 1);
+  return seq;
+}
+
+Tick EventQueue::next_time() const {
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+SimEvent EventQueue::pop() {
+  assert(!heap_.empty());
+  SimEvent out = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < n && later(heap_[best], heap_[l])) best = l;
+    if (r < n && later(heap_[best], heap_[r])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace linbound

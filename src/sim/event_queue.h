@@ -1,0 +1,65 @@
+// The simulator's future-event list.
+//
+// A binary min-heap ordered by (time, priority, sequence number): events at
+// equal virtual times fire by priority class first (message deliveries
+// before timers -- the paper's model lets a receive step precede a timer
+// step at the same clock instant, and Lemma C.9's "added no later than the
+// respond time" relies on it), then in insertion order.  This makes every
+// run a pure function of its configuration (DESIGN.md "determinism
+// everywhere").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace linbound {
+
+/// Priority classes for simultaneous events (lower fires first).
+enum class EventPriority : int {
+  kDelivery = 0,  ///< message receipt
+  kNormal = 1,    ///< timers, invocations, scenario callbacks
+};
+
+struct SimEvent {
+  Tick time = 0;
+  int priority = 1;
+  std::uint64_t seq = 0;  ///< global insertion order; the final tie-break
+  std::function<void()> fire;
+};
+
+class EventQueue {
+ public:
+  /// Insert an event at `time`.  Returns the sequence number assigned.
+  std::uint64_t push(Tick time, std::function<void()> fire) {
+    return push(time, EventPriority::kNormal, std::move(fire));
+  }
+  std::uint64_t push(Tick time, EventPriority priority, std::function<void()> fire);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event; kTimeInfinity when empty.
+  Tick next_time() const;
+
+  /// Remove and return the earliest event.  Precondition: !empty().
+  SimEvent pop();
+
+ private:
+  /// Min-heap ordered by (time, priority, seq).
+  static bool later(const SimEvent& a, const SimEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<SimEvent> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace linbound

@@ -1,0 +1,31 @@
+// Messages of the point-to-point message-passing layer (Chapter III).
+//
+// The delivery guarantees of the paper's base layer hold by construction in
+// the simulator: every received message was sent exactly once, is received
+// at most once, and -- under an admissible delay policy -- arrives within
+// [d-u, d] of its send time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.h"
+
+namespace linbound {
+
+/// Algorithms define their own payload types derived from this base; the
+/// simulator moves payloads around without inspecting them.
+struct MessagePayload {
+  virtual ~MessagePayload() = default;
+};
+
+using MessageId = std::int64_t;
+
+struct Message {
+  MessageId id = 0;  ///< unique per run; also identifies sender/recipient
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::shared_ptr<const MessagePayload> payload;
+};
+
+}  // namespace linbound

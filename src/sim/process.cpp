@@ -1,0 +1,34 @@
+#include "sim/process.h"
+
+#include "sim/simulator.h"
+
+namespace linbound {
+
+Tick Process::local_time() const { return sim_->local_time_of(id_); }
+
+int Process::process_count() const { return sim_->process_count(); }
+
+const SystemTiming& Process::timing() const { return sim_->config().timing; }
+
+void Process::send(ProcessId to, std::shared_ptr<const MessagePayload> payload) {
+  sim_->send_from(id_, to, std::move(payload));
+}
+
+void Process::broadcast(const std::shared_ptr<const MessagePayload>& payload) {
+  const int n = sim_->process_count();
+  for (ProcessId to = 0; to < n; ++to) {
+    if (to != id_) sim_->send_from(id_, to, payload);
+  }
+}
+
+TimerId Process::set_timer(Tick local_delta, TimerTag tag) {
+  return sim_->set_timer_for(id_, local_delta, tag);
+}
+
+void Process::cancel_timer(TimerId id) { sim_->cancel_timer_for(id_, id); }
+
+void Process::respond(std::int64_t token, Value ret) {
+  sim_->respond_for(id_, token, std::move(ret));
+}
+
+}  // namespace linbound

@@ -1,0 +1,85 @@
+// Process base class: the paper's deterministic state machine.
+//
+// A process reacts to three kinds of input events -- operation invocations,
+// message receipts, and timers going off (Chapter III.B.1) -- and observes
+// time only through its local clock.  Steps take zero time; everything a
+// handler does (sends, timer updates, responses) happens at one instant,
+// exactly as the model's transition function prescribes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.h"
+#include "common/timestamp.h"
+#include "common/value.h"
+#include "sim/message.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+class Simulator;
+
+using TimerId = std::int64_t;
+
+/// Payload attached to a timer; Algorithm 1 keys timers by an action kind
+/// and the timestamp of the operation they belong to (the paper's
+/// set_timer(counter, <op,arg,ts>, action)).
+struct TimerTag {
+  int kind = 0;
+  Timestamp ts{};
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  ProcessId id() const { return id_; }
+
+  /// Called once before any other handler, at the start of the run.
+  virtual void on_start() {}
+
+  /// A message from another process arrived.
+  virtual void on_message(ProcessId from, const MessagePayload& payload) = 0;
+
+  /// A timer armed by this process expired.
+  virtual void on_timer(TimerId id, const TimerTag& tag) {
+    (void)id;
+    (void)tag;
+  }
+
+  /// The application layer invoked an operation on this process.  The
+  /// implementation must eventually call respond(token, ret) exactly once.
+  virtual void on_invoke(std::int64_t token, const Operation& op) = 0;
+
+ protected:
+  /// Local clock reading: real time + this process's offset.
+  Tick local_time() const;
+
+  /// Number of processes in the system and the system timing parameters.
+  int process_count() const;
+  const SystemTiming& timing() const;
+
+  /// Send `payload` to process `to` (delivery per the run's delay policy).
+  void send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
+
+  /// Send to every process except this one ("send to all others").
+  void broadcast(const std::shared_ptr<const MessagePayload>& payload);
+
+  /// Arm a timer that fires after `local_delta` units of local-clock time
+  /// (== real time, clocks have no drift).  Returns its id.
+  TimerId set_timer(Tick local_delta, TimerTag tag);
+
+  /// Disarm a previously set timer; no-op if it already fired.
+  void cancel_timer(TimerId id);
+
+  /// Complete the operation identified by `token` with return value `ret`.
+  void respond(std::int64_t token, Value ret);
+
+ private:
+  friend class Simulator;
+  Simulator* sim_ = nullptr;
+  ProcessId id_ = kNoProcess;
+};
+
+}  // namespace linbound

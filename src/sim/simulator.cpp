@@ -1,0 +1,197 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace linbound {
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
+  if (!config_.timing.valid()) {
+    throw std::invalid_argument("SimConfig: invalid SystemTiming");
+  }
+  if (!config_.delays) {
+    config_.delays = std::make_shared<FixedDelayPolicy>(config_.timing.d);
+  }
+  trace_.timing = config_.timing;
+}
+
+ProcessId Simulator::add_process(std::unique_ptr<Process> proc) {
+  if (started_) throw std::logic_error("add_process after start()");
+  const ProcessId pid = static_cast<ProcessId>(procs_.size());
+  proc->sim_ = this;
+  proc->id_ = pid;
+  procs_.push_back(std::move(proc));
+  op_pending_.push_back(false);
+  crashed_.push_back(false);
+  if (config_.clock_offsets.size() < procs_.size()) {
+    config_.clock_offsets.resize(procs_.size(), 0);
+  }
+  trace_.clock_offsets = config_.clock_offsets;
+  return pid;
+}
+
+std::int64_t Simulator::invoke_at(Tick t, ProcessId pid, Operation op) {
+  const std::int64_t token = static_cast<std::int64_t>(trace_.ops.size());
+  OperationRecord rec;
+  rec.token = token;
+  rec.proc = pid;
+  rec.op = std::move(op);
+  // invoke_time is stamped when the event actually fires (t may be in the
+  // past relative to queue processing only if the caller made an error; the
+  // event queue still fires it in time order).
+  rec.invoke_time = kNoTime;
+  trace_.ops.push_back(std::move(rec));
+  queue_.push(t, [this, pid, token] { dispatch_invoke(pid, token); });
+  return token;
+}
+
+void Simulator::call_at(Tick t, std::function<void()> fn) {
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::crash_at(Tick t, ProcessId pid) {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("crash_at: unknown process");
+  }
+  queue_.push(t, [this, pid] { crashed_[static_cast<std::size_t>(pid)] = true; });
+}
+
+void Simulator::start() {
+  if (started_) throw std::logic_error("start() called twice");
+  started_ = true;
+  trace_.clock_offsets = config_.clock_offsets;
+  for (auto& proc : procs_) proc->on_start();
+}
+
+bool Simulator::run() { return run_until(kTimeInfinity); }
+
+bool Simulator::run_until(Tick t) {
+  if (!started_) throw std::logic_error("run before start()");
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    if (events_processed_ >= config_.max_events) return false;
+    SimEvent ev = queue_.pop();
+    now_ = ev.time;
+    if (now_ > trace_.end_time) trace_.end_time = now_;
+    ++events_processed_;
+    ev.fire();
+  }
+  if (t != kTimeInfinity && t > trace_.end_time) trace_.end_time = t;
+  return queue_.empty();
+}
+
+Tick Simulator::local_time_of(ProcessId pid) const {
+  const Tick base = now_ + config_.clock_offsets.at(static_cast<std::size_t>(pid));
+  const auto idx = static_cast<std::size_t>(pid);
+  if (idx >= config_.clock_drift_ppm.size() || config_.clock_drift_ppm[idx] == 0) {
+    return base;
+  }
+  // local = c + t + floor(t * ppm / 1e6); drift is measured from real time
+  // zero.  Integer arithmetic: |t| stays far below 2^63 / |ppm|.
+  return base + now_ * config_.clock_drift_ppm[idx] / 1'000'000;
+}
+
+Tick Simulator::real_delta_for_local(ProcessId pid, Tick local_delta) const {
+  const auto idx = static_cast<std::size_t>(pid);
+  if (idx >= config_.clock_drift_ppm.size() || config_.clock_drift_ppm[idx] == 0) {
+    return local_delta;
+  }
+  const Tick start = local_time_of(pid);
+  // First guess from the rate, then adjust: local(t) is nondecreasing and
+  // advances by ~rate per tick, so a couple of steps suffice.
+  const std::int64_t ppm = config_.clock_drift_ppm[idx];
+  Tick delta = local_delta * 1'000'000 / (1'000'000 + ppm);
+  if (delta < 1) delta = 1;
+  auto local_at = [&](Tick real_delta) {
+    const Tick t = now_ + real_delta;
+    return t + config_.clock_offsets[idx] + t * ppm / 1'000'000;
+  };
+  while (local_at(delta) - start < local_delta) ++delta;
+  while (delta > 1 && local_at(delta - 1) - start >= local_delta) --delta;
+  return delta;
+}
+
+void Simulator::send_from(ProcessId from, ProcessId to,
+                          std::shared_ptr<const MessagePayload> payload) {
+  if (to < 0 || to >= process_count()) {
+    throw std::out_of_range("send to unknown process");
+  }
+  if (crashed(from)) return;  // a crashed process sends nothing
+  const MessageId id = next_message_id_++;
+  const Tick delay = config_.delays->delay(from, to, now_, id);
+  if (delay < 0) {
+    // Inadmissible delays (outside [d-u, d]) are executable on purpose --
+    // the modified-shift experiments need them -- but receive-before-send
+    // is not a run in any model.
+    throw std::invalid_argument("delay policy returned a negative delay");
+  }
+  const Tick recv_time = now_ + delay;
+
+  const std::size_t record_index = trace_.messages.size();
+  MessageRecord rec;
+  rec.id = id;
+  rec.from = from;
+  rec.to = to;
+  rec.send_time = now_;
+  rec.recv_time = kNoTime;  // filled in on delivery
+  trace_.messages.push_back(rec);
+
+  // Deliveries outrank simultaneous timers (see event_queue.h): a message
+  // arriving at the very tick a hold-back or respond timer fires is
+  // processed first, matching the model's step ordering that Lemma C.9's
+  // boundary case relies on.
+  queue_.push(recv_time, EventPriority::kDelivery,
+              [this, from, to, record_index, payload = std::move(payload)] {
+    if (crashed(to)) return;  // receipt lost; the record stays undelivered
+    trace_.messages[record_index].recv_time = now_;
+    procs_[static_cast<std::size_t>(to)]->on_message(from, *payload);
+  });
+}
+
+TimerId Simulator::set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag) {
+  if (local_delta < 0) throw std::invalid_argument("negative timer delta");
+  const TimerId id = next_timer_id_++;
+  timer_armed_[id] = true;
+  // Without drift a local-clock delta equals a real-time delta; with drift
+  // the conversion goes through the process's clock rate.
+  queue_.push(now_ + real_delta_for_local(pid, local_delta), [this, pid, id, tag] {
+    auto it = timer_armed_.find(id);
+    if (it == timer_armed_.end() || !it->second) return;  // canceled
+    timer_armed_.erase(it);
+    if (crashed(pid)) return;
+    procs_[static_cast<std::size_t>(pid)]->on_timer(id, tag);
+  });
+  return id;
+}
+
+void Simulator::cancel_timer_for(ProcessId pid, TimerId id) {
+  (void)pid;
+  auto it = timer_armed_.find(id);
+  if (it != timer_armed_.end()) it->second = false;
+}
+
+void Simulator::respond_for(ProcessId pid, std::int64_t token, Value ret) {
+  if (crashed(pid)) return;  // a crashed process cannot respond
+  OperationRecord& rec = trace_.ops.at(static_cast<std::size_t>(token));
+  if (rec.proc != pid) throw std::logic_error("respond from wrong process");
+  if (rec.completed()) throw std::logic_error("double response for operation");
+  rec.response_time = now_;
+  rec.ret = std::move(ret);
+  op_pending_[static_cast<std::size_t>(pid)] = false;
+  if (response_hook_) response_hook_(rec);
+}
+
+void Simulator::dispatch_invoke(ProcessId pid, std::int64_t token) {
+  if (crashed(pid)) return;  // invocation lost; the record stays pending
+  if (op_pending_.at(static_cast<std::size_t>(pid))) {
+    throw std::logic_error(
+        "application invoked an operation while another is pending on "
+        "process " +
+        std::to_string(pid));
+  }
+  op_pending_[static_cast<std::size_t>(pid)] = true;
+  OperationRecord& rec = trace_.ops.at(static_cast<std::size_t>(token));
+  rec.invoke_time = now_;
+  procs_[static_cast<std::size_t>(pid)]->on_invoke(token, rec.op);
+}
+
+}  // namespace linbound

@@ -1,0 +1,132 @@
+// The discrete-event simulator: the paper's three-layer system in one box.
+//
+//   application layer  -- invoke_at / response hooks / scripted clients
+//   object layer       -- Process subclasses (Algorithm 1, baselines, ...)
+//   message layer      -- DelayPolicy-driven delivery, recorded in the Trace
+//
+// The simulator is deterministic: with the same configuration, processes and
+// invocation schedule, two runs produce identical traces.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/delay_policy.h"
+#include "sim/event_queue.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+
+namespace linbound {
+
+struct SimConfig {
+  SystemTiming timing;
+  /// Clock offsets c_i (local = real + c_i); resized with zeros to the
+  /// number of processes.  Pairwise |c_i - c_j| <= eps for admissible runs;
+  /// shift experiments may set inadmissible offsets on purpose.
+  std::vector<Tick> clock_offsets;
+  /// Clock drift rates in parts-per-million (Chapter VII future work):
+  /// local_i(t) = c_i + t + floor(t * drift_ppm_i / 1e6).  The paper's base
+  /// model has no drift (all zero, the default); the drift-exploration
+  /// bench sets these to probe Algorithm 1 beyond the model.
+  std::vector<std::int64_t> clock_drift_ppm;
+  /// Delay policy; defaults to FixedDelayPolicy(timing.d).
+  std::shared_ptr<DelayPolicy> delays;
+  /// Hard cap on processed events (runaway protection for broken
+  /// algorithms under test).
+  std::size_t max_events = 10'000'000;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config);
+
+  /// Add a process; processes get ids 0, 1, ... in insertion order.
+  /// All processes must be added before start().
+  ProcessId add_process(std::unique_ptr<Process> proc);
+
+  int process_count() const { return static_cast<int>(procs_.size()); }
+  Process& process(ProcessId pid) { return *procs_.at(static_cast<std::size_t>(pid)); }
+  Tick now() const { return now_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Schedule an operation invocation at real time `t` on process `pid`.
+  /// Returns the operation token (also the index into trace().ops).
+  std::int64_t invoke_at(Tick t, ProcessId pid, Operation op);
+
+  /// Schedule an arbitrary callback at real time `t` (scenario glue:
+  /// reactive invocations, mid-run probes).
+  void call_at(Tick t, std::function<void()> fn);
+
+  /// Crash process `pid` at real time `t` (Chapter VII future work: the
+  /// paper's base model is failure-free).  From that moment the process
+  /// sends nothing, receives nothing, fires no timers and takes no
+  /// invocations; messages it already sent are still delivered.  Its
+  /// pending operation (if any) stays pending in the trace.
+  void crash_at(Tick t, ProcessId pid);
+
+  bool crashed(ProcessId pid) const {
+    return static_cast<std::size_t>(pid) < crashed_.size() &&
+           crashed_[static_cast<std::size_t>(pid)];
+  }
+
+  /// Invoked (synchronously) whenever any operation responds.
+  void set_response_hook(std::function<void(const OperationRecord&)> hook) {
+    response_hook_ = std::move(hook);
+  }
+
+  /// Deliver on_start to every process.  Must be called exactly once,
+  /// before run().
+  void start();
+
+  /// Process events until the queue is empty (quiescence) or the event cap
+  /// trips.  Returns true on quiescence.
+  bool run();
+
+  /// Process all events with time <= t.  Returns true if the queue drained.
+  bool run_until(Tick t);
+
+  std::size_t events_processed() const { return events_processed_; }
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  friend class Process;
+
+  // --- internal API used by Process ---
+  Tick local_time_of(ProcessId pid) const;
+  /// Smallest real-time delta after which pid's local clock has advanced by
+  /// at least `local_delta` (identity when the process has no drift).
+  Tick real_delta_for_local(ProcessId pid, Tick local_delta) const;
+  void send_from(ProcessId from, ProcessId to,
+                 std::shared_ptr<const MessagePayload> payload);
+  TimerId set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag);
+  void cancel_timer_for(ProcessId pid, TimerId id);
+  void respond_for(ProcessId pid, std::int64_t token, Value ret);
+
+  void dispatch_invoke(ProcessId pid, std::int64_t token);
+
+  SimConfig config_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  Trace trace_;
+  Tick now_ = 0;
+  bool started_ = false;
+  std::size_t events_processed_ = 0;
+
+  MessageId next_message_id_ = 0;
+  TimerId next_timer_id_ = 0;
+  std::unordered_map<TimerId, bool> timer_armed_;
+
+  /// token -> true while the operation is pending (enforces the model's
+  /// one-pending-operation-per-process constraint).
+  std::vector<bool> op_pending_;  // indexed by process id
+  std::vector<bool> crashed_;     // indexed by process id
+
+  std::function<void(const OperationRecord&)> response_hook_;
+};
+
+}  // namespace linbound

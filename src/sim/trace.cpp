@@ -1,0 +1,60 @@
+#include "sim/trace.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace linbound {
+
+AdmissibilityReport Trace::audit() const {
+  AdmissibilityReport report;
+
+  for (const MessageRecord& m : messages) {
+    if (m.delivered()) {
+      if (!timing.delay_admissible(m.delay())) {
+        std::ostringstream os;
+        os << "message " << m.id << " (" << m.from << "->" << m.to
+           << ") delay " << m.delay() << " outside [" << timing.min_delay()
+           << ", " << timing.max_delay() << "]";
+        report.fail(os.str());
+      }
+    } else if (end_time >= m.send_time + timing.d) {
+      std::ostringstream os;
+      os << "message " << m.id << " (" << m.from << "->" << m.to
+         << ") sent at " << m.send_time << " undelivered although the run "
+         << "lasted past " << m.send_time + timing.d;
+      report.fail(os.str());
+    }
+  }
+
+  for (std::size_t i = 0; i < clock_offsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < clock_offsets.size(); ++j) {
+      const Tick skew = std::llabs(clock_offsets[i] - clock_offsets[j]);
+      if (skew > timing.eps) {
+        std::ostringstream os;
+        os << "clock skew |c_" << i << " - c_" << j << "| = " << skew
+           << " exceeds eps = " << timing.eps;
+        report.fail(os.str());
+      }
+    }
+  }
+
+  return report;
+}
+
+bool Trace::complete() const {
+  for (const OperationRecord& rec : ops) {
+    if (!rec.completed()) return false;
+  }
+  return true;
+}
+
+std::vector<OperationRecord> Trace::completed_ops() const {
+  std::vector<OperationRecord> out;
+  out.reserve(ops.size());
+  for (const OperationRecord& rec : ops) {
+    if (rec.completed()) out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace linbound

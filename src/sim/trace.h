@@ -1,0 +1,87 @@
+// Recorded runs.
+//
+// A Trace is the executable counterpart of the paper's "run": the timed
+// views of all processes, represented by what the lower-bound proofs
+// actually consume -- message send/receive real times and operation
+// invocation/response real times -- plus the clock offsets and timing
+// parameters.  The audit() method decides admissibility exactly as in
+// Chapter III.B.3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/value.h"
+#include "sim/message.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+struct MessageRecord {
+  MessageId id = 0;
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Tick send_time = kNoTime;  ///< real time
+  Tick recv_time = kNoTime;  ///< real time; kNoTime if not delivered in the run
+
+  bool delivered() const { return recv_time != kNoTime; }
+  Tick delay() const { return recv_time - send_time; }
+};
+
+/// One operation execution at the application layer.
+struct OperationRecord {
+  std::int64_t token = 0;  ///< unique per run
+  ProcessId proc = kNoProcess;
+  Operation op;
+  Tick invoke_time = kNoTime;    ///< real time of the invocation
+  Tick response_time = kNoTime;  ///< real time of the response; kNoTime if pending
+  Value ret;
+
+  bool completed() const { return response_time != kNoTime; }
+  Tick latency() const { return response_time - invoke_time; }
+};
+
+struct AdmissibilityReport {
+  bool admissible = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string why) {
+    admissible = false;
+    violations.push_back(std::move(why));
+  }
+};
+
+struct Trace {
+  SystemTiming timing;
+  std::vector<Tick> clock_offsets;  ///< c_i: local = real + c_i
+  std::vector<MessageRecord> messages;
+  std::vector<OperationRecord> ops;
+  Tick end_time = 0;  ///< real time at which the run ended
+
+  /// Chapter III admissibility: every delivered delay in [d-u, d]; pairwise
+  /// clock skew <= eps.  Undelivered messages are admissible only if the
+  /// run ended before send_time + d (the recipient's view "ends before
+  /// t + d").
+  AdmissibilityReport audit() const;
+
+  /// All operations completed?
+  bool complete() const;
+
+  /// Records of completed operations only.
+  std::vector<OperationRecord> completed_ops() const;
+
+  /// Worst-case latency among completed operations selected by `pred`;
+  /// kNoTime when none matched.
+  template <typename Pred>
+  Tick worst_latency(Pred pred) const {
+    Tick worst = kNoTime;
+    for (const OperationRecord& rec : ops) {
+      if (!rec.completed() || !pred(rec)) continue;
+      if (worst == kNoTime || rec.latency() > worst) worst = rec.latency();
+    }
+    return worst;
+  }
+};
+
+}  // namespace linbound

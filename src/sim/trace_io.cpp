@@ -1,0 +1,168 @@
+#include "sim/trace_io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace linbound {
+namespace {
+
+std::string time_or_dash(Tick t) {
+  return t == kNoTime ? std::string("-") : std::to_string(t);
+}
+
+std::optional<Tick> parse_time_or_dash(const std::string& token) {
+  if (token == "-") return kNoTime;
+  try {
+    std::size_t used = 0;
+    const long long x = std::stoll(token, &used);
+    if (used != token.size()) return std::nullopt;
+    return static_cast<Tick>(x);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Values may contain spaces (lists, strings); arguments are written
+/// separated by a field marker that cannot appear inside the grammar.
+constexpr char kFieldSep = '\t';
+
+bool fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "trace v1\n";
+  os << "timing " << trace.timing.d << " " << trace.timing.u << " "
+     << trace.timing.eps << "\n";
+  os << "offsets";
+  for (Tick c : trace.clock_offsets) os << " " << c;
+  os << "\n";
+  os << "end " << trace.end_time << "\n";
+  for (const MessageRecord& m : trace.messages) {
+    os << "msg " << m.id << " " << m.from << " " << m.to << " " << m.send_time
+       << " " << time_or_dash(m.recv_time) << "\n";
+  }
+  for (const OperationRecord& rec : trace.ops) {
+    os << "op " << rec.token << " " << rec.proc << " " << rec.op.code << " "
+       << time_or_dash(rec.invoke_time) << " " << time_or_dash(rec.response_time)
+       << kFieldSep << rec.ret.to_string();
+    for (const Value& arg : rec.op.args) os << kFieldSep << arg.to_string();
+    os << "\n";
+  }
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+std::optional<Trace> read_trace(std::istream& is, std::string* error) {
+  Trace trace;
+  std::string line;
+
+  if (!std::getline(is, line) || line != "trace v1") {
+    fail(error, "missing 'trace v1' header");
+    return std::nullopt;
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "timing") {
+      if (!(ls >> trace.timing.d >> trace.timing.u >> trace.timing.eps)) {
+        fail(error, "bad timing line");
+        return std::nullopt;
+      }
+    } else if (kind == "offsets") {
+      Tick c;
+      while (ls >> c) trace.clock_offsets.push_back(c);
+    } else if (kind == "end") {
+      if (!(ls >> trace.end_time)) {
+        fail(error, "bad end line");
+        return std::nullopt;
+      }
+    } else if (kind == "msg") {
+      MessageRecord m;
+      std::string recv;
+      if (!(ls >> m.id >> m.from >> m.to >> m.send_time >> recv)) {
+        fail(error, "bad msg line: " + line);
+        return std::nullopt;
+      }
+      auto recv_time = parse_time_or_dash(recv);
+      if (!recv_time) {
+        fail(error, "bad recv time: " + recv);
+        return std::nullopt;
+      }
+      m.recv_time = *recv_time;
+      trace.messages.push_back(m);
+    } else if (kind == "op") {
+      OperationRecord rec;
+      std::string invoke, response;
+      if (!(ls >> rec.token >> rec.proc >> rec.op.code >> invoke >> response)) {
+        fail(error, "bad op line: " + line);
+        return std::nullopt;
+      }
+      auto invoke_time = parse_time_or_dash(invoke);
+      auto response_time = parse_time_or_dash(response);
+      if (!invoke_time || !response_time) {
+        fail(error, "bad op times: " + line);
+        return std::nullopt;
+      }
+      rec.invoke_time = *invoke_time;
+      rec.response_time = *response_time;
+      // Remainder: tab-separated Value fields, first the return.
+      std::string rest;
+      std::getline(ls, rest);
+      std::vector<std::string> fields;
+      std::size_t start = 0;
+      while (start < rest.size()) {
+        if (rest[start] == kFieldSep) {
+          ++start;
+          const std::size_t end = rest.find(kFieldSep, start);
+          fields.push_back(rest.substr(start, end == std::string::npos
+                                                  ? std::string::npos
+                                                  : end - start));
+          start = end == std::string::npos ? rest.size() : end;
+        } else {
+          ++start;
+        }
+      }
+      if (fields.empty()) {
+        fail(error, "op line missing return value: " + line);
+        return std::nullopt;
+      }
+      auto ret = Value::parse(fields[0]);
+      if (!ret) {
+        fail(error, "bad return value: " + fields[0]);
+        return std::nullopt;
+      }
+      rec.ret = std::move(*ret);
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        auto arg = Value::parse(fields[i]);
+        if (!arg) {
+          fail(error, "bad argument value: " + fields[i]);
+          return std::nullopt;
+        }
+        rec.op.args.push_back(std::move(*arg));
+      }
+      trace.ops.push_back(std::move(rec));
+    } else {
+      fail(error, "unknown line kind: " + kind);
+      return std::nullopt;
+    }
+  }
+  return trace;
+}
+
+std::optional<Trace> trace_from_string(const std::string& text, std::string* error) {
+  std::istringstream is(text);
+  return read_trace(is, error);
+}
+
+}  // namespace linbound

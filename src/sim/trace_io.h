@@ -1,0 +1,34 @@
+// Trace serialization: a line-oriented text format for recorded runs, so
+// experiments can be archived, diffed and reloaded (round-trip exact).
+//
+//   trace v1
+//   timing <d> <u> <eps>
+//   offsets <c0> <c1> ...
+//   end <end_time>
+//   msg <id> <from> <to> <send> <recv|->
+//   op <token> <proc> <code> <invoke> <response|-> <ret> <arg>*
+//
+// Operation arguments and returns use the Value::to_string grammar; the
+// opcode is numeric (data-type specific), so traces are replayable against
+// the same ObjectModel.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sim/trace.h"
+
+namespace linbound {
+
+/// Serialize a trace.
+void write_trace(std::ostream& os, const Trace& trace);
+std::string trace_to_string(const Trace& trace);
+
+/// Parse a serialized trace.  Returns nullopt (and sets `error` if given)
+/// on malformed input.
+std::optional<Trace> read_trace(std::istream& is, std::string* error = nullptr);
+std::optional<Trace> trace_from_string(const std::string& text,
+                                       std::string* error = nullptr);
+
+}  // namespace linbound

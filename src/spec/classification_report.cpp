@@ -1,0 +1,105 @@
+#include "spec/classification_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/format.h"
+#include "spec/properties.h"
+#include "spec/sequences.h"
+
+namespace linbound {
+
+ClassificationReport classify_operations(const ObjectModel& model,
+                                         const SearchUniverse& universe) {
+  ClassificationReport report;
+  report.type_name = model.name();
+
+  // Pool sample operations by opcode.
+  std::map<OpCode, std::vector<Operation>> by_code;
+  for (const Operation& op : universe.ops) by_code[op.code].push_back(op);
+
+  for (const auto& [code, samples] : by_code) {
+    OpClassification c;
+    c.code = code;
+    c.name = model.op_name(code);
+
+    // Mutator / accessor / overwriter: scan prefixes for witnesses.
+    //
+    // Accessor (Definition D.2) needs an instance OP(arg, ret) that is
+    // illegal after some legal rho, where `ret` is a return the operation
+    // can actually produce.  Bounded form: the operation's determined
+    // return varies across prefixes -- take ret from the other prefix and
+    // witness_accessor confirms it.
+    std::map<std::size_t, Value> first_return;  // sample index -> first seen
+    for_each_legal_prefix(model, universe, [&](const OpSequence& rho) {
+      for (std::size_t s = 0; s < samples.size(); ++s) {
+        const Operation& op = samples[s];
+        if (!c.mutator && witness_mutator(model, rho, op)) c.mutator = true;
+        if (!c.accessor) {
+          const Value determined = determined_return(model, rho, op);
+          auto [it, inserted] = first_return.try_emplace(s, determined);
+          if (!inserted && !(it->second == determined)) {
+            // `it->second` is producible (after the earlier prefix) yet
+            // contradicted here; sanity-check with the definitional form.
+            c.accessor = witness_accessor(model, rho, op, it->second);
+          }
+        }
+        if (!c.non_overwriter) {
+          for (const Operation& op2 : samples) {
+            if (witness_non_overwriter(model, rho, op, op2)) {
+              c.non_overwriter = true;
+              break;
+            }
+          }
+        }
+      }
+      // Stop early once everything this pass can set is set.
+      return !(c.mutator && c.accessor && c.non_overwriter);
+    });
+
+    c.insc_witness = find_immediately_non_commuting(model, universe, samples, samples);
+    c.immediately_non_self_commuting = c.insc_witness.has_value();
+    c.strong_witness = find_strongly_non_self_commuting(model, universe, samples);
+    c.strongly_immediately_non_self_commuting = c.strong_witness.has_value();
+    c.eventual_witness =
+        find_eventually_non_commuting(model, universe, samples, samples);
+    c.eventually_non_self_commuting = c.eventual_witness.has_value();
+
+    report.ops.push_back(std::move(c));
+  }
+  return report;
+}
+
+std::string ClassificationReport::render(const ObjectModel& model) const {
+  std::ostringstream os;
+  os << "Chapter II classification of '" << type_name << "'\n";
+  TextTable table({"operation", "group", "mutator", "accessor", "imm. self-comm.",
+                   "strongly INSC", "event. self-comm.", "overwriter"});
+  for (const OpClassification& c : ops) {
+    table.add_row({c.name, linbound::to_string(c.derived_class()),
+                   c.mutator ? "yes" : "no", c.accessor ? "yes" : "no",
+                   c.immediately_non_self_commuting ? "NO" : "yes",
+                   c.strongly_immediately_non_self_commuting ? "YES" : "no",
+                   c.eventually_non_self_commuting ? "NO" : "yes",
+                   c.mutator ? (c.non_overwriter ? "no" : "yes") : "-"});
+  }
+  os << table.render();
+
+  for (const OpClassification& c : ops) {
+    if (c.strong_witness) {
+      os << "  " << c.name << " strongly-INSC witness: after";
+      if (c.strong_witness->rho.empty()) {
+        os << " <empty>";
+      } else {
+        for (const OpInstance& inst : c.strong_witness->rho) {
+          os << " " << model.describe(inst);
+        }
+      }
+      os << ", " << model.describe(c.strong_witness->op1) << " / "
+         << model.describe(c.strong_witness->op2) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace linbound

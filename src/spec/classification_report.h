@@ -1,0 +1,71 @@
+// Automatic Chapter II classification of a data type's operations.
+//
+// Given a finite operation universe (sample instances per opcode plus a
+// prefix-generation bound), this module runs the witness search to decide,
+// per opcode:
+//   * mutator / accessor (Definitions D.1/D.2),
+//   * immediately self-commuting vs immediately non-self-commuting, and
+//     strongly so (B.1-B.3),
+//   * eventually self-commuting vs eventually non-self-commuting (C.3/C.6),
+//   * overwriter vs non-overwriter (D.5),
+// and derives the Chapter V group (MOP / AOP / OOP) the way the paper does.
+// The report also cross-checks against the model's declared classify() --
+// the test suite asserts they agree for every built-in type.
+//
+// All "universal" verdicts (self-commuting, overwriter, not-an-accessor)
+// are relative to the search bound: witnesses are proofs, absences are
+// bounded-exhaustive evidence.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/object_model.h"
+#include "spec/witness_search.h"
+
+namespace linbound {
+
+struct OpClassification {
+  OpCode code = 0;
+  std::string name;
+
+  bool mutator = false;
+  bool accessor = false;
+  bool immediately_non_self_commuting = false;
+  bool strongly_immediately_non_self_commuting = false;
+  bool eventually_non_self_commuting = false;
+  bool non_overwriter = false;  // meaningful for mutators
+
+  /// Witnesses backing the positive verdicts (empty prefix allowed).
+  std::optional<PairWitness> insc_witness;
+  std::optional<PairWitness> strong_witness;
+  std::optional<PairWitness> eventual_witness;
+
+  /// The Chapter V group implied by mutator/accessor.
+  OpClass derived_class() const {
+    if (mutator && !accessor) return OpClass::kPureMutator;
+    if (accessor && !mutator) return OpClass::kPureAccessor;
+    return OpClass::kOther;
+  }
+};
+
+struct ClassificationReport {
+  std::string type_name;
+  std::vector<OpClassification> ops;
+
+  /// Render as an ASCII table with witness footnotes.
+  std::string render(const ObjectModel& model) const;
+};
+
+/// Classify every opcode that appears in `universe.ops`.  Instances of the
+/// same opcode (different arguments) are pooled as one operation type, as
+/// in the paper.  `accessor_probes` supplies, per opcode, candidate
+/// "illegal" returns for the accessor test (Definition D.2 needs a return
+/// value the state can contradict); by default every int 0..3, both bools,
+/// and unit are tried.
+ClassificationReport classify_operations(const ObjectModel& model,
+                                         const SearchUniverse& universe);
+
+}  // namespace linbound

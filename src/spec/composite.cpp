@@ -1,0 +1,114 @@
+#include "spec/composite.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace linbound {
+namespace {
+
+class CompositeState final : public ObjectState {
+ public:
+  explicit CompositeState(std::vector<std::unique_ptr<ObjectState>> slots)
+      : slots_(std::move(slots)) {}
+
+  std::unique_ptr<ObjectState> clone() const override {
+    std::vector<std::unique_ptr<ObjectState>> copies;
+    copies.reserve(slots_.size());
+    for (const auto& s : slots_) copies.push_back(s->clone());
+    return std::make_unique<CompositeState>(std::move(copies));
+  }
+
+  Value apply(const Operation& op) override {
+    const int k = CompositeModel::slot_of(op);
+    if (k < 0 || static_cast<std::size_t>(k) >= slots_.size()) {
+      return Value::unit();
+    }
+    return slots_[static_cast<std::size_t>(k)]->apply(CompositeModel::lower(op));
+  }
+
+  bool equals(const ObjectState& other) const override {
+    const auto* o = dynamic_cast<const CompositeState*>(&other);
+    if (o == nullptr || o->slots_.size() != slots_.size()) return false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i]->equals(*o->slots_[i])) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto& s : slots_) {
+      h ^= s->fingerprint();
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (i) os << "; ";
+      os << i << ":" << slots_[i]->to_string();
+    }
+    os << "}";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::unique_ptr<ObjectState>> slots_;
+};
+
+}  // namespace
+
+CompositeModel::CompositeModel(
+    std::vector<std::shared_ptr<const ObjectModel>> slots)
+    : slots_(std::move(slots)) {
+  if (slots_.empty()) throw std::invalid_argument("composite needs >= 1 slot");
+  if (slots_.size() > static_cast<std::size_t>(kSlotStride)) {
+    throw std::invalid_argument("too many slots");
+  }
+}
+
+std::string CompositeModel::name() const {
+  std::string out = "composite(";
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i) out += ",";
+    out += slots_[i]->name();
+  }
+  return out + ")";
+}
+
+std::unique_ptr<ObjectState> CompositeModel::initial_state() const {
+  std::vector<std::unique_ptr<ObjectState>> states;
+  states.reserve(slots_.size());
+  for (const auto& m : slots_) states.push_back(m->initial_state());
+  return std::make_unique<CompositeState>(std::move(states));
+}
+
+OpClass CompositeModel::classify(const Operation& op) const {
+  const int k = slot_of(op);
+  if (k < 0 || k >= slot_count()) return OpClass::kOther;
+  return slots_[static_cast<std::size_t>(k)]->classify(lower(op));
+}
+
+std::string CompositeModel::op_name(OpCode code) const {
+  const int k = code / kSlotStride;
+  if (k < 0 || k >= slot_count()) return "op" + std::to_string(code);
+  return "obj" + std::to_string(k) + "." +
+         slots_[static_cast<std::size_t>(k)]->op_name(code % kSlotStride);
+}
+
+Operation CompositeModel::lift(int k, Operation op) {
+  op.code += k * kSlotStride;
+  return op;
+}
+
+int CompositeModel::slot_of(const Operation& op) { return op.code / kSlotStride; }
+
+Operation CompositeModel::lower(Operation op) {
+  op.code %= kSlotStride;
+  return op;
+}
+
+}  // namespace linbound

@@ -1,0 +1,49 @@
+// Multi-object stores.
+//
+// The paper's linearizability definition (Chapter III.B.4) quantifies over
+// objects: one permutation of ALL operations whose restriction to each
+// object is legal.  CompositeModel packages several sequential
+// specifications as one ObjectModel -- operation codes are offset per slot
+// -- so Algorithm 1, the checker and the harness handle a whole store
+// unchanged.  restrict_history() projects a history onto one slot, which
+// the locality test uses: a composite history is linearizable iff each
+// per-object restriction is (linearizability is a local property,
+// Herlihy & Wing).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class CompositeModel final : public ObjectModel {
+ public:
+  /// Op codes of slot k occupy [k*kSlotStride, (k+1)*kSlotStride).
+  static constexpr OpCode kSlotStride = 1000;
+
+  explicit CompositeModel(std::vector<std::shared_ptr<const ObjectModel>> slots);
+
+  std::string name() const override;
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  const ObjectModel& slot(int k) const { return *slots_.at(static_cast<std::size_t>(k)); }
+
+  /// Lift an inner operation into slot `k`'s code space.
+  static Operation lift(int k, Operation op);
+  /// Which slot an operation belongs to / its inner form.
+  static int slot_of(const Operation& op);
+  static Operation lower(Operation op);
+
+ private:
+  std::vector<std::shared_ptr<const ObjectModel>> slots_;
+};
+
+// The per-object restriction of a composite history lives in
+// checker/history.h (restrict_history), which owns the History type.
+
+}  // namespace linbound

@@ -1,0 +1,19 @@
+#include "spec/object_model.h"
+
+namespace linbound {
+
+std::string ObjectModel::describe(const Operation& op) const {
+  std::string out = op_name(op.code) + "(";
+  for (std::size_t i = 0; i < op.args.size(); ++i) {
+    if (i) out += ", ";
+    out += op.args[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+std::string ObjectModel::describe(const OpInstance& inst) const {
+  return describe(inst.op) + " -> " + inst.ret.to_string();
+}
+
+}  // namespace linbound

@@ -1,0 +1,77 @@
+// Sequential specifications of deterministic shared objects.
+//
+// A data type is an ObjectModel (stateless description: name, opcodes,
+// classification) plus an ObjectState (a mutable value of the type that can
+// apply operations).  States are deterministic (Definition A.1): the return
+// value of any operation in any state is a function of the state, so
+// legality of an instance sequence is decided by replaying it.
+//
+// Equivalence note.  The paper defines "rho1 looks like rho2" by quantifying
+// over all continuations (Definition C.1).  Every type in this library is
+// *state-based*: legality of a continuation depends only on the object state
+// it starts in.  Hence two legal sequences are equivalent iff they drive the
+// object to equal states, and ObjectState::equals is the executable
+// equivalence.  sequences.h also provides a bounded-depth probe check so
+// tests can confirm agreement between the two notions on the paper's
+// examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/value.h"
+#include "spec/op_class.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+/// A value of the data type.  Concrete states live in src/types.
+class ObjectState {
+ public:
+  virtual ~ObjectState() = default;
+
+  /// Deep copy.
+  virtual std::unique_ptr<ObjectState> clone() const = 0;
+
+  /// Apply an operation: mutate the state and return the *determined*
+  /// return value (Definition A.1).  Total: every operation has a defined
+  /// return in every state (e.g. dequeue on an empty queue returns the
+  /// "empty" unit value).
+  virtual Value apply(const Operation& op) = 0;
+
+  /// Structural equality of abstract states (used as sequence equivalence;
+  /// see the header comment).
+  virtual bool equals(const ObjectState& other) const = 0;
+
+  /// Stable 64-bit fingerprint consistent with equals(); used by the
+  /// linearizability checker's memo table.
+  virtual std::uint64_t fingerprint() const = 0;
+
+  virtual std::string to_string() const = 0;
+};
+
+/// Stateless description of a data type.
+class ObjectModel {
+ public:
+  virtual ~ObjectModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// A fresh state holding the type's initial value.
+  virtual std::unique_ptr<ObjectState> initial_state() const = 0;
+
+  /// Chapter V grouping of each operation (MOP / AOP / OOP).
+  virtual OpClass classify(const Operation& op) const = 0;
+
+  /// Human-readable opcode name, e.g. "write".
+  virtual std::string op_name(OpCode code) const = 0;
+
+  /// "write(5)" -- rendering for traces, tables, and test output.
+  std::string describe(const Operation& op) const;
+
+  /// "write(5) -> ()" -- rendering of a full instance.
+  std::string describe(const OpInstance& inst) const;
+};
+
+}  // namespace linbound

@@ -1,0 +1,29 @@
+// The three operation groups of Chapter V: pure accessors (AOP), pure
+// mutators (MOP) and everything else (OOP).  Algorithm 1 treats each group
+// differently; the classification itself is validated against the
+// definitional property checkers in properties.h by the test suite.
+#pragma once
+
+#include <string>
+
+namespace linbound {
+
+enum class OpClass {
+  kPureMutator,   ///< modifies the object, returns nothing about it (MOP)
+  kPureAccessor,  ///< returns information, never modifies (AOP)
+  kOther,         ///< both mutates and returns (e.g. RMW, pop, dequeue) (OOP)
+};
+
+inline std::string to_string(OpClass c) {
+  switch (c) {
+    case OpClass::kPureMutator:
+      return "MOP";
+    case OpClass::kPureAccessor:
+      return "AOP";
+    case OpClass::kOther:
+      return "OOP";
+  }
+  return "?";
+}
+
+}  // namespace linbound

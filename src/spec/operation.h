@@ -1,0 +1,60 @@
+// Operations and operation instances (Chapter II of the paper).
+//
+// An Operation is an *invocation*: an opcode plus arguments (the paper's
+// op(arg)).  An OpInstance is an operation together with its return value
+// (the paper's OP(arg, ret)).  On a deterministic object the return value of
+// an instance appended to a legal sequence is determined by the sequence, so
+// "instance x is legal after rho" means x.ret equals the determined return.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace linbound {
+
+/// Opcode within a data type.  Codes are only meaningful relative to an
+/// ObjectModel; each concrete type in src/types defines an enum and helper
+/// constructors (e.g. reg::write(5)).
+using OpCode = std::int32_t;
+
+struct Operation {
+  OpCode code = 0;
+  std::vector<Value> args;
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.code == b.code && a.args == b.args;
+  }
+};
+
+/// The paper's OP(arg, ret): an operation instance with a fixed return
+/// value.  Legality of sequences of instances is defined in sequences.h.
+struct OpInstance {
+  Operation op;
+  Value ret;
+
+  friend bool operator==(const OpInstance& a, const OpInstance& b) {
+    return a.op == b.op && a.ret == b.ret;
+  }
+};
+
+/// A (finite) operation sequence -- the paper's rho.
+using OpSequence = std::vector<OpInstance>;
+
+/// Concatenation helpers: rho ∘ x and rho1 ∘ rho2.
+OpSequence append(OpSequence rho, OpInstance x);
+OpSequence concat(OpSequence a, const OpSequence& b);
+
+inline OpSequence append(OpSequence rho, OpInstance x) {
+  rho.push_back(std::move(x));
+  return rho;
+}
+
+inline OpSequence concat(OpSequence a, const OpSequence& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace linbound

@@ -1,0 +1,155 @@
+#include "spec/properties.h"
+
+#include "spec/sequences.h"
+
+namespace linbound {
+namespace {
+
+/// Build rho ∘ x1 ∘ x2 where xi are instances.
+OpSequence seq3(const OpSequence& rho, const OpInstance& x1, const OpInstance& x2) {
+  OpSequence s = rho;
+  s.push_back(x1);
+  s.push_back(x2);
+  return s;
+}
+
+}  // namespace
+
+bool witness_immediately_non_commuting(const ObjectModel& model,
+                                       const OpSequence& rho,
+                                       const Operation& op1,
+                                       const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpInstance i2 = instance_after(model, rho, op2);
+  // rho ∘ i1 and rho ∘ i2 are legal by construction (determined returns);
+  // still guard against an illegal rho.
+  if (!legal(model, append(rho, i1)) || !legal(model, append(rho, i2))) {
+    return false;
+  }
+  const bool alpha = legal(model, seq3(rho, i1, i2));
+  const bool beta = legal(model, seq3(rho, i2, i1));
+  return !alpha || !beta;
+}
+
+bool witness_strongly_immediately_non_commuting(const ObjectModel& model,
+                                                const OpSequence& rho,
+                                                const Operation& op1,
+                                                const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpInstance i2 = instance_after(model, rho, op2);
+  if (!legal(model, append(rho, i1)) || !legal(model, append(rho, i2))) {
+    return false;
+  }
+  return !legal(model, seq3(rho, i1, i2)) && !legal(model, seq3(rho, i2, i1));
+}
+
+bool witness_eventually_non_commuting(const ObjectModel& model,
+                                      const OpSequence& rho,
+                                      const Operation& op1,
+                                      const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpInstance i2 = instance_after(model, rho, op2);
+  if (!legal(model, append(rho, i1)) || !legal(model, append(rho, i2))) {
+    return false;
+  }
+  return !equivalent(model, seq3(rho, i1, i2), seq3(rho, i2, i1));
+}
+
+bool pair_commutes_eventually(const ObjectModel& model, const OpSequence& rho,
+                              const Operation& op1, const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpInstance i2 = instance_after(model, rho, op2);
+  if (!legal(model, append(rho, i1)) || !legal(model, append(rho, i2))) {
+    return true;  // vacuous: the definition quantifies over legal extensions
+  }
+  OpSequence a = seq3(rho, i1, i2);
+  OpSequence b = seq3(rho, i2, i1);
+  return legal(model, a) && legal(model, b) && equivalent(model, a, b);
+}
+
+bool pair_commutes_immediately(const ObjectModel& model, const OpSequence& rho,
+                               const Operation& op1, const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpInstance i2 = instance_after(model, rho, op2);
+  if (!legal(model, append(rho, i1)) || !legal(model, append(rho, i2))) {
+    return true;  // vacuous
+  }
+  return legal(model, seq3(rho, i1, i2)) && legal(model, seq3(rho, i2, i1));
+}
+
+namespace {
+
+/// Shared body of the two permuting checks.  `any` selects Definition C.4
+/// (compare all distinct pairs) vs C.5 (compare only pairs with different
+/// last operations).
+bool witness_permuting_impl(const ObjectModel& model, const OpSequence& rho,
+                            const std::vector<Operation>& ops, bool any) {
+  OpSequence insts;
+  insts.reserve(ops.size());
+  for (const Operation& op : ops) {
+    OpInstance inst = instance_after(model, rho, op);
+    if (!legal(model, append(rho, inst))) return false;  // clause 1
+    insts.push_back(std::move(inst));
+  }
+  std::vector<OpSequence> perms = legal_permutations(model, rho, insts);
+  if (perms.size() < 2) return false;  // clause 2
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    for (std::size_t j = i + 1; j < perms.size(); ++j) {
+      if (perms[i] == perms[j]) continue;  // same permutation (duplicate ops)
+      const bool different_last = !(perms[i].back() == perms[j].back());
+      if (!any && !different_last) continue;
+      if (equivalent(model, concat(rho, perms[i]), concat(rho, perms[j]))) {
+        return false;  // clause 3 violated
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool witness_non_self_last_permuting(const ObjectModel& model,
+                                     const OpSequence& rho,
+                                     const std::vector<Operation>& ops) {
+  return witness_permuting_impl(model, rho, ops, /*any=*/false);
+}
+
+bool witness_non_self_any_permuting(const ObjectModel& model,
+                                    const OpSequence& rho,
+                                    const std::vector<Operation>& ops) {
+  return witness_permuting_impl(model, rho, ops, /*any=*/true);
+}
+
+bool witness_mutator(const ObjectModel& model, const OpSequence& rho,
+                     const Operation& op) {
+  OpInstance inst = instance_after(model, rho, op);
+  OpSequence extended = append(rho, inst);
+  if (!legal(model, extended)) return false;
+  return !equivalent(model, extended, rho);
+}
+
+bool witness_accessor(const ObjectModel& model, const OpSequence& rho,
+                      const Operation& op, const Value& illegal_ret) {
+  if (!legal(model, rho)) return false;
+  OpInstance inst{op, illegal_ret};
+  return !legal(model, append(rho, inst));
+}
+
+bool witness_non_overwriter(const ObjectModel& model, const OpSequence& rho,
+                            const Operation& op1, const Operation& op2) {
+  OpInstance i1 = instance_after(model, rho, op1);
+  OpSequence rho_i1 = append(rho, i1);
+  OpInstance i2_after_i1 = instance_after(model, rho_i1, op2);
+  OpInstance i2_direct = instance_after(model, rho, op2);
+  OpSequence a = append(rho_i1, i2_after_i1);  // rho ∘ op1 ∘ op2
+  OpSequence b = append(rho, i2_direct);       // rho ∘ op2
+  if (!legal(model, a) || !legal(model, b)) return false;
+  return !equivalent(model, a, b);
+}
+
+bool exactly_one_legal(const ObjectModel& model, const OpSequence& a,
+                       const OpSequence& b) {
+  return legal(model, a) != legal(model, b);
+}
+
+}  // namespace linbound

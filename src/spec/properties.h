@@ -1,0 +1,89 @@
+// Executable versions of the Chapter II operation-type properties.
+//
+// The paper's definitions are existential ("there exist rho, op1, op2 such
+// that ..."): a property of an operation *type* is established by exhibiting
+// a witness.  Each function here checks one witness; witness_search.h can
+// enumerate small op universes to find witnesses automatically.  The test
+// suite pins every classification the paper uses (e.g. UpdateNext is
+// immediately non-self-commuting but NOT strongly so, via the paper's
+// four-case argument).
+#pragma once
+
+#include <vector>
+
+#include "spec/object_model.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+/// Definition B.1.  rho ∘ op1 and rho ∘ op2 are legal but at least one of
+/// rho ∘ op1 ∘ op2 / rho ∘ op2 ∘ op1 is illegal.  op1/op2 are *operations*;
+/// their instances take the returns determined after rho (that is how the
+/// paper constructs "individually legal" instances).
+bool witness_immediately_non_commuting(const ObjectModel& model,
+                                       const OpSequence& rho,
+                                       const Operation& op1,
+                                       const Operation& op2);
+
+/// Definition B.3: both orders illegal.
+bool witness_strongly_immediately_non_commuting(const ObjectModel& model,
+                                                const OpSequence& rho,
+                                                const Operation& op1,
+                                                const Operation& op2);
+
+/// Definition C.3.  Both single extensions legal, and the two orders are
+/// not equivalent (both-legal-but-different-states, or exactly one order
+/// legal).
+bool witness_eventually_non_commuting(const ObjectModel& model,
+                                      const OpSequence& rho,
+                                      const Operation& op1,
+                                      const Operation& op2);
+
+/// Definition C.6 check on one triple: both orders legal AND equivalent.
+/// An operation type is eventually self-commuting iff this holds for *all*
+/// rho, op1, op2 -- witness_search.h provides bounded universal checking.
+bool pair_commutes_eventually(const ObjectModel& model, const OpSequence& rho,
+                              const Operation& op1, const Operation& op2);
+
+/// Definition B.2's complement on one triple: both single extensions legal
+/// implies both orders legal (immediately self-commuting at this witness).
+bool pair_commutes_immediately(const ObjectModel& model, const OpSequence& rho,
+                               const Operation& op1, const Operation& op2);
+
+/// Definition C.5 (eventually non-self-last-permuting) on one witness set:
+///   1. rho ∘ op_i legal for each i;
+///   2. at least two legal permutations exist;
+///   3. any two legal permutations with different last operations are not
+///      equivalent.
+/// `ops` are operations; instances take returns determined after rho.
+bool witness_non_self_last_permuting(const ObjectModel& model,
+                                     const OpSequence& rho,
+                                     const std::vector<Operation>& ops);
+
+/// Definition C.4 (eventually non-self-any-permuting): clause 3 strengthens
+/// to *any* two distinct legal permutations being inequivalent.
+bool witness_non_self_any_permuting(const ObjectModel& model,
+                                    const OpSequence& rho,
+                                    const std::vector<Operation>& ops);
+
+/// Definition D.1 (mutator): rho ∘ op legal and not equivalent to rho.
+bool witness_mutator(const ObjectModel& model, const OpSequence& rho,
+                     const Operation& op);
+
+/// Definition D.2 (accessor): there is a *return value* `ret` such that
+/// rho ∘ OP(arg, ret) is illegal -- i.e. the return is constrained by the
+/// state.  `illegal_ret` supplies the candidate.
+bool witness_accessor(const ObjectModel& model, const OpSequence& rho,
+                      const Operation& op, const Value& illegal_ret);
+
+/// Definition D.5 (non-overwriter): rho ∘ op1 ∘ op2 not equivalent to
+/// rho ∘ op2.
+bool witness_non_overwriter(const ObjectModel& model, const OpSequence& rho,
+                            const Operation& op1, const Operation& op2);
+
+/// Theorem E.1's hypotheses A/B/C on a concrete witness tuple: exactly one
+/// of the two given sequences is legal.
+bool exactly_one_legal(const ObjectModel& model, const OpSequence& a,
+                       const OpSequence& b);
+
+}  // namespace linbound

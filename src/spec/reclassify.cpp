@@ -1,0 +1,19 @@
+#include "spec/reclassify.h"
+
+namespace linbound {
+
+std::string ReclassifyModel::name() const {
+  std::string suffix;
+  if (demote_.accessors) suffix += "-aop_as_oop";
+  if (demote_.mutators) suffix += "-mop_as_oop";
+  return base_->name() + suffix;
+}
+
+OpClass ReclassifyModel::classify(const Operation& op) const {
+  const OpClass cls = base_->classify(op);
+  if (cls == OpClass::kPureAccessor && demote_.accessors) return OpClass::kOther;
+  if (cls == OpClass::kPureMutator && demote_.mutators) return OpClass::kOther;
+  return cls;
+}
+
+}  // namespace linbound

@@ -1,0 +1,42 @@
+// A decorator that overrides a model's operation classification -- the
+// ablation knob for Algorithm 1's two optimizations:
+//
+//   * treating pure accessors as OOP disables the back-dating trick
+//     (reads cost d+eps instead of d+eps-X);
+//   * treating pure mutators as OOP disables the early ack
+//     (writes cost up to d+eps instead of eps+X).
+//
+// Both ablated variants remain correct (the OOP path is the conservative
+// one); bench_ablation_classes measures what each optimization buys.
+#pragma once
+
+#include <memory>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class ReclassifyModel final : public ObjectModel {
+ public:
+  /// Which classes to demote to OOP.
+  struct Demote {
+    bool accessors = false;
+    bool mutators = false;
+  };
+
+  ReclassifyModel(std::shared_ptr<const ObjectModel> base, Demote demote)
+      : base_(std::move(base)), demote_(demote) {}
+
+  std::string name() const override;
+  std::unique_ptr<ObjectState> initial_state() const override {
+    return base_->initial_state();
+  }
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override { return base_->op_name(code); }
+
+ private:
+  std::shared_ptr<const ObjectModel> base_;
+  Demote demote_;
+};
+
+}  // namespace linbound

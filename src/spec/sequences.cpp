@@ -1,0 +1,105 @@
+#include "spec/sequences.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace linbound {
+
+std::unique_ptr<ObjectState> state_after_ops(const ObjectModel& model,
+                                             const std::vector<Operation>& ops) {
+  auto state = model.initial_state();
+  for (const Operation& op : ops) state->apply(op);
+  return state;
+}
+
+std::optional<std::unique_ptr<ObjectState>> replay(const ObjectModel& model,
+                                                   const OpSequence& seq) {
+  auto state = model.initial_state();
+  for (const OpInstance& inst : seq) {
+    Value determined = state->apply(inst.op);
+    if (!(determined == inst.ret)) return std::nullopt;
+  }
+  return state;
+}
+
+bool legal(const ObjectModel& model, const OpSequence& seq) {
+  return replay(model, seq).has_value();
+}
+
+Value determined_return(const ObjectModel& model, const OpSequence& rho,
+                        const Operation& op) {
+  auto state = model.initial_state();
+  for (const OpInstance& inst : rho) state->apply(inst.op);
+  return state->apply(op);
+}
+
+OpInstance instance_after(const ObjectModel& model, const OpSequence& rho,
+                          const Operation& op) {
+  return OpInstance{op, determined_return(model, rho, op)};
+}
+
+bool equivalent(const ObjectModel& model, const OpSequence& a, const OpSequence& b) {
+  auto sa = replay(model, a);
+  auto sb = replay(model, b);
+  if (!sa || !sb) return false;
+  return (*sa)->equals(**sb);
+}
+
+namespace {
+
+// Depth-first probe enumeration: extend the pair of replayed states with
+// every op in the universe; the probe instance takes the return determined
+// along rho1's branch.  If that instance is legal after rho1 but not after
+// rho2, rho1 does not look like rho2.
+bool probe_dfs(const ObjectModel& model, const ObjectState& s1,
+               const ObjectState& s2, const std::vector<Operation>& probe_ops,
+               int depth_left) {
+  if (depth_left == 0) return true;
+  for (const Operation& op : probe_ops) {
+    auto n1 = s1.clone();
+    auto n2 = s2.clone();
+    Value r1 = n1->apply(op);
+    Value r2 = n2->apply(op);
+    // The probe instance OP(arg, r1) is legal after rho1 by construction;
+    // Definition C.1 demands it also be legal after rho2.
+    if (!(r1 == r2)) return false;
+    if (!probe_dfs(model, *n1, *n2, probe_ops, depth_left - 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool looks_like_bounded(const ObjectModel& model, const OpSequence& rho1,
+                        const OpSequence& rho2,
+                        const std::vector<Operation>& probe_ops, int max_depth) {
+  auto s1 = replay(model, rho1);
+  auto s2 = replay(model, rho2);
+  if (!s1 || !s2) return false;  // only legal sequences are compared
+  return probe_dfs(model, **s1, **s2, probe_ops, max_depth);
+}
+
+std::vector<OpSequence> all_permutations(const OpSequence& ops) {
+  std::vector<std::size_t> idx(ops.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<OpSequence> out;
+  do {
+    OpSequence perm;
+    perm.reserve(ops.size());
+    for (std::size_t i : idx) perm.push_back(ops[i]);
+    out.push_back(std::move(perm));
+  } while (std::next_permutation(idx.begin(), idx.end()));
+  return out;
+}
+
+std::vector<OpSequence> legal_permutations(const ObjectModel& model,
+                                           const OpSequence& rho,
+                                           const OpSequence& ops) {
+  std::vector<OpSequence> out;
+  for (OpSequence& perm : all_permutations(ops)) {
+    if (legal(model, concat(rho, perm))) out.push_back(std::move(perm));
+  }
+  return out;
+}
+
+}  // namespace linbound

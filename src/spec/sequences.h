@@ -1,0 +1,64 @@
+// Legality, equivalence and permutation utilities over operation sequences
+// (the executable core of Chapter II).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "spec/object_model.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+/// Replay a sequence of *operations* (ignoring instance returns) from the
+/// initial state; returns the resulting state.
+std::unique_ptr<ObjectState> state_after_ops(const ObjectModel& model,
+                                             const std::vector<Operation>& ops);
+
+/// Replay an instance sequence from the initial state, checking at each step
+/// that the recorded return equals the determined return.  Returns the final
+/// state on success, nullopt if the sequence is illegal.
+std::optional<std::unique_ptr<ObjectState>> replay(const ObjectModel& model,
+                                                   const OpSequence& seq);
+
+/// Is the instance sequence legal from the initial state?
+bool legal(const ObjectModel& model, const OpSequence& seq);
+
+/// The determined return value of `op` after the (assumed legal) prefix
+/// `rho` -- i.e. the unique ret making rho ∘ OP(arg, ret) legal
+/// (Definition A.1).
+Value determined_return(const ObjectModel& model, const OpSequence& rho,
+                        const Operation& op);
+
+/// rho ∘ op with the determined return filled in.  This is how the paper
+/// constructs instances that are "legal after rho".
+OpInstance instance_after(const ObjectModel& model, const OpSequence& rho,
+                          const Operation& op);
+
+/// Equivalence of two *legal* sequences (Definition C.2).  For the
+/// state-based specifications in this library, equivalence is final-state
+/// equality; if either sequence is illegal they are not equivalent (an
+/// illegal sequence has no continuations at all, vacuously "looks like"
+/// nothing useful; the paper only ever compares legal sequences).
+bool equivalent(const ObjectModel& model, const OpSequence& a, const OpSequence& b);
+
+/// Bounded-depth approximation of Definition C.1 ("rho1 looks like rho2"):
+/// for every probe continuation built from `probe_ops` up to length
+/// `max_depth` (instances get determined returns along rho1), legality after
+/// rho1 implies legality after rho2.  Exponential in depth; intended for
+/// tests that cross-validate `equivalent` on small universes.
+bool looks_like_bounded(const ObjectModel& model, const OpSequence& rho1,
+                        const OpSequence& rho2,
+                        const std::vector<Operation>& probe_ops, int max_depth);
+
+/// All permutations of `ops` (as index sequences applied to `ops`).
+/// n! growth; callers keep n small (the paper's proofs use n <= k <= 8).
+std::vector<OpSequence> all_permutations(const OpSequence& ops);
+
+/// The legal permutations of `ops` after prefix `rho`.
+std::vector<OpSequence> legal_permutations(const ObjectModel& model,
+                                           const OpSequence& rho,
+                                           const OpSequence& ops);
+
+}  // namespace linbound

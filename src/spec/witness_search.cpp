@@ -1,0 +1,100 @@
+#include "spec/witness_search.h"
+
+#include "spec/properties.h"
+#include "spec/sequences.h"
+
+namespace linbound {
+namespace {
+
+bool prefix_dfs(const ObjectModel& model, const SearchUniverse& universe,
+                OpSequence& rho, int depth_left, std::size_t& visited,
+                const std::function<bool(const OpSequence&)>& fn) {
+  ++visited;
+  if (!fn(rho)) return false;
+  if (depth_left == 0) return true;
+  for (const Operation& op : universe.ops) {
+    rho.push_back(instance_after(model, rho, op));
+    // Determined returns keep every generated prefix legal by construction.
+    const bool keep_going = prefix_dfs(model, universe, rho, depth_left - 1, visited, fn);
+    rho.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+using PairPredicate = bool (*)(const ObjectModel&, const OpSequence&,
+                               const Operation&, const Operation&);
+
+std::optional<PairWitness> find_pair_witness(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates1,
+    const std::vector<Operation>& candidates2, PairPredicate pred) {
+  std::optional<PairWitness> found;
+  OpSequence rho;
+  std::size_t visited = 0;
+  prefix_dfs(model, universe, rho, universe.max_prefix_len, visited,
+             [&](const OpSequence& prefix) {
+               for (const Operation& op1 : candidates1) {
+                 for (const Operation& op2 : candidates2) {
+                   if (pred(model, prefix, op1, op2)) {
+                     found = PairWitness{prefix, op1, op2};
+                     return false;  // stop the enumeration
+                   }
+                 }
+               }
+               return true;
+             });
+  return found;
+}
+
+}  // namespace
+
+std::size_t for_each_legal_prefix(const ObjectModel& model,
+                                  const SearchUniverse& universe,
+                                  const std::function<bool(const OpSequence&)>& fn) {
+  OpSequence rho;
+  std::size_t visited = 0;
+  prefix_dfs(model, universe, rho, universe.max_prefix_len, visited, fn);
+  return visited;
+}
+
+std::optional<PairWitness> find_immediately_non_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates1,
+    const std::vector<Operation>& candidates2) {
+  return find_pair_witness(model, universe, candidates1, candidates2,
+                           &witness_immediately_non_commuting);
+}
+
+std::optional<PairWitness> find_strongly_non_self_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates) {
+  return find_pair_witness(model, universe, candidates, candidates,
+                           &witness_strongly_immediately_non_commuting);
+}
+
+std::optional<PairWitness> find_eventually_non_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates1,
+    const std::vector<Operation>& candidates2) {
+  return find_pair_witness(model, universe, candidates1, candidates2,
+                           &witness_eventually_non_commuting);
+}
+
+bool check_eventually_self_commuting(const ObjectModel& model,
+                                     const SearchUniverse& universe,
+                                     const std::vector<Operation>& candidates) {
+  return !find_pair_witness(model, universe, candidates, candidates,
+                            &witness_eventually_non_commuting)
+              .has_value();
+}
+
+bool check_immediately_self_commuting(const ObjectModel& model,
+                                      const SearchUniverse& universe,
+                                      const std::vector<Operation>& candidates) {
+  return !find_pair_witness(model, universe, candidates, candidates,
+                            &witness_immediately_non_commuting)
+              .has_value();
+}
+
+}  // namespace linbound

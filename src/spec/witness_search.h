@@ -1,0 +1,74 @@
+// Bounded witness search over small operation universes.
+//
+// Chapter II classifies operation *types* by existential properties.  Given
+// a finite universe of candidate operations (e.g. writes of 0/1/2, reads,
+// increments) this module enumerates legal prefixes rho up to a depth bound
+// and searches for witnesses of each property -- or, dually, verifies that
+// no witness exists up to the bound (bounded universal check, used to
+// confirm e.g. that set-insert is eventually self-commuting).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "spec/object_model.h"
+#include "spec/operation.h"
+
+namespace linbound {
+
+/// A found witness: the prefix and the pair of operations.
+struct PairWitness {
+  OpSequence rho;
+  Operation op1;
+  Operation op2;
+};
+
+/// Search configuration: the candidate operations used both to build
+/// prefixes and as op1/op2, and the maximum prefix length.
+struct SearchUniverse {
+  std::vector<Operation> ops;
+  int max_prefix_len = 2;
+};
+
+/// Enumerate all legal prefixes (instances with determined returns) up to
+/// the universe's depth bound, invoking `fn` on each (including the empty
+/// prefix).  Returns the number of prefixes visited; stops early if `fn`
+/// returns false.
+std::size_t for_each_legal_prefix(const ObjectModel& model,
+                                  const SearchUniverse& universe,
+                                  const std::function<bool(const OpSequence&)>& fn);
+
+/// Find a witness that ops drawn from `candidates1` x `candidates2`
+/// immediately do not commute (Definition B.1).  nullopt if none exists up
+/// to the bound.
+std::optional<PairWitness> find_immediately_non_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates1,
+    const std::vector<Operation>& candidates2);
+
+/// Find a strongly immediately non-self-commuting witness (Definition B.3)
+/// among `candidates` (both ops drawn from the same set).
+std::optional<PairWitness> find_strongly_non_self_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates);
+
+/// Find an eventually-non-commuting witness (Definition C.3).
+std::optional<PairWitness> find_eventually_non_commuting(
+    const ObjectModel& model, const SearchUniverse& universe,
+    const std::vector<Operation>& candidates1,
+    const std::vector<Operation>& candidates2);
+
+/// Bounded universal check of Definition C.6: TRUE iff *no* prefix/pair up
+/// to the bound violates eventual self-commutativity.
+bool check_eventually_self_commuting(const ObjectModel& model,
+                                     const SearchUniverse& universe,
+                                     const std::vector<Operation>& candidates);
+
+/// Bounded universal check of immediate self-commutativity (complement of
+/// Definition B.2 up to the bound).
+bool check_immediately_self_commuting(const ObjectModel& model,
+                                      const SearchUniverse& universe,
+                                      const std::vector<Operation>& candidates);
+
+}  // namespace linbound

@@ -1,0 +1,114 @@
+#include "types/array_type.h"
+
+#include <sstream>
+
+namespace linbound {
+namespace {
+
+class ArrayState final : public ObjectState {
+ public:
+  explicit ArrayState(std::vector<std::int64_t> xs) : xs_(std::move(xs)) {}
+
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<ArrayState>(xs_);
+  }
+
+  Value apply(const Operation& op) override {
+    switch (op.code) {
+      case ArrayModel::kUpdateNext: {
+        const std::int64_t i = op.args.at(0).as_int();  // 1-based
+        if (!in_range(i)) return Value::unit();
+        const std::int64_t a = xs_[static_cast<std::size_t>(i - 1)];
+        const std::int64_t b = op.args.at(1).as_int();
+        if (in_range(i + 1)) xs_[static_cast<std::size_t>(i)] = b;
+        return Value(a);
+      }
+      case ArrayModel::kGet: {
+        const std::int64_t i = op.args.at(0).as_int();
+        if (!in_range(i)) return Value::unit();
+        return Value(xs_[static_cast<std::size_t>(i - 1)]);
+      }
+      case ArrayModel::kPut: {
+        const std::int64_t i = op.args.at(0).as_int();
+        if (in_range(i)) xs_[static_cast<std::size_t>(i - 1)] = op.args.at(1).as_int();
+        return Value::unit();
+      }
+      default:
+        return Value::unit();
+    }
+  }
+
+  bool equals(const ObjectState& other) const override {
+    const auto* o = dynamic_cast<const ArrayState*>(&other);
+    return o != nullptr && o->xs_ == xs_;
+  }
+
+  std::uint64_t fingerprint() const override {
+    Value::List xs;
+    xs.reserve(xs_.size());
+    for (std::int64_t x : xs_) xs.emplace_back(x);
+    return Value(std::move(xs)).hash() ^ 0xa44a44a44a44a44aULL;
+  }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "array[";
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      if (i) os << ",";
+      os << xs_[i];
+    }
+    os << "]";
+    return os.str();
+  }
+
+ private:
+  bool in_range(std::int64_t i) const {
+    return i >= 1 && i <= static_cast<std::int64_t>(xs_.size());
+  }
+
+  std::vector<std::int64_t> xs_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectState> ArrayModel::initial_state() const {
+  return std::make_unique<ArrayState>(initial_);
+}
+
+OpClass ArrayModel::classify(const Operation& op) const {
+  switch (op.code) {
+    case kUpdateNext:
+      return OpClass::kOther;
+    case kGet:
+      return OpClass::kPureAccessor;
+    case kPut:
+      return OpClass::kPureMutator;
+    default:
+      return OpClass::kOther;
+  }
+}
+
+std::string ArrayModel::op_name(OpCode code) const {
+  switch (code) {
+    case kUpdateNext:
+      return "update_next";
+    case kGet:
+      return "get";
+    case kPut:
+      return "put";
+    default:
+      return "op" + std::to_string(code);
+  }
+}
+
+namespace array_ops {
+Operation update_next(std::int64_t i, std::int64_t b) {
+  return Operation{ArrayModel::kUpdateNext, {Value(i), Value(b)}};
+}
+Operation get(std::int64_t i) { return Operation{ArrayModel::kGet, {Value(i)}}; }
+Operation put(std::int64_t i, std::int64_t v) {
+  return Operation{ArrayModel::kPut, {Value(i), Value(v)}};
+}
+}  // namespace array_ops
+
+}  // namespace linbound

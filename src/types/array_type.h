@@ -1,0 +1,41 @@
+// Fixed-size integer array with the paper's UpdateNext operation
+// (Chapter II.B) -- the worked example of an operation type that is
+// immediately non-self-commuting but NOT strongly so.
+//
+//   update_next(i, b) -> a[i]   OOP.  Returns the i-th element; if i is not
+//                               the last index, writes b into a[i+1].
+//                               Indices are 1-based, as in the paper.
+//   get(i)            -> a[i]   AOP.
+//   put(i, v)         -> ()     MOP (plain positional write).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class ArrayModel final : public ObjectModel {
+ public:
+  enum Code : OpCode { kUpdateNext = 0, kGet = 1, kPut = 2 };
+
+  /// The paper's example uses size 2; any size >= 1 is supported.
+  explicit ArrayModel(std::vector<std::int64_t> initial) : initial_(std::move(initial)) {}
+
+  std::string name() const override { return "array"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+ private:
+  std::vector<std::int64_t> initial_;
+};
+
+namespace array_ops {
+Operation update_next(std::int64_t i, std::int64_t b);
+Operation get(std::int64_t i);
+Operation put(std::int64_t i, std::int64_t v);
+}  // namespace array_ops
+
+}  // namespace linbound

@@ -1,0 +1,39 @@
+// FIFO queue (Table II of the paper).
+//
+//   enqueue(v) -> ()                      MOP (non-overwriting mutator)
+//   dequeue()  -> head, or () when empty  OOP (strongly INSC when nonempty)
+//   peek()     -> head, or () when empty  AOP
+//   size()     -> length                  AOP
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class QueueModel final : public ObjectModel {
+ public:
+  enum Code : OpCode { kEnqueue = 0, kDequeue = 1, kPeek = 2, kSize = 3 };
+
+  explicit QueueModel(std::vector<std::int64_t> initial = {})
+      : initial_(std::move(initial)) {}
+
+  std::string name() const override { return "queue"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+ private:
+  std::vector<std::int64_t> initial_;
+};
+
+namespace queue_ops {
+Operation enqueue(std::int64_t v);
+Operation dequeue();
+Operation peek();
+Operation size();
+}  // namespace queue_ops
+
+}  // namespace linbound

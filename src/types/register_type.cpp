@@ -1,0 +1,100 @@
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+class RegisterState final : public ObjectState {
+ public:
+  explicit RegisterState(std::int64_t v) : value_(v) {}
+
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<RegisterState>(value_);
+  }
+
+  Value apply(const Operation& op) override {
+    switch (op.code) {
+      case RegisterModel::kRead:
+        return Value(value_);
+      case RegisterModel::kWrite:
+        value_ = op.args.at(0).as_int();
+        return Value::unit();
+      case RegisterModel::kRmw: {
+        const std::int64_t old = value_;
+        value_ = op.args.at(0).as_int();
+        return Value(old);
+      }
+      case RegisterModel::kIncrement:
+        value_ += op.args.at(0).as_int();
+        return Value::unit();
+      case RegisterModel::kCas: {
+        const std::int64_t expected = op.args.at(0).as_int();
+        if (value_ != expected) return Value(false);
+        value_ = op.args.at(1).as_int();
+        return Value(true);
+      }
+      default:
+        return Value::unit();
+    }
+  }
+
+  bool equals(const ObjectState& other) const override {
+    const auto* o = dynamic_cast<const RegisterState*>(&other);
+    return o != nullptr && o->value_ == value_;
+  }
+
+  std::uint64_t fingerprint() const override { return Value(value_).hash(); }
+
+  std::string to_string() const override { return "reg(" + std::to_string(value_) + ")"; }
+
+ private:
+  std::int64_t value_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectState> RegisterModel::initial_state() const {
+  return std::make_unique<RegisterState>(initial_);
+}
+
+OpClass RegisterModel::classify(const Operation& op) const {
+  switch (op.code) {
+    case kRead:
+      return OpClass::kPureAccessor;
+    case kWrite:
+    case kIncrement:
+      return OpClass::kPureMutator;
+    default:
+      return OpClass::kOther;  // rmw, cas
+  }
+}
+
+std::string RegisterModel::op_name(OpCode code) const {
+  switch (code) {
+    case kRead:
+      return "read";
+    case kWrite:
+      return "write";
+    case kRmw:
+      return "rmw";
+    case kIncrement:
+      return "increment";
+    case kCas:
+      return "cas";
+    default:
+      return "op" + std::to_string(code);
+  }
+}
+
+namespace reg {
+Operation read() { return Operation{RegisterModel::kRead, {}}; }
+Operation write(std::int64_t v) { return Operation{RegisterModel::kWrite, {Value(v)}}; }
+Operation rmw(std::int64_t v) { return Operation{RegisterModel::kRmw, {Value(v)}}; }
+Operation increment(std::int64_t k) {
+  return Operation{RegisterModel::kIncrement, {Value(k)}};
+}
+Operation cas(std::int64_t expected, std::int64_t desired) {
+  return Operation{RegisterModel::kCas, {Value(expected), Value(desired)}};
+}
+}  // namespace reg
+
+}  // namespace linbound

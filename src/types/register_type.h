@@ -1,0 +1,46 @@
+// Read/Write/Read-Modify-Write register (Table I of the paper).
+//
+// Operations and their Chapter V classes:
+//   read()          -> value                      AOP (pure accessor)
+//   write(v)        -> ()                         MOP (pure mutator, overwriter)
+//   rmw(v)          -> old value, then writes v   OOP (strongly INSC)
+//   increment(k)    -> ()                         MOP (commuting, non-overwriting)
+//   cas(e, v)       -> bool; writes v iff == e    OOP (strongly INSC)
+#pragma once
+
+#include <cstdint>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class RegisterModel final : public ObjectModel {
+ public:
+  enum Code : OpCode { kRead = 0, kWrite = 1, kRmw = 2, kIncrement = 3, kCas = 4 };
+
+  /// `initial` is the register's initial value (the paper initializes with
+  /// a prior write(0); an explicit initial value is the same thing).
+  explicit RegisterModel(std::int64_t initial = 0) : initial_(initial) {}
+
+  std::string name() const override { return "register"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+ private:
+  std::int64_t initial_;
+};
+
+/// Operation constructors.
+namespace reg {
+Operation read();
+Operation write(std::int64_t v);
+/// Fetch-and-store: returns the current value and writes `v`.
+Operation rmw(std::int64_t v);
+Operation increment(std::int64_t k);
+/// Compare-and-swap: writes `desired` iff the current value equals
+/// `expected`; returns whether it did.
+Operation cas(std::int64_t expected, std::int64_t desired);
+}  // namespace reg
+
+}  // namespace linbound

@@ -1,0 +1,107 @@
+#include "types/set_type.h"
+
+#include <set>
+#include <sstream>
+
+namespace linbound {
+namespace {
+
+class SetState final : public ObjectState {
+ public:
+  explicit SetState(std::set<std::int64_t> items) : items_(std::move(items)) {}
+
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<SetState>(items_);
+  }
+
+  Value apply(const Operation& op) override {
+    switch (op.code) {
+      case SetModel::kInsert:
+        items_.insert(op.args.at(0).as_int());
+        return Value::unit();
+      case SetModel::kErase:
+        items_.erase(op.args.at(0).as_int());
+        return Value::unit();
+      case SetModel::kContains:
+        return Value(items_.count(op.args.at(0).as_int()) > 0);
+      case SetModel::kSize:
+        return Value(static_cast<std::int64_t>(items_.size()));
+      default:
+        return Value::unit();
+    }
+  }
+
+  bool equals(const ObjectState& other) const override {
+    const auto* o = dynamic_cast<const SetState*>(&other);
+    return o != nullptr && o->items_ == items_;
+  }
+
+  std::uint64_t fingerprint() const override {
+    Value::List xs;
+    xs.reserve(items_.size());
+    for (std::int64_t x : items_) xs.emplace_back(x);
+    return Value(std::move(xs)).hash() ^ 0x5e75e75e75e75e70ULL;
+  }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "set{";
+    bool first = true;
+    for (std::int64_t x : items_) {
+      if (!first) os << ",";
+      first = false;
+      os << x;
+    }
+    os << "}";
+    return os.str();
+  }
+
+ private:
+  std::set<std::int64_t> items_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectState> SetModel::initial_state() const {
+  return std::make_unique<SetState>(
+      std::set<std::int64_t>(initial_.begin(), initial_.end()));
+}
+
+OpClass SetModel::classify(const Operation& op) const {
+  switch (op.code) {
+    case kInsert:
+    case kErase:
+      return OpClass::kPureMutator;
+    case kContains:
+    case kSize:
+      return OpClass::kPureAccessor;
+    default:
+      return OpClass::kOther;
+  }
+}
+
+std::string SetModel::op_name(OpCode code) const {
+  switch (code) {
+    case kInsert:
+      return "insert";
+    case kErase:
+      return "erase";
+    case kContains:
+      return "contains";
+    case kSize:
+      return "size";
+    default:
+      return "op" + std::to_string(code);
+  }
+}
+
+namespace set_ops {
+Operation insert(std::int64_t v) { return Operation{SetModel::kInsert, {Value(v)}}; }
+Operation erase(std::int64_t v) { return Operation{SetModel::kErase, {Value(v)}}; }
+Operation contains(std::int64_t v) {
+  return Operation{SetModel::kContains, {Value(v)}};
+}
+Operation size() { return Operation{SetModel::kSize, {}}; }
+}  // namespace set_ops
+
+}  // namespace linbound

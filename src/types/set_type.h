@@ -1,0 +1,42 @@
+// Integer set -- the paper's example of *eventually self-commuting*
+// mutators (Definition C.6: "consider the insert and delete operations on a
+// set.  The order of insertion or deletion does not affect the elements in
+// the set").
+//
+//   insert(v)   -> ()      MOP (eventually self-commuting)
+//   erase(v)    -> ()      MOP (eventually self-commuting)
+//   contains(v) -> bool    AOP
+//   size()      -> count   AOP
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class SetModel final : public ObjectModel {
+ public:
+  enum Code : OpCode { kInsert = 0, kErase = 1, kContains = 2, kSize = 3 };
+
+  explicit SetModel(std::vector<std::int64_t> initial = {})
+      : initial_(std::move(initial)) {}
+
+  std::string name() const override { return "set"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+ private:
+  std::vector<std::int64_t> initial_;
+};
+
+namespace set_ops {
+Operation insert(std::int64_t v);
+Operation erase(std::int64_t v);
+Operation contains(std::int64_t v);
+Operation size();
+}  // namespace set_ops
+
+}  // namespace linbound

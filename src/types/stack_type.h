@@ -1,0 +1,39 @@
+// LIFO stack (Table III of the paper).
+//
+//   push(v) -> ()                     MOP (non-overwriting mutator)
+//   pop()   -> top, or () when empty  OOP (strongly INSC when nonempty)
+//   peek()  -> top, or () when empty  AOP
+//   size()  -> length                 AOP
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class StackModel final : public ObjectModel {
+ public:
+  enum Code : OpCode { kPush = 0, kPop = 1, kPeek = 2, kSize = 3 };
+
+  explicit StackModel(std::vector<std::int64_t> initial = {})
+      : initial_(std::move(initial)) {}
+
+  std::string name() const override { return "stack"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+
+ private:
+  std::vector<std::int64_t> initial_;  // bottom..top
+};
+
+namespace stack_ops {
+Operation push(std::int64_t v);
+Operation pop();
+Operation peek();
+Operation size();
+}  // namespace stack_ops
+
+}  // namespace linbound

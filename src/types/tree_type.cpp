@@ -1,0 +1,190 @@
+#include "types/tree_type.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace linbound {
+namespace {
+
+/// State is the parent map: key -> parent key.  The root (key 0) is
+/// implicit and never appears as a map key.
+class TreeState final : public ObjectState {
+ public:
+  TreeState() = default;
+  explicit TreeState(std::map<std::int64_t, std::int64_t> parent)
+      : parent_(std::move(parent)) {}
+
+  std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<TreeState>(parent_);
+  }
+
+  Value apply(const Operation& op) override {
+    switch (op.code) {
+      case TreeModel::kInsert: {
+        const std::int64_t key = op.args.at(0).as_int();
+        const std::int64_t parent = op.args.at(1).as_int();
+        if (key == TreeModel::kRootKey) return Value::unit();
+        if (!exists(parent)) return Value::unit();
+        if (in_subtree(parent, key)) return Value::unit();  // would cycle
+        parent_[key] = parent;  // create, or move with subtree intact
+        return Value::unit();
+      }
+      case TreeModel::kRemoveLeaf: {
+        const std::int64_t key = op.args.at(0).as_int();
+        if (key == TreeModel::kRootKey || !exists(key)) return Value::unit();
+        if (!is_leaf(key)) return Value::unit();
+        parent_.erase(key);
+        return Value::unit();
+      }
+      case TreeModel::kErase: {
+        const std::int64_t key = op.args.at(0).as_int();
+        if (key == TreeModel::kRootKey || !exists(key)) return Value::unit();
+        erase_subtree(key);
+        return Value::unit();
+      }
+      case TreeModel::kSearch:
+        return Value(exists(op.args.at(0).as_int()));
+      case TreeModel::kDepth:
+        return Value(height());
+      default:
+        return Value::unit();
+    }
+  }
+
+  bool equals(const ObjectState& other) const override {
+    const auto* o = dynamic_cast<const TreeState*>(&other);
+    return o != nullptr && o->parent_ == parent_;
+  }
+
+  std::uint64_t fingerprint() const override {
+    Value::List xs;
+    xs.reserve(parent_.size());
+    for (const auto& [k, p] : parent_) {
+      xs.emplace_back(Value::List{Value(k), Value(p)});
+    }
+    return Value(std::move(xs)).hash() ^ 0x7ee57ee57ee57ee5ULL;
+  }
+
+  std::string to_string() const override {
+    std::ostringstream os;
+    os << "tree{";
+    bool first = true;
+    for (const auto& [k, p] : parent_) {
+      if (!first) os << ",";
+      first = false;
+      os << k << "<-" << p;
+    }
+    os << "}";
+    return os.str();
+  }
+
+ private:
+  bool exists(std::int64_t key) const {
+    return key == TreeModel::kRootKey || parent_.count(key) > 0;
+  }
+
+  bool is_leaf(std::int64_t key) const {
+    return std::none_of(parent_.begin(), parent_.end(),
+                        [key](const auto& kv) { return kv.second == key; });
+  }
+
+  /// Is `node` inside the subtree rooted at `root_key` (inclusive)?
+  bool in_subtree(std::int64_t node, std::int64_t root_key) const {
+    std::int64_t cur = node;
+    // Walk up the (acyclic by construction) parent chain.
+    while (true) {
+      if (cur == root_key) return true;
+      if (cur == TreeModel::kRootKey) return false;
+      auto it = parent_.find(cur);
+      if (it == parent_.end()) return false;  // dangling: treat as detached
+      cur = it->second;
+    }
+  }
+
+  void erase_subtree(std::int64_t root_key) {
+    // Collect first: erasing while iterating would break the parent chains
+    // that in_subtree walks.
+    std::vector<std::int64_t> doomed;
+    for (const auto& [k, p] : parent_) {
+      (void)p;
+      if (in_subtree(k, root_key)) doomed.push_back(k);
+    }
+    for (std::int64_t k : doomed) parent_.erase(k);
+  }
+
+  std::int64_t height() const {
+    std::int64_t best = 0;
+    for (const auto& [k, p] : parent_) {
+      (void)p;
+      std::int64_t depth = 0;
+      std::int64_t cur = k;
+      while (cur != TreeModel::kRootKey) {
+        auto it = parent_.find(cur);
+        if (it == parent_.end()) break;
+        cur = it->second;
+        ++depth;
+      }
+      best = std::max(best, depth);
+    }
+    return best;
+  }
+
+  std::map<std::int64_t, std::int64_t> parent_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectState> TreeModel::initial_state() const {
+  return std::make_unique<TreeState>();
+}
+
+OpClass TreeModel::classify(const Operation& op) const {
+  switch (op.code) {
+    case kInsert:
+    case kRemoveLeaf:
+    case kErase:
+      return OpClass::kPureMutator;
+    case kSearch:
+    case kDepth:
+      return OpClass::kPureAccessor;
+    default:
+      return OpClass::kOther;
+  }
+}
+
+std::string TreeModel::op_name(OpCode code) const {
+  switch (code) {
+    case kInsert:
+      return "insert";
+    case kRemoveLeaf:
+      return "remove_leaf";
+    case kErase:
+      return "erase";
+    case kSearch:
+      return "search";
+    case kDepth:
+      return "depth";
+    default:
+      return "op" + std::to_string(code);
+  }
+}
+
+namespace tree_ops {
+Operation insert(std::int64_t key, std::int64_t parent) {
+  return Operation{TreeModel::kInsert, {Value(key), Value(parent)}};
+}
+Operation remove_leaf(std::int64_t key) {
+  return Operation{TreeModel::kRemoveLeaf, {Value(key)}};
+}
+Operation erase(std::int64_t key) {
+  return Operation{TreeModel::kErase, {Value(key)}};
+}
+Operation search(std::int64_t key) {
+  return Operation{TreeModel::kSearch, {Value(key)}};
+}
+Operation depth() { return Operation{TreeModel::kDepth, {}}; }
+}  // namespace tree_ops
+
+}  // namespace linbound

@@ -1,0 +1,63 @@
+// Rooted tree (Table IV of the paper).
+//
+// The thesis names the operations (insert, delete, search, depth) but never
+// fixes the tree's sequential semantics.  We pick semantics that realize the
+// classifications its Table IV relies on, and document the one divergence:
+//
+//   insert(k, p)   -> ()    MOP.  Attach node k under p; if k already
+//                           exists, *move* k (with its subtree) under p.
+//                           No-op if p is absent, k is the root, or p lies
+//                           inside k's subtree (a cycle).  Move semantics
+//                           make insert eventually non-self-last-permuting
+//                           for arbitrary k (last mover wins on k's parent),
+//                           which is what Theorem D.1 needs for the
+//                           (1-1/n)u lower bound.
+//   remove_leaf(k) -> ()    MOP.  Remove k if it is currently a leaf,
+//                           otherwise no-op.  Order-sensitive (a k=2
+//                           witness exists); the full k=n witness does not
+//                           exist for return-nothing deletes on a tree --
+//                           see EXPERIMENTS.md for the discussion.
+//   erase(k)       -> ()    MOP.  Remove the whole subtree rooted at k
+//                           (no-op if absent or root).  Eventually
+//                           self-commuting, provided for applications.
+//   search(k)      -> bool  AOP.
+//   depth()        -> int   AOP.  Height of the tree (edges on the longest
+//                           root-to-leaf path); observes the structure that
+//                           mutator order determines.
+//
+// The root has key 0 and always exists.
+#pragma once
+
+#include <cstdint>
+
+#include "spec/object_model.h"
+
+namespace linbound {
+
+class TreeModel final : public ObjectModel {
+ public:
+  enum Code : OpCode {
+    kInsert = 0,
+    kRemoveLeaf = 1,
+    kErase = 2,
+    kSearch = 3,
+    kDepth = 4,
+  };
+
+  static constexpr std::int64_t kRootKey = 0;
+
+  std::string name() const override { return "tree"; }
+  std::unique_ptr<ObjectState> initial_state() const override;
+  OpClass classify(const Operation& op) const override;
+  std::string op_name(OpCode code) const override;
+};
+
+namespace tree_ops {
+Operation insert(std::int64_t key, std::int64_t parent);
+Operation remove_leaf(std::int64_t key);
+Operation erase(std::int64_t key);
+Operation search(std::int64_t key);
+Operation depth();
+}  // namespace tree_ops
+
+}  // namespace linbound

@@ -1,0 +1,89 @@
+#include "types/array_type.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/properties.h"
+#include "spec/sequences.h"
+
+namespace linbound {
+namespace {
+
+TEST(ArrayType, UpdateNextReturnsCurrentAndWritesNext) {
+  ArrayModel model({10, 20});
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(array_ops::update_next(1, 99)), Value(10));
+  EXPECT_EQ(s->apply(array_ops::get(2)), Value(99));
+}
+
+TEST(ArrayType, UpdateNextOnLastIndexModifiesNothing) {
+  ArrayModel model({10, 20});
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(array_ops::update_next(2, 99)), Value(20));
+  EXPECT_EQ(s->apply(array_ops::get(1)), Value(10));
+  EXPECT_EQ(s->apply(array_ops::get(2)), Value(20));
+}
+
+TEST(ArrayType, OutOfRangeIndexReturnsUnit) {
+  ArrayModel model({1});
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(array_ops::update_next(5, 9)), Value::unit());
+  EXPECT_EQ(s->apply(array_ops::get(0)), Value::unit());
+}
+
+TEST(ArrayType, PutWrites) {
+  ArrayModel model({0, 0});
+  auto s = model.initial_state();
+  s->apply(array_ops::put(2, 8));
+  EXPECT_EQ(s->apply(array_ops::get(2)), Value(8));
+}
+
+TEST(ArrayType, Classification) {
+  ArrayModel model({0, 0});
+  EXPECT_EQ(model.classify(array_ops::update_next(1, 2)), OpClass::kOther);
+  EXPECT_EQ(model.classify(array_ops::get(1)), OpClass::kPureAccessor);
+  EXPECT_EQ(model.classify(array_ops::put(1, 2)), OpClass::kPureMutator);
+}
+
+// ---- The paper's Chapter II.B worked example -------------------------------
+
+TEST(ArrayType, UpdateNextIsImmediatelyNonSelfCommuting) {
+  // Array [x, y] = [10, 20], rho empty, op1 = UpdateNext(1, z), z != y,
+  // op2 = UpdateNext(2, z).  rho∘op1, rho∘op2 and rho∘op2∘op1 are legal but
+  // rho∘op1∘op2 is illegal (op2 would return z, not y).
+  ArrayModel model({10, 20});
+  EXPECT_TRUE(witness_immediately_non_commuting(
+      model, {}, array_ops::update_next(1, 99), array_ops::update_next(2, 99)));
+}
+
+TEST(ArrayType, UpdateNextExactSequenceLegalities) {
+  ArrayModel model({10, 20});
+  OpInstance op1{array_ops::update_next(1, 99), Value(10)};
+  OpInstance op2{array_ops::update_next(2, 99), Value(20)};
+  EXPECT_TRUE(legal(model, {op1}));
+  EXPECT_TRUE(legal(model, {op2}));
+  EXPECT_TRUE(legal(model, {op2, op1}));   // op2 modifies nothing
+  EXPECT_FALSE(legal(model, {op1, op2}));  // op1 overwrote slot 2 with 99
+}
+
+TEST(ArrayType, UpdateNextIsNotStronglyNonSelfCommuting) {
+  // The paper's four-case argument: for every prefix and every pair of
+  // UpdateNext instances that are individually legal, at least one order is
+  // legal.  Checked exhaustively over a small universe.
+  ArrayModel model({10, 20});
+  std::vector<Operation> candidates;
+  for (std::int64_t i = 1; i <= 2; ++i) {
+    for (std::int64_t b : {10, 20, 99}) {
+      candidates.push_back(array_ops::update_next(i, b));
+    }
+  }
+  for (const Operation& op1 : candidates) {
+    for (const Operation& op2 : candidates) {
+      EXPECT_FALSE(
+          witness_strongly_immediately_non_commuting(model, {}, op1, op2))
+          << model.describe(op1) << " / " << model.describe(op2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,66 @@
+#include "core/centralized_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemOptions options() {
+  SystemOptions o;
+  o.n = 4;
+  o.timing = SystemTiming{1000, 400, 100};
+  return o;
+}
+
+TEST(Centralized, RemoteOperationTakesTwoRoundTripDelays) {
+  auto model = std::make_shared<RegisterModel>();
+  CentralizedSystem system(model, options());
+  system.sim().invoke_at(500, 2, reg::write(1));
+  History h = system.run_to_completion();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.ops()[0].response - h.ops()[0].invoke, 2000);  // 2d, all-d policy
+}
+
+TEST(Centralized, CoordinatorOperationIsInstant) {
+  auto model = std::make_shared<RegisterModel>(9);
+  CentralizedSystem system(model, options());
+  system.sim().invoke_at(500, 0, reg::read());
+  History h = system.run_to_completion();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.ops()[0].response, h.ops()[0].invoke);
+  EXPECT_EQ(h.ops()[0].ret, Value(9));
+}
+
+TEST(Centralized, LatencyNeverExceeds2d) {
+  auto model = std::make_shared<QueueModel>();
+  SystemOptions o = options();
+  o.delays = std::make_shared<UniformDelayPolicy>(o.timing, 5);
+  CentralizedSystem system(model, o);
+  // One op per process per "era", eras spaced past the 2d worst case.
+  for (int i = 0; i < 8; ++i) {
+    system.sim().invoke_at(3000 * (i / 4) + 10 * (i % 4), i % 4,
+                           i % 2 ? queue_ops::dequeue() : queue_ops::enqueue(i));
+  }
+  History h = system.run_to_completion();
+  for (const HistoryOp& op : h.ops()) {
+    EXPECT_LE(op.response - op.invoke, 2 * o.timing.d);
+  }
+  EXPECT_TRUE(check_linearizable(*model, h).ok);
+}
+
+TEST(Centralized, LinearizableUnderConcurrency) {
+  auto model = std::make_shared<RegisterModel>();
+  CentralizedSystem system(model, options());
+  system.sim().invoke_at(0, 1, reg::rmw(1));
+  system.sim().invoke_at(0, 2, reg::rmw(2));
+  system.sim().invoke_at(0, 3, reg::rmw(3));
+  History h = system.run_to_completion();
+  EXPECT_TRUE(check_linearizable(*model, h).ok) << h.to_string(*model);
+}
+
+}  // namespace
+}  // namespace linbound

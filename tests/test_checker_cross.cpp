@@ -1,0 +1,99 @@
+// Cross-validation: the search-based checker must agree with brute-force
+// permutation enumeration on randomized small histories, for both
+// linearizability and sequential consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/brute_checker.h"
+#include "checker/lin_checker.h"
+#include "common/rng.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/stack_type.h"
+
+namespace linbound {
+namespace {
+
+/// Generate a random complete history: `n_ops` operations spread over
+/// `n_procs` processes with random (possibly overlapping across processes)
+/// intervals and random-but-plausible return values.
+History random_history(const ObjectModel& model,
+                       const std::vector<Operation>& op_pool, int n_procs,
+                       int n_ops, Rng& rng) {
+  std::vector<HistoryOp> ops;
+  std::vector<Tick> proc_clock(static_cast<std::size_t>(n_procs), 0);
+  // Track a "plausible" state per process so that returns are sometimes
+  // right and sometimes stale.
+  auto global = model.initial_state();
+  for (int k = 0; k < n_ops; ++k) {
+    const int p = static_cast<int>(rng.uniform(0, n_procs - 1));
+    const Operation& op = op_pool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(op_pool.size()) - 1))];
+    const Tick invoke = proc_clock[static_cast<std::size_t>(p)] + rng.uniform(0, 5);
+    const Tick response = invoke + rng.uniform(1, 8);
+    proc_clock[static_cast<std::size_t>(p)] = response + 1;
+    Value ret = global->apply(op);
+    if (rng.chance(0.25)) {
+      // Perturb the return to create potentially-illegal histories.
+      ret = Value(rng.uniform(0, 3));
+    }
+    ops.push_back({p, op, ret, invoke, response});
+  }
+  return History(std::move(ops));
+}
+
+struct CrossCase {
+  std::shared_ptr<ObjectModel> model;
+  std::vector<Operation> pool;
+  const char* name;
+};
+
+class CheckerCrossTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerCrossTest, RegisterHistoriesAgree) {
+  RegisterModel model;
+  std::vector<Operation> pool{reg::read(), reg::write(1), reg::write(2),
+                              reg::rmw(3), reg::increment(1)};
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 40; ++iter) {
+    History h = random_history(model, pool, 3, 6, rng);
+    EXPECT_EQ(check_linearizable(model, h).ok, brute_force_linearizable(model, h))
+        << h.to_string(model);
+    EXPECT_EQ(check_sequentially_consistent(model, h).ok,
+              brute_force_sequentially_consistent(model, h))
+        << h.to_string(model);
+  }
+}
+
+TEST_P(CheckerCrossTest, QueueHistoriesAgree) {
+  QueueModel model;
+  std::vector<Operation> pool{queue_ops::enqueue(1), queue_ops::enqueue(2),
+                              queue_ops::dequeue(), queue_ops::peek()};
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  for (int iter = 0; iter < 40; ++iter) {
+    History h = random_history(model, pool, 3, 6, rng);
+    EXPECT_EQ(check_linearizable(model, h).ok, brute_force_linearizable(model, h))
+        << h.to_string(model);
+  }
+}
+
+TEST_P(CheckerCrossTest, StackHistoriesAgree) {
+  StackModel model;
+  std::vector<Operation> pool{stack_ops::push(1), stack_ops::push(2),
+                              stack_ops::pop(), stack_ops::peek()};
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 11);
+  for (int iter = 0; iter < 40; ++iter) {
+    History h = random_history(model, pool, 2, 7, rng);
+    EXPECT_EQ(check_linearizable(model, h).ok, brute_force_linearizable(model, h))
+        << h.to_string(model);
+    EXPECT_EQ(check_sequentially_consistent(model, h).ok,
+              brute_force_sequentially_consistent(model, h))
+        << h.to_string(model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerCrossTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace linbound

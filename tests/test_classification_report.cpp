@@ -1,0 +1,120 @@
+#include "spec/classification_report.h"
+
+#include <gtest/gtest.h>
+
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/set_type.h"
+
+namespace linbound {
+namespace {
+
+const OpClassification& find_op(const ClassificationReport& report, OpCode code) {
+  for (const OpClassification& c : report.ops) {
+    if (c.code == code) return c;
+  }
+  ADD_FAILURE() << "opcode " << code << " missing from report";
+  static OpClassification dummy;
+  return dummy;
+}
+
+TEST(ClassificationReport, RegisterMatchesThePaper) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::write(1), reg::increment(1),
+           reg::rmw(2), reg::cas(0, 1), reg::cas(1, 2)};
+  u.max_prefix_len = 2;
+  const ClassificationReport report = classify_operations(model, u);
+
+  const auto& read = find_op(report, RegisterModel::kRead);
+  EXPECT_FALSE(read.mutator);
+  EXPECT_TRUE(read.accessor);
+  EXPECT_FALSE(read.immediately_non_self_commuting);
+  EXPECT_FALSE(read.eventually_non_self_commuting);
+  EXPECT_EQ(read.derived_class(), OpClass::kPureAccessor);
+
+  const auto& write = find_op(report, RegisterModel::kWrite);
+  EXPECT_TRUE(write.mutator);
+  EXPECT_FALSE(write.accessor);
+  EXPECT_FALSE(write.immediately_non_self_commuting);
+  EXPECT_TRUE(write.eventually_non_self_commuting);
+  EXPECT_FALSE(write.non_overwriter);  // write IS an overwriter
+  EXPECT_EQ(write.derived_class(), OpClass::kPureMutator);
+
+  const auto& increment = find_op(report, RegisterModel::kIncrement);
+  EXPECT_TRUE(increment.mutator);
+  EXPECT_FALSE(increment.accessor);
+  EXPECT_FALSE(increment.eventually_non_self_commuting);
+  EXPECT_TRUE(increment.non_overwriter);  // the thesis's example
+
+  const auto& rmw = find_op(report, RegisterModel::kRmw);
+  EXPECT_TRUE(rmw.mutator);
+  EXPECT_TRUE(rmw.accessor);
+  EXPECT_TRUE(rmw.immediately_non_self_commuting);
+  EXPECT_TRUE(rmw.strongly_immediately_non_self_commuting);
+  ASSERT_TRUE(rmw.strong_witness.has_value());
+  EXPECT_EQ(rmw.derived_class(), OpClass::kOther);
+
+  const auto& cas = find_op(report, RegisterModel::kCas);
+  EXPECT_TRUE(cas.strongly_immediately_non_self_commuting);
+  EXPECT_EQ(cas.derived_class(), OpClass::kOther);
+}
+
+TEST(ClassificationReport, QueueMatchesThePaper) {
+  QueueModel model;
+  SearchUniverse u;
+  u.ops = {queue_ops::enqueue(1), queue_ops::enqueue(2), queue_ops::dequeue(),
+           queue_ops::peek(), queue_ops::size()};
+  u.max_prefix_len = 2;
+  const ClassificationReport report = classify_operations(model, u);
+
+  const auto& enqueue = find_op(report, QueueModel::kEnqueue);
+  EXPECT_EQ(enqueue.derived_class(), OpClass::kPureMutator);
+  EXPECT_TRUE(enqueue.eventually_non_self_commuting);
+  EXPECT_TRUE(enqueue.non_overwriter);  // the Theorem E.1 hypothesis
+
+  const auto& dequeue = find_op(report, QueueModel::kDequeue);
+  EXPECT_EQ(dequeue.derived_class(), OpClass::kOther);
+  EXPECT_TRUE(dequeue.strongly_immediately_non_self_commuting);
+
+  const auto& peek = find_op(report, QueueModel::kPeek);
+  EXPECT_EQ(peek.derived_class(), OpClass::kPureAccessor);
+}
+
+TEST(ClassificationReport, SetMutatorsSelfCommute) {
+  SetModel model;
+  SearchUniverse u;
+  u.ops = {set_ops::insert(1), set_ops::insert(2), set_ops::contains(1)};
+  u.max_prefix_len = 2;
+  const ClassificationReport report = classify_operations(model, u);
+  const auto& insert = find_op(report, SetModel::kInsert);
+  EXPECT_EQ(insert.derived_class(), OpClass::kPureMutator);
+  EXPECT_FALSE(insert.eventually_non_self_commuting);
+  EXPECT_FALSE(insert.immediately_non_self_commuting);
+}
+
+TEST(ClassificationReport, DerivedClassesMatchDeclared) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::write(1), reg::increment(1),
+           reg::rmw(2)};
+  u.max_prefix_len = 2;
+  for (const OpClassification& c : classify_operations(model, u).ops) {
+    EXPECT_EQ(c.derived_class(), model.classify(Operation{c.code, {}})) << c.name;
+  }
+}
+
+TEST(ClassificationReport, RenderIncludesEveryOp) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::rmw(2)};
+  u.max_prefix_len = 1;
+  const std::string out = classify_operations(model, u).render(model);
+  EXPECT_NE(out.find("read"), std::string::npos);
+  EXPECT_NE(out.find("write"), std::string::npos);
+  EXPECT_NE(out.find("rmw"), std::string::npos);
+  EXPECT_NE(out.find("strongly-INSC witness"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,96 @@
+// Lundelius-Lynch synchronization: achieved skew <= (1 - 1/n) u for every
+// admissible delay policy -- the optimal-eps premise of Chapter V.
+#include "clocksync/lundelius_lynch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace linbound {
+namespace {
+
+SystemTiming timing() { return SystemTiming{1000, 400, 100}; }
+
+std::vector<Tick> offsets_within_bound(int n, Tick spread, Rng& rng) {
+  std::vector<Tick> out(static_cast<std::size_t>(n));
+  for (auto& c : out) c = rng.uniform_tick(0, spread);
+  return out;
+}
+
+TEST(ClockSync, MidpointDelaysSyncPerfectly) {
+  // With every delay exactly d - u/2 the estimates are exact and the
+  // adjusted clocks coincide.
+  const SystemTiming t = timing();
+  auto scaled = run_lundelius_lynch(
+      t, {0, 70, 33, 99}, std::make_shared<FixedDelayPolicy>(t.d - t.u / 2));
+  EXPECT_EQ(worst_skew_scaled(scaled), 0);
+}
+
+TEST(ClockSync, AllMaxDelaysStayWithinOptimalBound) {
+  const SystemTiming t = timing();
+  for (int n : {2, 3, 4, 8}) {
+    Rng rng(17 * static_cast<std::uint64_t>(n));
+    auto offsets = offsets_within_bound(n, 500, rng);
+    auto scaled = run_lundelius_lynch(t, offsets,
+                                      std::make_shared<FixedDelayPolicy>(t.d));
+    EXPECT_LE(worst_skew_scaled(scaled), optimal_skew_scaled(n, t)) << "n=" << n;
+  }
+}
+
+TEST(ClockSync, AllMinDelaysStayWithinOptimalBound) {
+  const SystemTiming t = timing();
+  auto scaled = run_lundelius_lynch(
+      t, {0, 10, 20, 30}, std::make_shared<FixedDelayPolicy>(t.min_delay()));
+  EXPECT_LE(worst_skew_scaled(scaled), optimal_skew_scaled(4, t));
+}
+
+TEST(ClockSync, UniformDelaysAcrossSeedsStayWithinBound) {
+  const SystemTiming t = timing();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 31 + 7);
+    const int n = 2 + static_cast<int>(seed % 6);
+    auto offsets = offsets_within_bound(n, 1000, rng);
+    auto scaled = run_lundelius_lynch(
+        t, offsets, std::make_shared<UniformDelayPolicy>(t, seed));
+    EXPECT_LE(worst_skew_scaled(scaled), optimal_skew_scaled(n, t))
+        << "seed=" << seed << " n=" << n;
+  }
+}
+
+TEST(ClockSync, AdversarialAsymmetricMatrixStaysWithinBound) {
+  // One direction fast, the other slow -- the classic worst case for pair
+  // estimation.
+  const SystemTiming t = timing();
+  const int n = 4;
+  auto matrix = std::make_shared<MatrixDelayPolicy>(n, t.d);
+  for (ProcessId i = 0; i < n; ++i) {
+    for (ProcessId j = 0; j < n; ++j) {
+      if (i < j) matrix->set(i, j, t.min_delay());
+    }
+  }
+  auto scaled = run_lundelius_lynch(t, {0, 0, 0, 0}, matrix);
+  EXPECT_LE(worst_skew_scaled(scaled), optimal_skew_scaled(n, t));
+  // This adversary should actually get close to the bound: within 50%.
+  EXPECT_GE(worst_skew_scaled(scaled), optimal_skew_scaled(n, t) / 2);
+}
+
+TEST(ClockSync, LargeInitialOffsetsAreCorrected) {
+  // Initial skew far above u is pulled to within the optimum.
+  const SystemTiming t = timing();
+  auto scaled = run_lundelius_lynch(
+      t, {0, 100000, -50000, 7}, std::make_shared<FixedDelayPolicy>(t.d - t.u / 2));
+  EXPECT_EQ(worst_skew_scaled(scaled), 0);
+}
+
+TEST(ClockSync, TwoProcessBoundIsHalfU) {
+  // n = 2: optimum is u/2.
+  const SystemTiming t = timing();
+  auto matrix = std::make_shared<MatrixDelayPolicy>(2, t.d);
+  matrix->set(0, 1, t.min_delay());  // maximal asymmetry
+  auto scaled = run_lundelius_lynch(t, {0, 0}, matrix);
+  // Achieved = exactly the optimum under this adversary.
+  EXPECT_EQ(worst_skew_scaled(scaled), optimal_skew_scaled(2, t));
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,92 @@
+#include "spec/commutativity_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/properties.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/set_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(CommutativityGraph, RegisterEdgesMatchThePaper) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::write(1), reg::rmw(2),
+           reg::increment(1)};
+  u.max_prefix_len = 2;
+  const CommutativityGraph graph = build_commutativity_graph(model, u);
+
+  // read/write: the paper's Definition B.1 example.
+  EXPECT_TRUE(graph.non_commuting(RegisterModel::kRead, RegisterModel::kWrite));
+  // Two writes return nothing: both orders always legal.
+  EXPECT_FALSE(graph.non_commuting(RegisterModel::kWrite, RegisterModel::kWrite));
+  // rmw conflicts with itself (strongly INSC) and with read and write.
+  EXPECT_TRUE(graph.non_commuting(RegisterModel::kRmw, RegisterModel::kRmw));
+  EXPECT_TRUE(graph.non_commuting(RegisterModel::kRmw, RegisterModel::kRead));
+  EXPECT_TRUE(graph.non_commuting(RegisterModel::kRmw, RegisterModel::kWrite));
+  // reads commute with reads; increments with increments and writes.
+  EXPECT_FALSE(graph.non_commuting(RegisterModel::kRead, RegisterModel::kRead));
+  EXPECT_FALSE(
+      graph.non_commuting(RegisterModel::kIncrement, RegisterModel::kIncrement));
+  EXPECT_FALSE(
+      graph.non_commuting(RegisterModel::kIncrement, RegisterModel::kWrite));
+  // read/increment DO conflict immediately: the read's value changes.
+  EXPECT_TRUE(
+      graph.non_commuting(RegisterModel::kRead, RegisterModel::kIncrement));
+}
+
+TEST(CommutativityGraph, EdgesCarryValidWitnesses) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::write(1), reg::rmw(2)};
+  u.max_prefix_len = 2;
+  for (const auto& edge : build_commutativity_graph(model, u).edges) {
+    EXPECT_TRUE(witness_immediately_non_commuting(model, edge.witness.rho,
+                                                  edge.witness.op1,
+                                                  edge.witness.op2))
+        << model.op_name(edge.a) << "/" << model.op_name(edge.b);
+  }
+}
+
+TEST(CommutativityGraph, QueueEdges) {
+  QueueModel model;
+  SearchUniverse u;
+  u.ops = {queue_ops::enqueue(1), queue_ops::enqueue(2), queue_ops::dequeue(),
+           queue_ops::peek(), queue_ops::size()};
+  u.max_prefix_len = 2;
+  const CommutativityGraph graph = build_commutativity_graph(model, u);
+  EXPECT_TRUE(graph.non_commuting(QueueModel::kEnqueue, QueueModel::kPeek));
+  EXPECT_TRUE(graph.non_commuting(QueueModel::kEnqueue, QueueModel::kDequeue));
+  EXPECT_TRUE(graph.non_commuting(QueueModel::kDequeue, QueueModel::kDequeue));
+  EXPECT_FALSE(graph.non_commuting(QueueModel::kPeek, QueueModel::kSize));
+  EXPECT_FALSE(graph.non_commuting(QueueModel::kEnqueue, QueueModel::kEnqueue));
+}
+
+TEST(CommutativityGraph, SetMutatorsCommuteImmediately) {
+  SetModel model;
+  SearchUniverse u;
+  u.ops = {set_ops::insert(1), set_ops::insert(2), set_ops::erase(1),
+           set_ops::contains(1)};
+  u.max_prefix_len = 2;
+  const CommutativityGraph graph = build_commutativity_graph(model, u);
+  EXPECT_FALSE(graph.non_commuting(SetModel::kInsert, SetModel::kInsert));
+  EXPECT_FALSE(graph.non_commuting(SetModel::kInsert, SetModel::kErase));
+  EXPECT_TRUE(graph.non_commuting(SetModel::kInsert, SetModel::kContains));
+  EXPECT_TRUE(graph.non_commuting(SetModel::kErase, SetModel::kContains));
+}
+
+TEST(CommutativityGraph, RenderShowsMatrix) {
+  RegisterModel model;
+  SearchUniverse u;
+  u.ops = {reg::read(), reg::write(0), reg::write(1)};
+  u.max_prefix_len = 1;
+  const std::string out = build_commutativity_graph(model, u).render(model);
+  EXPECT_NE(out.find("commutativity graph"), std::string::npos);
+  EXPECT_NE(out.find("read"), std::string::npos);
+  EXPECT_NE(out.find("X"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linbound

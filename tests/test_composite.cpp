@@ -1,0 +1,119 @@
+// Multi-object stores and locality: the paper's linearizability condition
+// restricts one global permutation to each object; Herlihy-Wing locality
+// says checking per-object restrictions is equivalent.
+#include "spec/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.h"
+#include "core/driver.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+std::shared_ptr<CompositeModel> reg_and_queue() {
+  return std::make_shared<CompositeModel>(
+      std::vector<std::shared_ptr<const ObjectModel>>{
+          std::make_shared<RegisterModel>(), std::make_shared<QueueModel>()});
+}
+
+TEST(Composite, RoutesOperationsToSlots) {
+  auto model = reg_and_queue();
+  auto state = model->initial_state();
+  state->apply(CompositeModel::lift(0, reg::write(7)));
+  state->apply(CompositeModel::lift(1, queue_ops::enqueue(9)));
+  EXPECT_EQ(state->apply(CompositeModel::lift(0, reg::read())), Value(7));
+  EXPECT_EQ(state->apply(CompositeModel::lift(1, queue_ops::dequeue())), Value(9));
+}
+
+TEST(Composite, ClassificationDelegates) {
+  auto model = reg_and_queue();
+  EXPECT_EQ(model->classify(CompositeModel::lift(0, reg::read())),
+            OpClass::kPureAccessor);
+  EXPECT_EQ(model->classify(CompositeModel::lift(1, queue_ops::enqueue(1))),
+            OpClass::kPureMutator);
+  EXPECT_EQ(model->classify(CompositeModel::lift(1, queue_ops::dequeue())),
+            OpClass::kOther);
+  EXPECT_EQ(model->op_name(CompositeModel::lift(1, queue_ops::peek()).code),
+            "obj1.peek");
+}
+
+TEST(Composite, EqualityAndCloneAreSlotwise) {
+  auto model = reg_and_queue();
+  auto a = model->initial_state();
+  auto b = a->clone();
+  EXPECT_TRUE(a->equals(*b));
+  a->apply(CompositeModel::lift(1, queue_ops::enqueue(1)));
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+}
+
+TEST(Composite, WholeStoreThroughAlgorithmOne) {
+  auto model = reg_and_queue();
+  SystemOptions o;
+  o.n = 4;
+  o.timing = SystemTiming{1000, 400, 100};
+  o.delays = std::make_shared<ExtremalDelayPolicy>(o.timing, 31);
+  ReplicaSystem system(model, o);
+  // Interleave register and queue traffic from every process.
+  std::vector<ClientScript> scripts;
+  scripts.push_back({0,
+                     {CompositeModel::lift(0, reg::write(1)),
+                      CompositeModel::lift(1, queue_ops::enqueue(10)),
+                      CompositeModel::lift(0, reg::rmw(2))},
+                     1000,
+                     0});
+  scripts.push_back({1,
+                     {CompositeModel::lift(1, queue_ops::enqueue(20)),
+                      CompositeModel::lift(0, reg::read()),
+                      CompositeModel::lift(1, queue_ops::dequeue())},
+                     1000,
+                     0});
+  scripts.push_back({2,
+                     {CompositeModel::lift(0, reg::increment(5)),
+                      CompositeModel::lift(1, queue_ops::peek())},
+                     1500,
+                     0});
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+  const History history = system.run_to_completion();
+
+  // Whole-store check...
+  const CheckResult whole = check_linearizable(*model, history);
+  EXPECT_TRUE(whole.ok) << history.to_string(*model);
+
+  // ...and locality: each restriction is linearizable against its own
+  // model.
+  const History reg_part = restrict_history(history, 0);
+  const History queue_part = restrict_history(history, 1);
+  EXPECT_EQ(reg_part.size() + queue_part.size(), history.size());
+  EXPECT_TRUE(check_linearizable(model->slot(0), reg_part).ok);
+  EXPECT_TRUE(check_linearizable(model->slot(1), queue_part).ok);
+}
+
+TEST(Composite, LocalityDetectsPerObjectViolation) {
+  // A history whose queue part is fine but whose register part has a stale
+  // read: both the whole-store check and the register restriction fail,
+  // the queue restriction passes.
+  auto model = reg_and_queue();
+  History h({{0, CompositeModel::lift(0, reg::write(1)), Value::unit(), 0, 10},
+             {1, CompositeModel::lift(1, queue_ops::enqueue(3)), Value::unit(), 0, 10},
+             {1, CompositeModel::lift(1, queue_ops::peek()), Value(3), 20, 30},
+             {0, CompositeModel::lift(0, reg::read()), Value(0), 20, 30}});
+  EXPECT_FALSE(check_linearizable(*model, h).ok);
+  EXPECT_FALSE(check_linearizable(model->slot(0), restrict_history(h, 0)).ok);
+  EXPECT_TRUE(check_linearizable(model->slot(1), restrict_history(h, 1)).ok);
+}
+
+TEST(Composite, RejectsEmptySlotList) {
+  EXPECT_THROW(
+      CompositeModel(std::vector<std::shared_ptr<const ObjectModel>>{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace linbound

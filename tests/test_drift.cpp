@@ -1,0 +1,145 @@
+// Clock drift (Chapter VII future work): simulator-level semantics, the
+// failure of the uncompensated algorithm once drift-accumulated skew
+// exceeds eps, and the widened-eps compensation that restores safety over
+// a bounded horizon.
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.h"
+#include "core/system.h"
+#include "sim/simulator.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+/// Exposes local_time() and timers for direct clock inspection.
+class ClockProbe final : public Process {
+ public:
+  void on_message(ProcessId, const MessagePayload&) override {}
+  void on_invoke(std::int64_t token, const Operation&) override {
+    respond(token, Value(0));
+  }
+  void on_timer(TimerId, const TimerTag&) override { fired_at = local_time(); }
+  Tick now_local() const { return local_time(); }
+  TimerId arm(Tick local_delta) { return set_timer(local_delta, TimerTag{1, {}}); }
+  Tick fired_at = kNoTime;
+};
+
+TEST(Drift, LocalClockFollowsRate) {
+  SimConfig config;
+  config.timing = SystemTiming{1000, 400, 100};
+  config.clock_offsets = {50, 0};
+  config.clock_drift_ppm = {100000, -100000};  // +-10%
+  Simulator sim(std::move(config));
+  auto* fast = new ClockProbe;
+  auto* slow = new ClockProbe;
+  sim.add_process(std::unique_ptr<Process>(fast));
+  sim.add_process(std::unique_ptr<Process>(slow));
+  sim.start();
+  Tick fast_local = kNoTime, slow_local = kNoTime;
+  sim.call_at(10000, [&] {
+    fast_local = fast->now_local();
+    slow_local = slow->now_local();
+  });
+  sim.run();
+  EXPECT_EQ(fast_local, 50 + 10000 + 1000);  // offset + t + 10%
+  EXPECT_EQ(slow_local, 10000 - 1000);
+}
+
+TEST(Drift, TimerFiresWhenLocalDeltaElapses) {
+  SimConfig config;
+  config.timing = SystemTiming{1000, 400, 100};
+  config.clock_drift_ppm = {100000};  // fast clock: local delta < real delta
+  Simulator sim(std::move(config));
+  auto* probe = new ClockProbe;
+  sim.add_process(std::unique_ptr<Process>(probe));
+  sim.start();
+  Tick armed_local = kNoTime;
+  sim.call_at(1000, [&] {
+    armed_local = probe->now_local();
+    probe->arm(1100);
+  });
+  sim.run();
+  // The timer fires at the first instant the local clock has advanced >=
+  // the requested delta (floor arithmetic allows a tick of overshoot).
+  EXPECT_NE(probe->fired_at, kNoTime);
+  EXPECT_GE(probe->fired_at - armed_local, 1100);
+  EXPECT_LE(probe->fired_at - armed_local, 1101);
+}
+
+TEST(Drift, ZeroDriftIsIdentity) {
+  SimConfig config;
+  config.timing = SystemTiming{1000, 400, 100};
+  Simulator sim(std::move(config));
+  auto* probe = new ClockProbe;
+  sim.add_process(std::unique_ptr<Process>(probe));
+  sim.start();
+  sim.call_at(500, [&] { probe->arm(250); });
+  sim.run();
+  EXPECT_EQ(probe->fired_at, 750);
+}
+
+/// Build a drifting replica system directly over the simulator (the
+/// SystemOptions wrapper stays drift-free on purpose: drift is outside the
+/// paper's model).
+struct DriftingSystem {
+  std::shared_ptr<RegisterModel> model = std::make_shared<RegisterModel>();
+  std::unique_ptr<Simulator> sim;
+
+  DriftingSystem(std::vector<std::int64_t> ppm, const AlgorithmDelays& algo) {
+    SimConfig config;
+    config.timing = SystemTiming{1000, 400, 100};
+    config.clock_drift_ppm = std::move(ppm);
+    sim = std::make_unique<Simulator>(std::move(config));
+    for (int i = 0; i < 3; ++i) {
+      sim->add_process(std::make_unique<ReplicaProcess>(model, algo));
+    }
+  }
+};
+
+TEST(Drift, UncompensatedOrderingBreaksOnceDriftExceedsEps) {
+  // p0's clock runs 10% fast; by t = 10000 it leads by 1000 >> eps = 100.
+  // Two real-time-ordered writes get inverted timestamps and a later read
+  // observes it -- the eps-violation mechanism of Theorem D.1, produced by
+  // drift instead of a bad initial offset.
+  const SystemTiming t{1000, 400, 100};
+  DriftingSystem system({100000, 0, 0}, AlgorithmDelays::standard(t, 0));
+  system.sim->invoke_at(10000, 0, reg::write(1));  // ts ~ 11000
+  system.sim->invoke_at(10500, 1, reg::write(2));  // after p0's ack; ts 10500
+  system.sim->invoke_at(40000, 2, reg::read());
+  system.sim->start();
+  ASSERT_TRUE(system.sim->run());
+  const History h = History::from_trace(system.sim->trace());
+  EXPECT_FALSE(check_linearizable(*system.model, h).ok) << h.to_string(*system.model);
+}
+
+TEST(Drift, CompensationRestoresSafetyOverTheHorizon) {
+  const SystemTiming t{1000, 400, 100};
+  const AlgorithmDelays algo =
+      AlgorithmDelays::drift_compensated(t, 0, /*max_abs_ppm=*/100000,
+                                         /*horizon=*/50000);
+  // eps_eff = 100 + 2*50000*0.1 + 1 = 10101: acks wait that long, so the
+  // second write lands after the first in timestamp order everywhere.
+  DriftingSystem system({100000, 0, 0}, algo);
+  system.sim->invoke_at(10000, 0, reg::write(1));
+  system.sim->invoke_at(10000 + algo.mop_ack + 100, 1, reg::write(2));
+  system.sim->invoke_at(45000, 2, reg::read());
+  system.sim->start();
+  ASSERT_TRUE(system.sim->run());
+  const History h = History::from_trace(system.sim->trace());
+  EXPECT_TRUE(check_linearizable(*system.model, h).ok) << h.to_string(*system.model);
+  // The read reflects the later write.
+  EXPECT_EQ(h.ops().back().ret, Value(2));
+}
+
+TEST(Drift, CompensatedDelaysGrowLinearlyWithHorizon) {
+  const SystemTiming t{1000, 400, 100};
+  const AlgorithmDelays near = AlgorithmDelays::drift_compensated(t, 0, 100, 10000);
+  const AlgorithmDelays far = AlgorithmDelays::drift_compensated(t, 0, 100, 1000000);
+  EXPECT_LT(near.mop_ack, far.mop_ack);
+  EXPECT_LT(near.holdback, far.holdback);
+  EXPECT_EQ(far.mop_ack - t.eps - 1, 2 * 1000000 * 100 / 1000000);
+}
+
+}  // namespace
+}  // namespace linbound

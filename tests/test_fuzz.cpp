@@ -1,0 +1,129 @@
+// Randomized whole-system fuzzing: random admissible configurations
+// (timing parameters, delay matrices, clock offsets, schedules, data types)
+// run under Algorithm 1 must ALWAYS produce linearizable histories with
+// every per-class latency inside its bound.  This is the widest net in the
+// suite -- the adversary grid of test_sweeps covers structured corners,
+// this covers the unstructured middle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/lin_checker.h"
+#include "core/driver.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "harness/latency.h"
+#include "types/array_type.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/set_type.h"
+#include "types/stack_type.h"
+#include "types/tree_type.h"
+
+namespace linbound {
+namespace {
+
+std::shared_ptr<ObjectModel> random_model(Rng& rng) {
+  switch (rng.uniform(0, 5)) {
+    case 0:
+      return std::make_shared<RegisterModel>(rng.uniform(0, 5));
+    case 1:
+      return std::make_shared<QueueModel>();
+    case 2:
+      return std::make_shared<StackModel>();
+    case 3:
+      return std::make_shared<SetModel>();
+    case 4:
+      return std::make_shared<TreeModel>();
+    default:
+      return std::make_shared<ArrayModel>(std::vector<std::int64_t>{0, 0});
+  }
+}
+
+std::vector<Operation> random_ops_for(const ObjectModel& model, Rng& rng, int count) {
+  const OpMix mix{2, 2, 1};
+  const std::string name = model.name();
+  if (name == "register") return random_register_ops(rng, count, mix);
+  if (name == "queue") return random_queue_ops(rng, count, mix);
+  if (name == "stack") return random_stack_ops(rng, count, mix);
+  if (name == "set") return random_set_ops(rng, count, mix);
+  if (name == "tree") return random_tree_ops(rng, count, mix);
+  return random_array_ops(rng, count, mix, 2);
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomAdmissibleRunsAreAlwaysLinearizable) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ull + 3);
+  for (int round = 0; round < 12; ++round) {
+    // Random but valid timing; keep eps within the skew the algorithm
+    // supports (any eps >= actual skew works; use eps as both).
+    SystemTiming t;
+    t.u = rng.uniform_tick(2, 500);
+    t.d = t.u + rng.uniform_tick(1, 1000);
+    t.eps = rng.uniform_tick(0, t.u);
+    // n and ops-per-client kept small: checker cost is exponential in the
+    // number of *simultaneously pending* operations, and the fuzzer's
+    // closed-loop clients overlap almost fully.
+    const int n = static_cast<int>(rng.uniform(2, 4));
+    const Tick x = rng.uniform_tick(0, t.d + t.eps - t.u);
+
+    SystemOptions o;
+    o.n = n;
+    o.timing = t;
+    o.x = x;
+    // Random pairwise matrix or per-message random policy.
+    if (rng.chance(0.5)) {
+      auto matrix = std::make_shared<MatrixDelayPolicy>(n, t.d);
+      for (ProcessId i = 0; i < n; ++i) {
+        for (ProcessId j = 0; j < n; ++j) {
+          if (i != j) matrix->set(i, j, rng.uniform_tick(t.min_delay(), t.d));
+        }
+      }
+      o.delays = matrix;
+    } else {
+      o.delays = std::make_shared<ExtremalDelayPolicy>(t, rng.next_u64());
+    }
+    for (int i = 0; i < n; ++i) {
+      o.clock_offsets.push_back(rng.uniform_tick(0, t.eps));
+    }
+
+    auto model = random_model(rng);
+    ReplicaSystem system(model, o);
+    std::vector<ClientScript> scripts;
+    for (int p = 0; p < n; ++p) {
+      Rng crng = rng.split(static_cast<std::uint64_t>(p) + 100);
+      scripts.push_back({p, random_ops_for(*model, crng, 6),
+                         rng.uniform_tick(0, 2000), rng.uniform_tick(0, 50)});
+    }
+    WorkloadDriver driver(system.sim(), std::move(scripts));
+    driver.arm();
+
+    const History history = system.run_to_completion();
+    const AdmissibilityReport admissible = system.sim().trace().audit();
+    ASSERT_TRUE(admissible.admissible)
+        << "fuzzer generated an inadmissible run: " << admissible.violations[0];
+
+    const CheckResult check = check_linearizable(*model, history);
+    ASSERT_TRUE(check.ok) << "seed " << GetParam() << " round " << round
+                          << " type " << model->name() << " n=" << n
+                          << " d=" << t.d << " u=" << t.u << " eps=" << t.eps
+                          << " X=" << x << "\n"
+                          << check.explanation << "\n"
+                          << history.to_string(*model);
+
+    LatencyReport latency;
+    latency.absorb(*model, system.sim().trace());
+    const Tick mop = latency.worst_for_class(OpClass::kPureMutator);
+    if (mop != kNoTime) EXPECT_EQ(mop, system.algorithm_delays().mop_ack);
+    const Tick aop = latency.worst_for_class(OpClass::kPureAccessor);
+    if (aop != kNoTime) EXPECT_EQ(aop, t.d + t.eps - x);
+    const Tick oop = latency.worst_for_class(OpClass::kOther);
+    if (oop != kNoTime) EXPECT_LE(oop, t.d + t.eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,174 @@
+// Pins the scenario builders to the exact configurations of the paper's
+// figures: delay matrices, clock offsets and invocation times.
+#include "shift/proof_scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemTiming timing() { return SystemTiming{1000, 400, 100}; }  // m = 100
+constexpr Tick kT0 = 5000;
+
+const MatrixDelayPolicy& matrix_of(const Scenario& s) {
+  return dynamic_cast<const MatrixDelayPolicy&>(*s.delays);
+}
+
+TEST(ProofScenarios, C1R1MatchesFig7) {
+  const auto runs = thm_c1_paper_runs(timing(), reg::rmw(1), reg::rmw(2), kT0);
+  ASSERT_EQ(runs.size(), 5u);
+  const Scenario& r1 = runs[0];
+  EXPECT_EQ(r1.name, "C1/R1");
+  const Tick d = timing().d;
+  const Tick m = timing().m();
+  // Fig. 7(a): d_{i,k} = d_{i,j} = d_{j,i} = d_{k,j} = d; d_{k,i} = d_{j,k}
+  // = d - m, with i=0, j=1, k=2.
+  const MatrixDelayPolicy& mat = matrix_of(r1);
+  EXPECT_EQ(mat.get(0, 2), d);
+  EXPECT_EQ(mat.get(0, 1), d);
+  EXPECT_EQ(mat.get(1, 0), d);
+  EXPECT_EQ(mat.get(2, 1), d);
+  EXPECT_EQ(mat.get(2, 0), d - m);
+  EXPECT_EQ(mat.get(1, 2), d - m);
+  // p_j's clock reads the same value m later => offset -m.
+  EXPECT_EQ(r1.clock_offsets, (std::vector<Tick>{0, -m, 0}));
+  // op1 at t, op2 at t + m.
+  ASSERT_EQ(r1.invocations.size(), 2u);
+  EXPECT_EQ(r1.invocations[0].at, kT0);
+  EXPECT_EQ(r1.invocations[0].pid, 0);
+  EXPECT_EQ(r1.invocations[1].at, kT0 + m);
+  EXPECT_EQ(r1.invocations[1].pid, 1);
+  // Both ops receive the *same local time* T (the proof's setup).
+  EXPECT_EQ(r1.invocations[0].at + r1.clock_offsets[0],
+            r1.invocations[1].at + r1.clock_offsets[1]);
+}
+
+TEST(ProofScenarios, C1R2IsTheChoppedShiftOfR1) {
+  const auto runs = thm_c1_paper_runs(timing(), reg::rmw(1), reg::rmw(2), kT0);
+  const Scenario& r2 = runs[2];
+  EXPECT_EQ(r2.name, "C1/R2");
+  // Aligned clocks, both invocations at t.
+  EXPECT_EQ(r2.clock_offsets, (std::vector<Tick>{0, 0, 0}));
+  EXPECT_EQ(r2.invocations[0].at, kT0);
+  EXPECT_EQ(r2.invocations[1].at, kT0);
+  // The shift formula would give d_{1,0} = d + m (invalid); the extension
+  // replaces it with delta = d - m.  Everything stays admissible.
+  const MatrixDelayPolicy& mat = matrix_of(r2);
+  EXPECT_EQ(mat.get(1, 0), timing().d - timing().m());
+  EXPECT_TRUE(mat.invalid_entries(timing()).empty());
+}
+
+TEST(ProofScenarios, C1AllRunsAdmissible) {
+  for (const Scenario& s :
+       thm_c1_paper_runs(timing(), reg::rmw(1), reg::rmw(2), kT0)) {
+    const MatrixDelayPolicy& mat = matrix_of(s);
+    EXPECT_TRUE(mat.invalid_entries(timing()).empty()) << s.name;
+    for (std::size_t i = 0; i < s.clock_offsets.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.clock_offsets.size(); ++j) {
+        EXPECT_LE(std::llabs(s.clock_offsets[i] - s.clock_offsets[j]),
+                  timing().eps)
+            << s.name;
+      }
+    }
+  }
+}
+
+TEST(ProofScenarios, D1MatrixMatchesFig10) {
+  // d_{i,j} = d - ((i-j) mod k)/k * u for the k-block; d - u/2 elsewhere.
+  const SystemTiming t = timing();  // u = 400, k = 4 -> u/k = 100
+  const MatrixDelayPolicy mat = thm_d1_r1_matrix(t, 6, 4);
+  EXPECT_EQ(mat.get(0, 1), t.d - 300);  // (0-1) mod 4 = 3
+  EXPECT_EQ(mat.get(1, 0), t.d - 100);  // (1-0) mod 4 = 1
+  EXPECT_EQ(mat.get(3, 1), t.d - 200);  // (3-1) mod 4 = 2
+  EXPECT_EQ(mat.get(2, 3), t.d - 300);
+  EXPECT_EQ(mat.get(4, 0), t.d - t.u / 2);
+  EXPECT_EQ(mat.get(0, 5), t.d - t.u / 2);
+  EXPECT_TRUE(mat.invalid_entries(t).empty());
+}
+
+TEST(ProofScenarios, D1MatrixRejectsIndivisibleU) {
+  SystemTiming t = timing();
+  t.u = 300;  // not divisible by 2k = 8
+  EXPECT_THROW(thm_d1_r1_matrix(t, 4, 4), std::invalid_argument);
+  EXPECT_THROW(thm_d1_shift_vector(t, 4, 4, 3), std::invalid_argument);
+}
+
+TEST(ProofScenarios, D1ShiftVectorMatchesStep2) {
+  // x_i = u * (-(k-1)/2 + ((z-i) mod k)/k), k = 4, z = 3, u = 400:
+  // x = 400 * (-3/2 + {3,2,1,0}/4) = {-300, -400, -500, -600}.
+  const auto x = thm_d1_shift_vector(timing(), 4, 4, 3);
+  EXPECT_EQ(x, (std::vector<Tick>{-300, -400, -500, -600}));
+  // Max spread is (1 - 1/k) u.
+  Tick lo = x[0], hi = x[0];
+  for (Tick v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(hi - lo, timing().u - timing().u / 4);
+}
+
+TEST(ProofScenarios, D1ShiftedMatrixLandsOnExtremes) {
+  // The proof's case analysis: every shifted k-block delay is d or d - u.
+  const SystemTiming t = timing();
+  const int k = 4;
+  const MatrixDelayPolicy base = thm_d1_r1_matrix(t, k, k);
+  for (int z = 0; z < k; ++z) {
+    const MatrixDelayPolicy shifted =
+        base.shifted(thm_d1_shift_vector(t, k, k, z));
+    for (ProcessId i = 0; i < k; ++i) {
+      for (ProcessId j = 0; j < k; ++j) {
+        if (i == j) continue;
+        const Tick delay = shifted.get(i, j);
+        EXPECT_TRUE(delay == t.d || delay == t.d - t.u)
+            << "z=" << z << " i=" << i << " j=" << j << " delay=" << delay;
+      }
+    }
+  }
+}
+
+TEST(ProofScenarios, OrderFlipTimestampsInvert) {
+  // In the C.1 violation run, op1 is invoked later in real time yet gets
+  // the smaller timestamp.
+  const Scenario s = oop_order_flip(timing(), reg::rmw(1), reg::rmw(2), kT0);
+  ASSERT_EQ(s.invocations.size(), 2u);
+  const auto& op1 = s.invocations[0];
+  const auto& op2 = s.invocations[1];
+  EXPECT_GT(op1.at, op2.at);  // later in real time
+  const Tick ts1 = op1.at + s.clock_offsets[static_cast<std::size_t>(op1.pid)];
+  const Tick ts2 = op2.at + s.clock_offsets[static_cast<std::size_t>(op2.pid)];
+  EXPECT_LT(ts1, ts2);  // smaller timestamp
+}
+
+TEST(ProofScenarios, ChainedScheduleSpacing) {
+  const Scenario s = chained_schedule(
+      "chain", timing(), 2,
+      {{0, reg::write(1), 100}, {0, reg::write(2), 250}, {1, reg::read(), 50}},
+      kT0);
+  ASSERT_EQ(s.invocations.size(), 3u);
+  EXPECT_EQ(s.invocations[0].at, kT0);
+  EXPECT_EQ(s.invocations[1].at, kT0 + 101);
+  EXPECT_EQ(s.invocations[2].at, kT0 + 101 + 251);
+}
+
+TEST(ProofScenarios, PairBatteryShape) {
+  const AlgorithmDelays algo = AlgorithmDelays::standard(timing(), 0);
+  const auto battery = pair_bound_battery(timing(), reg::write(1), reg::write(2),
+                                          reg::read(), algo, kT0);
+  ASSERT_EQ(battery.size(), 4u);
+  EXPECT_EQ(battery[0].name, "E1/pair-order-flip");
+  EXPECT_EQ(battery[1].name, "E1/accessor-miss");
+  EXPECT_EQ(battery[2].name, "E1/backdate-skip");
+  EXPECT_EQ(battery[3].name, "E1/gap-mutator");
+  for (const Scenario& s : battery) {
+    EXPECT_EQ(s.n, 3);
+    EXPECT_FALSE(s.invocations.empty());
+  }
+}
+
+}  // namespace
+}  // namespace linbound

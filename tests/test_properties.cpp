@@ -1,0 +1,280 @@
+// Pins every operation classification the paper uses in Chapters II and VI
+// to the definitional checkers.
+#include "spec/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/sequences.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/set_type.h"
+#include "types/stack_type.h"
+#include "types/tree_type.h"
+
+namespace linbound {
+namespace {
+
+// ---------------- Immediately non-commuting (Definition B.1) ---------------
+
+TEST(Properties, ReadWriteImmediatelyNonCommuting) {
+  // The paper's example: rho = write(0); read and write(1) do not commute.
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(witness_immediately_non_commuting(model, rho, reg::read(),
+                                                reg::write(1)));
+}
+
+TEST(Properties, TwoWritesAreImmediatelyCommuting) {
+  // Both orders of two writes are legal (writes return nothing), so no
+  // immediate witness exists -- writes are only *eventually* non-commuting.
+  RegisterModel model;
+  EXPECT_FALSE(
+      witness_immediately_non_commuting(model, {}, reg::write(1), reg::write(2)));
+  EXPECT_TRUE(pair_commutes_immediately(model, {}, reg::write(1), reg::write(2)));
+}
+
+// ------------- Strongly immediately non-self-commuting (B.3) ---------------
+
+TEST(Properties, RmwIsStronglyImmediatelyNonSelfCommuting) {
+  // rho = write(0); rmw(1) and rmw(2) both return 0 individually, and both
+  // orders are illegal.
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(witness_strongly_immediately_non_commuting(model, rho, reg::rmw(1),
+                                                         reg::rmw(2)));
+}
+
+TEST(Properties, PopIsStronglyImmediatelyNonSelfCommuting) {
+  // Stack with one element X: both pops return X individually; in sequence
+  // the second must return empty.
+  StackModel model;
+  OpSequence rho{{stack_ops::push(7), Value::unit()}};
+  EXPECT_TRUE(witness_strongly_immediately_non_commuting(model, rho,
+                                                         stack_ops::pop(),
+                                                         stack_ops::pop()));
+}
+
+TEST(Properties, DequeueIsStronglyImmediatelyNonSelfCommuting) {
+  QueueModel model;
+  OpSequence rho{{queue_ops::enqueue(7), Value::unit()}};
+  EXPECT_TRUE(witness_strongly_immediately_non_commuting(
+      model, rho, queue_ops::dequeue(), queue_ops::dequeue()));
+}
+
+TEST(Properties, CasIsStronglyImmediatelyNonSelfCommuting) {
+  // After write(0), cas(0,1) and cas(0,2) both succeed individually; in
+  // either order the second must fail, so both orders are illegal for
+  // instances that recorded success.
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(witness_strongly_immediately_non_commuting(model, rho,
+                                                         reg::cas(0, 1),
+                                                         reg::cas(0, 2)));
+}
+
+TEST(Properties, FailingCasesCommute) {
+  // cas instances that cannot succeed behave like accessors: both orders
+  // stay legal.
+  RegisterModel model;
+  OpSequence rho{{reg::write(5), Value::unit()}};
+  EXPECT_FALSE(witness_immediately_non_commuting(model, rho, reg::cas(0, 1),
+                                                 reg::cas(1, 2)));
+}
+
+TEST(Properties, TwoReadsAreNotStronglyNonCommuting) {
+  RegisterModel model;
+  EXPECT_FALSE(
+      witness_strongly_immediately_non_commuting(model, {}, reg::read(), reg::read()));
+}
+
+// --------------- Eventually non-self-commuting (C.3) -----------------------
+
+TEST(Properties, WriteIsEventuallyNonSelfCommuting) {
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(
+      witness_eventually_non_commuting(model, rho, reg::write(1), reg::write(2)));
+}
+
+TEST(Properties, ReadIsEventuallySelfCommuting) {
+  RegisterModel model;
+  EXPECT_FALSE(witness_eventually_non_commuting(model, {}, reg::read(), reg::read()));
+  EXPECT_TRUE(pair_commutes_eventually(model, {}, reg::read(), reg::read()));
+}
+
+TEST(Properties, IncrementIsEventuallySelfCommuting) {
+  // The thesis's increment example: modifies the object but commutes.
+  RegisterModel model;
+  EXPECT_TRUE(
+      pair_commutes_eventually(model, {}, reg::increment(1), reg::increment(2)));
+  EXPECT_FALSE(
+      witness_eventually_non_commuting(model, {}, reg::increment(1), reg::increment(2)));
+}
+
+// ------------------ Non-self-last/any-permuting (C.4/C.5) ------------------
+
+TEST(Properties, WriteIsNonSelfLastPermutingForAnyK) {
+  RegisterModel model;
+  for (int k = 2; k <= 5; ++k) {
+    std::vector<Operation> ops;
+    for (int i = 0; i < k; ++i) ops.push_back(reg::write(i + 1));
+    EXPECT_TRUE(witness_non_self_last_permuting(model, {}, ops)) << "k=" << k;
+  }
+}
+
+TEST(Properties, WriteIsNotNonSelfAnyPermutingForK3) {
+  // Two permutations with the same last write are equivalent, so clause 3
+  // of Definition C.4 fails for k >= 3 (the paper's observation).
+  RegisterModel model;
+  std::vector<Operation> ops{reg::write(1), reg::write(2), reg::write(3)};
+  EXPECT_FALSE(witness_non_self_any_permuting(model, {}, ops));
+}
+
+TEST(Properties, WriteIsAnyPermutingForK2) {
+  // With k = 2 "different last" and "different permutation" coincide.
+  RegisterModel model;
+  std::vector<Operation> ops{reg::write(1), reg::write(2)};
+  EXPECT_TRUE(witness_non_self_any_permuting(model, {}, ops));
+}
+
+TEST(Properties, PushIsNonSelfAnyPermuting) {
+  StackModel model;
+  for (int k = 2; k <= 4; ++k) {
+    std::vector<Operation> ops;
+    for (int i = 0; i < k; ++i) ops.push_back(stack_ops::push(i + 1));
+    EXPECT_TRUE(witness_non_self_any_permuting(model, {}, ops)) << "k=" << k;
+    EXPECT_TRUE(witness_non_self_last_permuting(model, {}, ops)) << "k=" << k;
+  }
+}
+
+TEST(Properties, EnqueueIsNonSelfAnyPermuting) {
+  QueueModel model;
+  for (int k = 2; k <= 4; ++k) {
+    std::vector<Operation> ops;
+    for (int i = 0; i < k; ++i) ops.push_back(queue_ops::enqueue(i + 1));
+    EXPECT_TRUE(witness_non_self_any_permuting(model, {}, ops)) << "k=" << k;
+  }
+}
+
+TEST(Properties, TreeInsertMoveIsNonSelfLastPermutingForAnyK) {
+  // The Table IV witness: parents 1..k exist; k inserts move node 99 under
+  // each of them; the final parent is decided by the last insert.
+  TreeModel model;
+  for (int k = 2; k <= 4; ++k) {
+    OpSequence rho;
+    for (std::int64_t p = 1; p <= k; ++p) {
+      rho.push_back(instance_after(model, rho, tree_ops::insert(p, 0)));
+    }
+    std::vector<Operation> ops;
+    for (std::int64_t p = 1; p <= k; ++p) ops.push_back(tree_ops::insert(99, p));
+    EXPECT_TRUE(witness_non_self_last_permuting(model, rho, ops)) << "k=" << k;
+  }
+}
+
+TEST(Properties, TreeRemoveLeafIsNonSelfLastPermutingForK2) {
+  TreeModel model;
+  OpSequence rho{instance_after(model, {}, tree_ops::insert(1, 0))};
+  rho.push_back(instance_after(model, rho, tree_ops::insert(2, 1)));
+  std::vector<Operation> ops{tree_ops::remove_leaf(1), tree_ops::remove_leaf(2)};
+  EXPECT_TRUE(witness_non_self_last_permuting(model, rho, ops));
+}
+
+TEST(Properties, SetInsertsAreNotLastPermuting) {
+  SetModel model;
+  std::vector<Operation> ops{set_ops::insert(1), set_ops::insert(2)};
+  EXPECT_FALSE(witness_non_self_last_permuting(model, {}, ops));
+}
+
+// ----------------- Mutator / accessor / overwriter (D.*) -------------------
+
+TEST(Properties, WriteIsMutator) {
+  RegisterModel model;
+  EXPECT_TRUE(witness_mutator(model, {}, reg::write(5)));
+}
+
+TEST(Properties, ReadIsNotMutator) {
+  RegisterModel model;
+  EXPECT_FALSE(witness_mutator(model, {}, reg::read()));
+  OpSequence rho{{reg::write(3), Value::unit()}};
+  EXPECT_FALSE(witness_mutator(model, rho, reg::read()));
+}
+
+TEST(Properties, ReadIsAccessor) {
+  // read() returning 1 after write(0) is illegal: the return is
+  // state-constrained.
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(witness_accessor(model, rho, reg::read(), Value(1)));
+}
+
+TEST(Properties, WriteIsNotAccessor) {
+  // A write's return is always unit, never constrained into illegality by
+  // any return the type can produce... except non-unit fabrications; the
+  // definitional check needs the candidate return, and for write only unit
+  // is ever produced, so the honest candidate is unit:
+  RegisterModel model;
+  EXPECT_FALSE(witness_accessor(model, {}, reg::write(1), Value::unit()));
+}
+
+TEST(Properties, IncrementIsNonOverwriter) {
+  // The thesis's example for Definition D.5, executable: write(0) then
+  // increment(1);increment(2) vs increment(2) alone differ.
+  RegisterModel model;
+  OpSequence rho{{reg::write(0), Value::unit()}};
+  EXPECT_TRUE(
+      witness_non_overwriter(model, rho, reg::increment(1), reg::increment(2)));
+}
+
+TEST(Properties, WriteIsOverwriter) {
+  // No witness: rho∘write(a)∘write(b) always looks like rho∘write(b).
+  RegisterModel model;
+  for (std::int64_t a = 0; a < 3; ++a) {
+    for (std::int64_t b = 0; b < 3; ++b) {
+      EXPECT_FALSE(witness_non_overwriter(model, {}, reg::write(a), reg::write(b)));
+    }
+  }
+}
+
+TEST(Properties, EnqueueIsNonOverwriter) {
+  QueueModel model;
+  EXPECT_TRUE(witness_non_overwriter(model, {}, queue_ops::enqueue(1),
+                                     queue_ops::enqueue(2)));
+}
+
+TEST(Properties, PushIsNonOverwriter) {
+  StackModel model;
+  EXPECT_TRUE(
+      witness_non_overwriter(model, {}, stack_ops::push(1), stack_ops::push(2)));
+}
+
+// --------------------- Theorem E.1 hypotheses ------------------------------
+
+TEST(Properties, TheoremE1HypothesesHoldForEnqueuePeek) {
+  // A/B/C with op1 = enqueue(1), op2 = enqueue(2), aop = peek:
+  QueueModel model;
+  OpSequence rho;
+  OpInstance e1{queue_ops::enqueue(1), Value::unit()};
+  OpInstance e2{queue_ops::enqueue(2), Value::unit()};
+  // A: rho∘e1∘peek->1 legal; rho∘e2∘e1∘peek->1 illegal.
+  OpSequence a1{e1, {queue_ops::peek(), Value(1)}};
+  OpSequence a2{e2, e1, {queue_ops::peek(), Value(1)}};
+  EXPECT_TRUE(exactly_one_legal(model, a1, a2));
+  // C: rho∘e1∘e2∘peek->1 legal; rho∘e2∘e1∘peek->1 illegal.
+  OpSequence c1{e1, e2, {queue_ops::peek(), Value(1)}};
+  OpSequence c2{e2, e1, {queue_ops::peek(), Value(1)}};
+  EXPECT_TRUE(exactly_one_legal(model, c1, c2));
+}
+
+TEST(Properties, TheoremE1HypothesesFailForWriteRead) {
+  // The overwriting case the theorem excludes: write(2)∘write(1)∘read->1
+  // and write(1)∘read->1 are BOTH legal, so hypothesis A's asymmetry fails.
+  RegisterModel model;
+  OpInstance w1{reg::write(1), Value::unit()};
+  OpInstance w2{reg::write(2), Value::unit()};
+  OpSequence a1{w1, {reg::read(), Value(1)}};
+  OpSequence a2{w2, w1, {reg::read(), Value(1)}};
+  EXPECT_FALSE(exactly_one_legal(model, a1, a2));
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,57 @@
+#include "spec/reclassify.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/lin_checker.h"
+#include "core/system.h"
+#include "types/queue_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(Reclassify, DemotesSelectedClasses) {
+  auto base = std::make_shared<QueueModel>();
+  ReclassifyModel aop_demoted(base, {true, false});
+  EXPECT_EQ(aop_demoted.classify(queue_ops::peek()), OpClass::kOther);
+  EXPECT_EQ(aop_demoted.classify(queue_ops::enqueue(1)), OpClass::kPureMutator);
+  EXPECT_EQ(aop_demoted.classify(queue_ops::dequeue()), OpClass::kOther);
+
+  ReclassifyModel mop_demoted(base, {false, true});
+  EXPECT_EQ(mop_demoted.classify(queue_ops::enqueue(1)), OpClass::kOther);
+  EXPECT_EQ(mop_demoted.classify(queue_ops::peek()), OpClass::kPureAccessor);
+}
+
+TEST(Reclassify, PreservesSemanticsAndNames) {
+  auto base = std::make_shared<QueueModel>();
+  ReclassifyModel model(base, {true, true});
+  auto state = model.initial_state();
+  state->apply(queue_ops::enqueue(9));
+  EXPECT_EQ(state->apply(queue_ops::peek()), Value(9));
+  EXPECT_EQ(model.op_name(QueueModel::kPeek), "peek");
+  EXPECT_EQ(model.name(), "queue-aop_as_oop-mop_as_oop");
+}
+
+TEST(Reclassify, DemotedSystemStaysLinearizableButSlower) {
+  // All ops through the OOP path: still correct, accessors now cost up to
+  // d+eps instead of d+eps-X.
+  auto base = std::make_shared<QueueModel>();
+  auto demoted = std::make_shared<ReclassifyModel>(
+      base, ReclassifyModel::Demote{true, true});
+
+  SystemOptions o;
+  o.n = 3;
+  o.timing = SystemTiming{1000, 400, 100};
+  o.x = 400;
+  ReplicaSystem system(demoted, o);
+  system.sim().invoke_at(1000, 0, queue_ops::enqueue(5));
+  system.sim().invoke_at(3000, 1, queue_ops::peek());
+  History h = system.run_to_completion();
+  EXPECT_TRUE(check_linearizable(*base, h).ok);
+  EXPECT_EQ(h.ops()[1].ret, Value(5));
+  // Both went through the broadcast path: latency d+eps, not eps+X / d+eps-X.
+  EXPECT_EQ(h.ops()[0].response - h.ops()[0].invoke, 1100);
+  EXPECT_EQ(h.ops()[1].response - h.ops()[1].invoke, 1100);
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,90 @@
+#include "types/register_type.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/sequences.h"
+
+namespace linbound {
+namespace {
+
+TEST(RegisterType, InitialValue) {
+  RegisterModel model(5);
+  auto state = model.initial_state();
+  EXPECT_EQ(state->apply(reg::read()), Value(5));
+}
+
+TEST(RegisterType, WriteThenRead) {
+  RegisterModel model;
+  auto state = model.initial_state();
+  EXPECT_EQ(state->apply(reg::write(9)), Value::unit());
+  EXPECT_EQ(state->apply(reg::read()), Value(9));
+}
+
+TEST(RegisterType, RmwReturnsOldValue) {
+  RegisterModel model(3);
+  auto state = model.initial_state();
+  EXPECT_EQ(state->apply(reg::rmw(7)), Value(3));
+  EXPECT_EQ(state->apply(reg::read()), Value(7));
+}
+
+TEST(RegisterType, IncrementAccumulates) {
+  RegisterModel model;
+  auto state = model.initial_state();
+  state->apply(reg::increment(2));
+  state->apply(reg::increment(3));
+  EXPECT_EQ(state->apply(reg::read()), Value(5));
+}
+
+TEST(RegisterType, Classification) {
+  RegisterModel model;
+  EXPECT_EQ(model.classify(reg::read()), OpClass::kPureAccessor);
+  EXPECT_EQ(model.classify(reg::write(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(reg::increment(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(reg::rmw(1)), OpClass::kOther);
+  EXPECT_EQ(model.classify(reg::cas(0, 1)), OpClass::kOther);
+}
+
+TEST(RegisterType, CasSucceedsOnlyOnMatch) {
+  RegisterModel model(3);
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(reg::cas(4, 9)), Value(false));
+  EXPECT_EQ(s->apply(reg::read()), Value(3));
+  EXPECT_EQ(s->apply(reg::cas(3, 9)), Value(true));
+  EXPECT_EQ(s->apply(reg::read()), Value(9));
+}
+
+TEST(RegisterType, StateEqualityAndFingerprint) {
+  RegisterModel model;
+  auto a = model.initial_state();
+  auto b = model.initial_state();
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+  a->apply(reg::write(1));
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+}
+
+TEST(RegisterType, CloneIsDeep) {
+  RegisterModel model;
+  auto a = model.initial_state();
+  auto b = a->clone();
+  a->apply(reg::write(4));
+  EXPECT_EQ(b->apply(reg::read()), Value(0));
+}
+
+TEST(RegisterType, LegalSequenceReplay) {
+  RegisterModel model;
+  OpSequence seq{{reg::write(1), Value::unit()}, {reg::read(), Value(1)}};
+  EXPECT_TRUE(legal(model, seq));
+  OpSequence bad{{reg::write(1), Value::unit()}, {reg::read(), Value(0)}};
+  EXPECT_FALSE(legal(model, bad));
+}
+
+TEST(RegisterType, Describe) {
+  RegisterModel model;
+  EXPECT_EQ(model.describe(reg::write(5)), "write(5)");
+  EXPECT_EQ(model.describe(OpInstance{reg::read(), Value(5)}), "read() -> 5");
+}
+
+}  // namespace
+}  // namespace linbound

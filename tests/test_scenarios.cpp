@@ -1,0 +1,322 @@
+// The lower-bound story, executable:
+//   * the compliant Algorithm 1 is linearizable on every proof scenario;
+//   * eager variants squeezed below each theorem's bound violate
+//     linearizability on the corresponding violation run;
+//   * standard-shift invariance: a shifted scenario produces the same local
+//     behavior, shifted.
+#include "shift/proof_scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/stack_type.h"
+
+namespace linbound {
+namespace {
+
+SystemTiming timing() { return SystemTiming{1000, 400, 100}; }
+constexpr Tick kT0 = 10000;
+
+AlgorithmDelays standard() { return AlgorithmDelays::standard(timing(), 0); }
+
+// ------------------------------------------------------------- Theorem C.1
+
+TEST(Scenarios, CompliantPassesAllC1PaperRuns) {
+  auto model = std::make_shared<RegisterModel>();
+  for (const Scenario& s : thm_c1_paper_runs(timing(), reg::rmw(1), reg::rmw(2), kT0)) {
+    const ScenarioOutcome outcome = run_scenario(model, s, standard());
+    EXPECT_TRUE(outcome.admissibility.admissible) << s.name;
+    EXPECT_TRUE(outcome.linearizable.ok)
+        << s.name << "\n"
+        << outcome.history.to_string(*model);
+  }
+}
+
+TEST(Scenarios, C1PaperRunsAreAdmissible) {
+  auto model = std::make_shared<RegisterModel>();
+  // Even the *eager* algorithm runs on admissible schedules -- the point of
+  // the proof is that the environment stays legal while the algorithm is
+  // too fast.
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_oop(timing(), 0, timing().d + timing().m() - 2);
+  for (const Scenario& s : thm_c1_paper_runs(timing(), reg::rmw(1), reg::rmw(2), kT0)) {
+    EXPECT_TRUE(run_scenario(model, s, eager).admissibility.admissible) << s.name;
+  }
+}
+
+TEST(Scenarios, EagerRmwViolatesOnOrderFlipRun) {
+  auto model = std::make_shared<RegisterModel>();
+  const Scenario s = oop_order_flip(timing(), reg::rmw(1), reg::rmw(2), kT0);
+  // Latency d + m - 2: just below the Theorem C.1 bound d + m.
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_oop(timing(), 0, timing().d + timing().m() - 2);
+  const ScenarioOutcome outcome = run_scenario(model, s, eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, CompliantRmwSurvivesOrderFlipRun) {
+  auto model = std::make_shared<RegisterModel>();
+  const Scenario s = oop_order_flip(timing(), reg::rmw(1), reg::rmw(2), kT0);
+  const ScenarioOutcome outcome = run_scenario(model, s, standard());
+  EXPECT_TRUE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, EagerDequeueViolatesOnOrderFlipRun) {
+  auto model = std::make_shared<QueueModel>(std::vector<std::int64_t>{42});
+  const Scenario s =
+      oop_order_flip(timing(), queue_ops::dequeue(), queue_ops::dequeue(), kT0);
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_oop(timing(), 0, timing().d + timing().m() - 2);
+  const ScenarioOutcome outcome = run_scenario(model, s, eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, EagerPopViolatesOnOrderFlipRun) {
+  auto model = std::make_shared<StackModel>(std::vector<std::int64_t>{42});
+  const Scenario s =
+      oop_order_flip(timing(), stack_ops::pop(), stack_ops::pop(), kT0);
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_oop(timing(), 0, timing().d + timing().m() - 2);
+  EXPECT_FALSE(run_scenario(model, s, eager).linearizable.ok);
+}
+
+// ------------------------------------------------------------- Theorem D.1
+
+TEST(Scenarios, CompliantPassesD1PaperRun) {
+  // u = 400 divisible by 2k for k = 4.
+  auto model = std::make_shared<RegisterModel>();
+  std::vector<Operation> writes;
+  for (int i = 0; i < 4; ++i) writes.push_back(reg::write(i + 1));
+  const Scenario s = thm_d1_paper_run(timing(), writes, reg::read(), kT0);
+  const ScenarioOutcome outcome = run_scenario(model, s, standard());
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_TRUE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, D1ShiftedPaperRunStaysAdmissibleAndLinearizable) {
+  // Apply the proof's Step 2 shift to R1: the shifted run must remain
+  // admissible (the proof's computation) and the compliant algorithm must
+  // still linearize it.
+  auto model = std::make_shared<RegisterModel>();
+  const int k = 4;
+  std::vector<Operation> writes;
+  for (int i = 0; i < k; ++i) writes.push_back(reg::write(i + 1));
+  Scenario r1 = thm_d1_paper_run(timing(), writes, reg::read(), kT0);
+  // Use the optimal skew bound for this check: eps = (1-1/n)u with n = k.
+  r1.timing.eps = timing().optimal_skew(k);
+  const std::vector<Tick> x = thm_d1_shift_vector(r1.timing, r1.n, k, /*z=*/k - 1);
+  const Scenario r2 = shift_scenario(r1, x);
+  const ScenarioOutcome outcome = run_scenario(model, r2, AlgorithmDelays::standard(r1.timing, 0));
+  EXPECT_TRUE(outcome.admissibility.admissible)
+      << (outcome.admissibility.violations.empty()
+              ? ""
+              : outcome.admissibility.violations.front());
+  EXPECT_TRUE(outcome.linearizable.ok);
+}
+
+TEST(Scenarios, EagerWriteViolatesOnMopOrderFlip) {
+  auto model = std::make_shared<RegisterModel>();
+  const Scenario s =
+      mop_order_flip(timing(), reg::write(1), reg::write(2), reg::read(), kT0);
+  // Ack latency eps - 2: just below the (1 - 1/n)u = eps bound (offsets in
+  // the scenario use eps as the attainable skew).
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_mop(timing(), 0, timing().eps - 2);
+  const ScenarioOutcome outcome = run_scenario(model, s, eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, CompliantWriteSurvivesMopOrderFlip) {
+  auto model = std::make_shared<RegisterModel>();
+  const Scenario s =
+      mop_order_flip(timing(), reg::write(1), reg::write(2), reg::read(), kT0);
+  EXPECT_TRUE(run_scenario(model, s, standard()).linearizable.ok);
+}
+
+TEST(Scenarios, EagerEnqueueViolatesOnMopOrderFlip) {
+  auto model = std::make_shared<QueueModel>();
+  const Scenario s = mop_order_flip(timing(), queue_ops::enqueue(1),
+                                    queue_ops::enqueue(2), queue_ops::peek(), kT0);
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_mop(timing(), 0, timing().eps - 2);
+  EXPECT_FALSE(run_scenario(model, s, eager).linearizable.ok);
+}
+
+TEST(Scenarios, EagerPushViolatesOnMopOrderFlip) {
+  auto model = std::make_shared<StackModel>();
+  const Scenario s = mop_order_flip(timing(), stack_ops::push(1),
+                                    stack_ops::push(2), stack_ops::peek(), kT0);
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_mop(timing(), 0, timing().eps - 2);
+  EXPECT_FALSE(run_scenario(model, s, eager).linearizable.ok);
+}
+
+// ------------------------------------------------------------- Theorem E.1
+
+TEST(Scenarios, CompliantPassesPairBatteryForQueue) {
+  auto model = std::make_shared<QueueModel>();
+  const AlgorithmDelays algo = standard();
+  for (const Scenario& s :
+       pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                          queue_ops::peek(), algo, kT0)) {
+    const ScenarioOutcome outcome = run_scenario(model, s, algo);
+    EXPECT_TRUE(outcome.admissibility.admissible) << s.name;
+    EXPECT_TRUE(outcome.linearizable.ok)
+        << s.name << "\n"
+        << outcome.history.to_string(*model);
+  }
+}
+
+TEST(Scenarios, EagerAccessorMissesMutator) {
+  // A + B <= d - 2 makes the accessor miss the mutator's broadcast.
+  auto model = std::make_shared<QueueModel>();
+  AlgorithmDelays eager = standard();   // A = eps = 100
+  eager.aop_respond = timing().d - eager.mop_ack - 2;  // A + B = d - 2
+  const auto battery =
+      pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                         queue_ops::peek(), eager, kT0);
+  const ScenarioOutcome outcome = run_scenario(model, battery[1], eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, EagerMutatorAckFlipsPairOrder) {
+  auto model = std::make_shared<QueueModel>();
+  const AlgorithmDelays eager =
+      AlgorithmDelays::eager_mop(timing(), 0, timing().eps - 2);
+  const auto battery =
+      pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                         queue_ops::peek(), eager, kT0);
+  const ScenarioOutcome outcome = run_scenario(model, battery[0], eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, BackdateSkipViolatesWhenAckBelowEpsPlusX) {
+  // X = 300, ack shortened to eps + X - 1 - 1: the back-dated accessor
+  // timestamp undercuts a real-time-preceding mutator.
+  const Tick x = 300;
+  auto model = std::make_shared<QueueModel>();
+  AlgorithmDelays eager = AlgorithmDelays::standard(timing(), x);
+  eager.mop_ack = timing().eps + x - 2;
+  const auto battery =
+      pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                         queue_ops::peek(), eager, kT0);
+  const ScenarioOutcome outcome = run_scenario(model, battery[2], eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+}
+
+TEST(Scenarios, GapMutatorViolatesWhenTotalBelowDPlusEps) {
+  // The battery's fourth run: the accessor applies the later of two
+  // real-time-ordered enqueues while the earlier one is still in flight --
+  // a state ({enq2} without enq1) no legal prefix produces.  With the
+  // compliant mutator share A = eps and the total well below d + eps, the
+  // run violates.
+  auto model = std::make_shared<QueueModel>();
+  AlgorithmDelays eager = standard();  // A = eps = 100
+  eager.aop_respond = timing().d - 200;  // total = d - 100 < d + eps
+  const auto battery =
+      pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                         queue_ops::peek(), eager, kT0);
+  ASSERT_EQ(battery.size(), 4u);
+  const ScenarioOutcome outcome = run_scenario(model, battery[3], eager);
+  EXPECT_TRUE(outcome.admissibility.admissible);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+  // The accessor really did observe the later enqueue's value.
+  EXPECT_EQ(outcome.history.ops().back().ret, Value(2));
+}
+
+TEST(Scenarios, GapMutatorBenignForCompliantDelays) {
+  auto model = std::make_shared<QueueModel>();
+  const AlgorithmDelays algo = standard();
+  const auto battery =
+      pair_bound_battery(timing(), queue_ops::enqueue(1), queue_ops::enqueue(2),
+                         queue_ops::peek(), algo, kT0);
+  EXPECT_TRUE(run_scenario(model, battery[3], algo).linearizable.ok);
+}
+
+TEST(Scenarios, CompliantPassesPairBatteryForStack) {
+  auto model = std::make_shared<StackModel>();
+  const AlgorithmDelays algo = AlgorithmDelays::standard(timing(), 200);
+  for (const Scenario& s :
+       pair_bound_battery(timing(), stack_ops::push(1), stack_ops::push(2),
+                          stack_ops::peek(), algo, kT0)) {
+    EXPECT_TRUE(run_scenario(model, s, algo).linearizable.ok) << s.name;
+  }
+}
+
+// ----------------------------------------------------------------- Fig. 1
+
+TEST(Scenarios, Fig1EagerReadReturnsStaleValue) {
+  auto model = std::make_shared<RegisterModel>();
+  const AlgorithmDelays algo = standard();
+  AlgorithmDelays eager = algo;
+  eager.aop_respond = timing().min_delay() - 2;  // responds before any arrival
+  const Scenario s = chained_schedule(
+      "fig1", timing(), 3,
+      {{0, reg::write(0), algo.mop_ack},
+       {0, reg::write(1), algo.mop_ack},
+       {1, reg::read(), eager.aop_respond}},
+      kT0);
+  const ScenarioOutcome outcome = run_scenario(model, s, eager);
+  EXPECT_FALSE(outcome.linearizable.ok) << outcome.history.to_string(*model);
+  // The failing read is the Fig. 1(a) stale read(0).
+  EXPECT_EQ(outcome.history.ops().back().ret, Value(0));
+}
+
+TEST(Scenarios, Fig1CompliantReadReturnsFreshValue) {
+  auto model = std::make_shared<RegisterModel>();
+  const AlgorithmDelays algo = standard();
+  const Scenario s = chained_schedule(
+      "fig1-ok", timing(), 3,
+      {{0, reg::write(0), algo.mop_ack},
+       {0, reg::write(1), algo.mop_ack},
+       {1, reg::read(), algo.aop_respond}},
+      kT0);
+  const ScenarioOutcome outcome = run_scenario(model, s, algo);
+  EXPECT_TRUE(outcome.linearizable.ok);
+  EXPECT_EQ(outcome.history.ops().back().ret, Value(1));
+}
+
+// ----------------------------------------------------- shift invariance
+
+TEST(Scenarios, StandardShiftPreservesLocalBehavior) {
+  auto model = std::make_shared<RegisterModel>();
+  Scenario s;
+  s.name = "shift-invariance";
+  s.n = 3;
+  s.timing = timing();
+  s.clock_offsets = {0, 40, 80};
+  auto matrix = std::make_shared<MatrixDelayPolicy>(3, timing().d - 7);
+  matrix->set(0, 1, timing().d - 113);
+  matrix->set(2, 0, timing().d - 211);
+  s.delays = matrix;
+  s.invocations = {{kT0, 0, reg::write(5)},
+                   {kT0 + 13, 1, reg::rmw(6)},
+                   {kT0 + 29, 2, reg::read()}};
+
+  const std::vector<Tick> x = {37, -21, 11};
+  const Scenario shifted = shift_scenario(s, x);
+
+  const ScenarioOutcome base = run_scenario(model, s, standard());
+  const ScenarioOutcome moved = run_scenario(model, shifted, standard());
+
+  ASSERT_EQ(base.history.size(), moved.history.size());
+  for (std::size_t i = 0; i < base.history.size(); ++i) {
+    const HistoryOp& a = base.history.ops()[i];
+    const HistoryOp& b = moved.history.ops()[i];
+    EXPECT_EQ(a.proc, b.proc);
+    EXPECT_EQ(a.ret, b.ret) << "op " << i;
+    const Tick xi = x[static_cast<std::size_t>(a.proc)];
+    EXPECT_EQ(b.invoke, a.invoke + xi);
+    EXPECT_EQ(b.response, a.response + xi);
+  }
+}
+
+}  // namespace
+}  // namespace linbound

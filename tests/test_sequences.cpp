@@ -1,0 +1,106 @@
+#include "spec/sequences.h"
+
+#include <gtest/gtest.h>
+
+#include "types/queue_type.h"
+#include "types/register_type.h"
+#include "types/stack_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(Sequences, DeterminedReturnFollowsState) {
+  RegisterModel model;
+  OpSequence rho{{reg::write(4), Value::unit()}};
+  EXPECT_EQ(determined_return(model, rho, reg::read()), Value(4));
+  EXPECT_EQ(determined_return(model, {}, reg::read()), Value(0));
+}
+
+TEST(Sequences, InstanceAfterIsLegalByConstruction) {
+  QueueModel model;
+  OpSequence rho{{queue_ops::enqueue(3), Value::unit()}};
+  OpInstance inst = instance_after(model, rho, queue_ops::dequeue());
+  EXPECT_EQ(inst.ret, Value(3));
+  EXPECT_TRUE(legal(model, append(rho, inst)));
+}
+
+TEST(Sequences, ReplayRejectsWrongReturn) {
+  RegisterModel model;
+  OpSequence bad{{reg::read(), Value(1)}};
+  EXPECT_FALSE(replay(model, bad).has_value());
+}
+
+TEST(Sequences, EquivalentIffSameFinalState) {
+  RegisterModel model;
+  OpSequence a{{reg::write(1), Value::unit()}, {reg::write(2), Value::unit()}};
+  OpSequence b{{reg::write(2), Value::unit()}};
+  EXPECT_TRUE(equivalent(model, a, b));
+  OpSequence c{{reg::write(3), Value::unit()}};
+  EXPECT_FALSE(equivalent(model, a, c));
+}
+
+TEST(Sequences, IllegalSequencesAreNeverEquivalent) {
+  RegisterModel model;
+  OpSequence illegal{{reg::read(), Value(9)}};
+  EXPECT_FALSE(equivalent(model, illegal, {}));
+  EXPECT_FALSE(equivalent(model, {}, illegal));
+}
+
+TEST(Sequences, LooksLikeBoundedAgreesWithStateEquality) {
+  // The write register example of Definition C.3: write(1)∘write(2) vs
+  // write(2)∘write(1) are distinguished by a read probe.
+  RegisterModel model;
+  OpSequence a{{reg::write(1), Value::unit()}, {reg::write(2), Value::unit()}};
+  OpSequence b{{reg::write(2), Value::unit()}, {reg::write(1), Value::unit()}};
+  const std::vector<Operation> probes{reg::read(), reg::write(5), reg::rmw(6)};
+  EXPECT_FALSE(looks_like_bounded(model, a, b, probes, 2));
+  EXPECT_TRUE(looks_like_bounded(model, a, a, probes, 2));
+  EXPECT_EQ(looks_like_bounded(model, a, b, probes, 2), equivalent(model, a, b));
+}
+
+TEST(Sequences, LooksLikeBoundedOnQueues) {
+  QueueModel model;
+  OpSequence a{{queue_ops::enqueue(1), Value::unit()},
+               {queue_ops::enqueue(2), Value::unit()}};
+  OpSequence b{{queue_ops::enqueue(2), Value::unit()},
+               {queue_ops::enqueue(1), Value::unit()}};
+  const std::vector<Operation> probes{queue_ops::dequeue(), queue_ops::peek()};
+  EXPECT_FALSE(looks_like_bounded(model, a, b, probes, 2));
+  EXPECT_TRUE(looks_like_bounded(model, b, b, probes, 3));
+}
+
+TEST(Sequences, AllPermutationsCountsFactorial) {
+  StackModel model;
+  OpSequence ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(OpInstance{stack_ops::push(i), Value::unit()});
+  }
+  EXPECT_EQ(all_permutations(ops).size(), 24u);
+  (void)model;
+}
+
+TEST(Sequences, LegalPermutationsOfPushesAllLegal) {
+  StackModel model;
+  OpSequence ops{{stack_ops::push(1), Value::unit()},
+                 {stack_ops::push(2), Value::unit()},
+                 {stack_ops::push(3), Value::unit()}};
+  EXPECT_EQ(legal_permutations(model, {}, ops).size(), 6u);
+}
+
+TEST(Sequences, LegalPermutationsFilterIllegalOrders) {
+  // Two dequeues with fixed returns: only the order matching FIFO is legal.
+  QueueModel model({1, 2});
+  OpSequence ops{{queue_ops::dequeue(), Value(1)}, {queue_ops::dequeue(), Value(2)}};
+  auto perms = legal_permutations(model, {}, ops);
+  ASSERT_EQ(perms.size(), 1u);
+  EXPECT_EQ(perms[0][0].ret, Value(1));
+}
+
+TEST(Sequences, StateAfterOps) {
+  RegisterModel model;
+  auto s = state_after_ops(model, {reg::write(2), reg::increment(5)});
+  EXPECT_EQ(s->apply(reg::read()), Value(7));
+}
+
+}  // namespace
+}  // namespace linbound

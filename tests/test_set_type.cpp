@@ -1,0 +1,87 @@
+#include "types/set_type.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/properties.h"
+#include "spec/witness_search.h"
+
+namespace linbound {
+namespace {
+
+TEST(SetType, InsertContainsErase) {
+  SetModel model;
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(set_ops::contains(3)), Value(false));
+  s->apply(set_ops::insert(3));
+  EXPECT_EQ(s->apply(set_ops::contains(3)), Value(true));
+  s->apply(set_ops::erase(3));
+  EXPECT_EQ(s->apply(set_ops::contains(3)), Value(false));
+}
+
+TEST(SetType, InsertIsIdempotent) {
+  SetModel model;
+  auto s = model.initial_state();
+  s->apply(set_ops::insert(1));
+  s->apply(set_ops::insert(1));
+  EXPECT_EQ(s->apply(set_ops::size()), Value(1));
+}
+
+TEST(SetType, EraseAbsentIsNoop) {
+  SetModel model;
+  auto s = model.initial_state();
+  s->apply(set_ops::erase(9));
+  EXPECT_EQ(s->apply(set_ops::size()), Value(0));
+}
+
+TEST(SetType, InitialContents) {
+  SetModel model({1, 2, 2, 3});
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(set_ops::size()), Value(3));
+}
+
+TEST(SetType, Classification) {
+  SetModel model;
+  EXPECT_EQ(model.classify(set_ops::insert(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(set_ops::erase(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(set_ops::contains(1)), OpClass::kPureAccessor);
+  EXPECT_EQ(model.classify(set_ops::size()), OpClass::kPureAccessor);
+}
+
+TEST(SetType, InsertIsEventuallySelfCommuting) {
+  // Chapter II's example for Definition C.6: insert/delete on a set
+  // eventually self-commute.  Verified universally up to the search bound.
+  SetModel model;
+  SearchUniverse universe;
+  universe.ops = {set_ops::insert(1), set_ops::insert(2), set_ops::erase(1),
+                  set_ops::erase(2)};
+  universe.max_prefix_len = 3;
+  // Inserts commute with inserts, erases with erases (the paper's claim);
+  // insert(k)/erase(k) of the same key do not -- checked separately below.
+  EXPECT_TRUE(check_eventually_self_commuting(
+      model, universe, {set_ops::insert(1), set_ops::insert(2)}));
+  EXPECT_TRUE(check_eventually_self_commuting(
+      model, universe, {set_ops::erase(1), set_ops::erase(2)}));
+}
+
+TEST(SetType, InsertAndEraseOfSameKeyDoNotCommuteWithDifferentKeysEither) {
+  // insert(1) and erase(1) do NOT eventually commute: the final state
+  // depends on the order.
+  SetModel model;
+  EXPECT_TRUE(witness_eventually_non_commuting(model, {}, set_ops::insert(1),
+                                               set_ops::erase(1)));
+}
+
+TEST(SetType, StateEqualityIgnoresInsertionOrder) {
+  SetModel model;
+  auto a = model.initial_state();
+  auto b = model.initial_state();
+  a->apply(set_ops::insert(1));
+  a->apply(set_ops::insert(2));
+  b->apply(set_ops::insert(2));
+  b->apply(set_ops::insert(1));
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,87 @@
+#include "types/stack_type.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/sequences.h"
+#include "types/queue_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(StackType, LifoOrder) {
+  StackModel model;
+  auto s = model.initial_state();
+  s->apply(stack_ops::push(1));
+  s->apply(stack_ops::push(2));
+  s->apply(stack_ops::push(3));
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value(3));
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value(2));
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value(1));
+}
+
+TEST(StackType, PopEmptyReturnsUnit) {
+  StackModel model;
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value::unit());
+}
+
+TEST(StackType, PeekDoesNotRemove) {
+  StackModel model;
+  auto s = model.initial_state();
+  s->apply(stack_ops::push(9));
+  EXPECT_EQ(s->apply(stack_ops::peek()), Value(9));
+  EXPECT_EQ(s->apply(stack_ops::size()), Value(1));
+}
+
+TEST(StackType, InitialContentsBottomToTop) {
+  StackModel model({1, 2});
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value(2));
+  EXPECT_EQ(s->apply(stack_ops::pop()), Value(1));
+}
+
+TEST(StackType, Classification) {
+  StackModel model;
+  EXPECT_EQ(model.classify(stack_ops::push(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(stack_ops::pop()), OpClass::kOther);
+  EXPECT_EQ(model.classify(stack_ops::peek()), OpClass::kPureAccessor);
+  EXPECT_EQ(model.classify(stack_ops::size()), OpClass::kPureAccessor);
+}
+
+TEST(StackType, FingerprintDiffersFromQueueWithSameItems) {
+  StackModel stack_model;
+  QueueModel queue_model;
+  auto s = stack_model.initial_state();
+  auto q = queue_model.initial_state();
+  s->apply(stack_ops::push(1));
+  q->apply(queue_ops::enqueue(1));
+  EXPECT_NE(s->fingerprint(), q->fingerprint());
+}
+
+TEST(StackType, PushOrderObservableViaPops) {
+  // The Chapter II argument that push is eventually
+  // non-self-any-permuting: a sequence of pops distinguishes any two
+  // different push orders.
+  StackModel model;
+  auto a = model.initial_state();
+  auto b = model.initial_state();
+  a->apply(stack_ops::push(1));
+  a->apply(stack_ops::push(2));
+  b->apply(stack_ops::push(2));
+  b->apply(stack_ops::push(1));
+  EXPECT_NE(a->apply(stack_ops::pop()), b->apply(stack_ops::pop()));
+}
+
+TEST(StackType, LegalityOfPopSequences) {
+  StackModel model;
+  OpSequence good{{stack_ops::push(5), Value::unit()},
+                  {stack_ops::pop(), Value(5)},
+                  {stack_ops::pop(), Value::unit()}};
+  EXPECT_TRUE(legal(model, good));
+  OpSequence bad{{stack_ops::push(5), Value::unit()},
+                 {stack_ops::pop(), Value::unit()}};
+  EXPECT_FALSE(legal(model, bad));
+}
+
+}  // namespace
+}  // namespace linbound

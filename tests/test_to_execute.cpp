@@ -1,0 +1,101 @@
+#include "core/to_execute.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+PendingOp entry(Tick clock, ProcessId pid) {
+  return PendingOp{Timestamp{clock, pid}, reg::read(), -1};
+}
+
+TEST(ToExecute, EmptyInitially) {
+  ToExecuteQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.min().has_value());
+}
+
+TEST(ToExecute, MinTracksSmallestTimestamp) {
+  ToExecuteQueue q;
+  q.add(entry(30, 0));
+  EXPECT_EQ(q.min()->clock_time, 30);
+  q.add(entry(10, 1));
+  EXPECT_EQ(q.min()->clock_time, 10);
+  q.add(entry(20, 2));
+  EXPECT_EQ(q.min()->clock_time, 10);
+}
+
+TEST(ToExecute, ExtractMinReturnsAscendingOrder) {
+  ToExecuteQueue q;
+  const Tick clocks[] = {50, 10, 40, 20, 30};
+  for (int i = 0; i < 5; ++i) q.add(entry(clocks[i], static_cast<ProcessId>(i)));
+  Tick last = -1;
+  while (!q.empty()) {
+    const PendingOp e = q.extract_min();
+    EXPECT_GT(e.ts.clock_time, last);
+    last = e.ts.clock_time;
+  }
+}
+
+TEST(ToExecute, TieBrokenByProcessId) {
+  ToExecuteQueue q;
+  q.add(entry(10, 2));
+  q.add(entry(10, 0));
+  q.add(entry(10, 1));
+  EXPECT_EQ(q.extract_min().ts.pid, 0);
+  EXPECT_EQ(q.extract_min().ts.pid, 1);
+  EXPECT_EQ(q.extract_min().ts.pid, 2);
+}
+
+TEST(ToExecute, PreservesPayload) {
+  ToExecuteQueue q;
+  q.add(PendingOp{Timestamp{5, 1}, reg::write(42), 77});
+  const PendingOp e = q.extract_min();
+  EXPECT_EQ(e.op.code, RegisterModel::kWrite);
+  EXPECT_EQ(e.op.args.at(0), Value(42));
+  EXPECT_EQ(e.own_token, 77);
+}
+
+TEST(ToExecute, RandomizedHeapProperty) {
+  Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    ToExecuteQueue q;
+    const int n = static_cast<int>(rng.uniform(1, 200));
+    for (int i = 0; i < n; ++i) {
+      q.add(entry(rng.uniform_tick(0, 1000), static_cast<ProcessId>(rng.uniform(0, 15))));
+    }
+    EXPECT_EQ(q.size(), static_cast<std::size_t>(n));
+    Timestamp last{-1, -1};
+    while (!q.empty()) {
+      const Timestamp min_before = *q.min();
+      const PendingOp e = q.extract_min();
+      EXPECT_EQ(e.ts, min_before);
+      EXPECT_TRUE(last <= e.ts);
+      last = e.ts;
+    }
+  }
+}
+
+TEST(ToExecute, InterleavedAddExtract) {
+  ToExecuteQueue q;
+  q.add(entry(10, 0));
+  q.add(entry(5, 1));
+  EXPECT_EQ(q.extract_min().ts.clock_time, 5);
+  q.add(entry(1, 2));
+  EXPECT_EQ(q.extract_min().ts.clock_time, 1);
+  EXPECT_EQ(q.extract_min().ts.clock_time, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Timestamp, LexicographicOrdering) {
+  EXPECT_LT((Timestamp{1, 5}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{1, 0}), (Timestamp{1, 1}));
+  EXPECT_EQ((Timestamp{3, 2}), (Timestamp{3, 2}));
+  EXPECT_EQ((Timestamp{3, 2}).to_string(), "<3,2>");
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,101 @@
+#include "core/tob_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "harness/experiment.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemOptions options() {
+  SystemOptions o;
+  o.n = 4;
+  o.timing = SystemTiming{1000, 400, 100};
+  return o;
+}
+
+TEST(Tob, RemoteOperationCostsTwoHops) {
+  auto model = std::make_shared<RegisterModel>();
+  TobSystem system(model, options());
+  system.sim().invoke_at(500, 2, reg::write(1));
+  History h = system.run_to_completion();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.ops()[0].response - h.ops()[0].invoke, 2000);  // submit d + deliver d
+}
+
+TEST(Tob, SequencerOperationIsInstant) {
+  auto model = std::make_shared<RegisterModel>(4);
+  TobSystem system(model, options());
+  system.sim().invoke_at(500, 0, reg::read());
+  History h = system.run_to_completion();
+  EXPECT_EQ(h.ops()[0].response - h.ops()[0].invoke, 0);
+  EXPECT_EQ(h.ops()[0].ret, Value(4));
+}
+
+TEST(Tob, DeliveriesApplyInSequenceOrderDespiteReordering) {
+  // Deliveries from the sequencer can overtake each other (later seq on a
+  // fast link); the buffer must hold them back.
+  auto model = std::make_shared<QueueModel>();
+  SystemOptions o = options();
+  // Deterministic alternating fast/slow per message id.
+  o.delays = std::make_shared<LambdaDelayPolicy>(
+      [&](ProcessId, ProcessId, Tick, std::int64_t msg) {
+        return msg % 2 == 0 ? Tick{1000} : Tick{600};
+      });
+  TobSystem system(model, o);
+  system.sim().invoke_at(100, 1, queue_ops::enqueue(1));
+  system.sim().invoke_at(120, 2, queue_ops::enqueue(2));
+  system.sim().invoke_at(5000, 3, queue_ops::dequeue());
+  system.sim().invoke_at(9000, 3, queue_ops::dequeue());
+  History h = system.run_to_completion();
+  EXPECT_TRUE(check_linearizable(*model, h).ok) << h.to_string(*model);
+}
+
+TEST(Tob, ConcurrentRmwsLinearize) {
+  auto model = std::make_shared<RegisterModel>();
+  TobSystem system(model, options());
+  system.sim().invoke_at(0, 1, reg::rmw(1));
+  system.sim().invoke_at(0, 2, reg::rmw(2));
+  system.sim().invoke_at(0, 3, reg::rmw(3));
+  History h = system.run_to_completion();
+  EXPECT_TRUE(check_linearizable(*model, h).ok) << h.to_string(*model);
+}
+
+TEST(Tob, SweepAcrossAdversaries) {
+  auto model = std::make_shared<QueueModel>();
+  const OpMix mix{2, 2, 2};
+  SweepOptions o;
+  o.n = 4;
+  o.timing = SystemTiming{1000, 400, 100};
+  o.seeds = 2;
+  // Reuse the replica sweep machinery via a local loop: TobSystem has no
+  // dedicated sweep entry point, so exercise the adversaries directly.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SystemOptions sys;
+    sys.n = 4;
+    sys.timing = o.timing;
+    sys.delays = std::make_shared<ExtremalDelayPolicy>(o.timing, seed);
+    TobSystem system(model, sys);
+    Rng rng(seed);
+    std::vector<ClientScript> scripts;
+    for (int p = 0; p < 4; ++p) {
+      Rng crng = rng.split(static_cast<std::uint64_t>(p));
+      scripts.push_back({p, random_queue_ops(crng, 8, mix), 1000, 0});
+    }
+    WorkloadDriver driver(system.sim(), std::move(scripts));
+    driver.arm();
+    History h = system.run_to_completion();
+    EXPECT_TRUE(check_linearizable(*model, h).ok) << "seed " << seed;
+    for (const HistoryOp& op : h.ops()) {
+      EXPECT_LE(op.response - op.invoke, 2 * o.timing.d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linbound

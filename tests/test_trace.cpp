@@ -1,0 +1,102 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemTiming timing() { return SystemTiming{1000, 400, 100}; }
+
+MessageRecord msg(MessageId id, ProcessId from, ProcessId to, Tick send, Tick recv) {
+  MessageRecord m;
+  m.id = id;
+  m.from = from;
+  m.to = to;
+  m.send_time = send;
+  m.recv_time = recv;
+  return m;
+}
+
+OperationRecord op(ProcessId proc, Tick invoke, Tick response, Value ret) {
+  OperationRecord rec;
+  rec.proc = proc;
+  rec.op = reg::read();
+  rec.invoke_time = invoke;
+  rec.response_time = response;
+  rec.ret = std::move(ret);
+  return rec;
+}
+
+TEST(Trace, AuditAcceptsCleanRun) {
+  Trace t;
+  t.timing = timing();
+  t.clock_offsets = {0, 50};
+  t.messages = {msg(0, 0, 1, 100, 1000), msg(1, 1, 0, 200, 800)};
+  t.end_time = 2000;
+  EXPECT_TRUE(t.audit().admissible);
+}
+
+TEST(Trace, AuditRejectsTooFastAndTooSlowDelays) {
+  Trace t;
+  t.timing = timing();
+  t.clock_offsets = {0, 0};
+  t.messages = {msg(0, 0, 1, 100, 400),    // delay 300 < d-u
+                msg(1, 0, 1, 100, 1200)};  // delay 1100 > d
+  const AdmissibilityReport report = t.audit();
+  EXPECT_FALSE(report.admissible);
+  EXPECT_EQ(report.violations.size(), 2u);
+}
+
+TEST(Trace, AuditAcceptsUndeliveredIfRunEndsEarly) {
+  Trace t;
+  t.timing = timing();
+  t.clock_offsets = {0, 0};
+  MessageRecord m = msg(0, 0, 1, 100, kNoTime);
+  t.messages = {m};
+  t.end_time = 900;  // < send + d = 1100
+  EXPECT_TRUE(t.audit().admissible);
+  t.end_time = 1100;  // run lasted past the delivery deadline
+  EXPECT_FALSE(t.audit().admissible);
+}
+
+TEST(Trace, AuditRejectsExcessSkew) {
+  Trace t;
+  t.timing = timing();
+  t.clock_offsets = {0, 150};  // eps = 100
+  EXPECT_FALSE(t.audit().admissible);
+}
+
+TEST(Trace, CompletedOpsFiltersPending) {
+  Trace t;
+  t.timing = timing();
+  t.ops = {op(0, 10, 20, Value(1)), op(1, 30, kNoTime, Value())};
+  EXPECT_FALSE(t.complete());
+  EXPECT_EQ(t.completed_ops().size(), 1u);
+  t.ops[1].response_time = 40;
+  EXPECT_TRUE(t.complete());
+}
+
+TEST(Trace, WorstLatencySelectsByPredicate) {
+  Trace t;
+  t.timing = timing();
+  t.ops = {op(0, 0, 100, Value(1)), op(1, 0, 250, Value(2)),
+           op(0, 300, 310, Value(3))};
+  EXPECT_EQ(t.worst_latency([](const OperationRecord&) { return true; }), 250);
+  EXPECT_EQ(t.worst_latency([](const OperationRecord& r) { return r.proc == 0; }),
+            100);
+  EXPECT_EQ(t.worst_latency([](const OperationRecord& r) { return r.proc == 9; }),
+            kNoTime);
+}
+
+TEST(MessageRecord, DelayAndDeliveredFlags) {
+  MessageRecord m = msg(0, 0, 1, 100, 800);
+  EXPECT_TRUE(m.delivered());
+  EXPECT_EQ(m.delay(), 700);
+  m.recv_time = kNoTime;
+  EXPECT_FALSE(m.delivered());
+}
+
+}  // namespace
+}  // namespace linbound

@@ -1,0 +1,119 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(ValueParse, RoundTripsEveryShape) {
+  const Value values[] = {
+      Value::unit(),
+      Value(0),
+      Value(-42),
+      Value(std::int64_t{9000000000}),
+      Value(true),
+      Value(false),
+      Value("hello world"),
+      Value(""),
+      Value(Value::List{}),
+      Value(Value::List{Value(1), Value("x"),
+                        Value(Value::List{Value(false), Value::unit()})}),
+  };
+  for (const Value& v : values) {
+    auto parsed = Value::parse(v.to_string());
+    ASSERT_TRUE(parsed.has_value()) << v.to_string();
+    EXPECT_EQ(*parsed, v) << v.to_string();
+  }
+}
+
+TEST(ValueParse, RejectsMalformedInput) {
+  for (const char* bad : {"", "(", "[1, 2", "\"unterminated", "12x", "tru",
+                          "1 2", "[]]", "--3"}) {
+    EXPECT_FALSE(Value::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(TraceIo, RoundTripsHandBuiltTrace) {
+  Trace trace;
+  trace.timing = SystemTiming{1000, 400, 300};
+  trace.clock_offsets = {0, 150, -20};
+  trace.end_time = 5000;
+  MessageRecord m;
+  m.id = 7;
+  m.from = 0;
+  m.to = 2;
+  m.send_time = 100;
+  m.recv_time = 900;
+  trace.messages.push_back(m);
+  m.id = 8;
+  m.recv_time = kNoTime;  // undelivered
+  trace.messages.push_back(m);
+  OperationRecord rec;
+  rec.token = 0;
+  rec.proc = 1;
+  rec.op = queue_ops::enqueue(5);
+  rec.invoke_time = 200;
+  rec.response_time = 500;
+  rec.ret = Value::unit();
+  trace.ops.push_back(rec);
+  rec.token = 1;
+  rec.op = queue_ops::dequeue();
+  rec.invoke_time = 600;
+  rec.response_time = kNoTime;  // pending
+  trace.ops.push_back(rec);
+
+  std::string error;
+  auto parsed = trace_from_string(trace_to_string(trace), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->timing.d, 1000);
+  EXPECT_EQ(parsed->clock_offsets, trace.clock_offsets);
+  EXPECT_EQ(parsed->end_time, 5000);
+  ASSERT_EQ(parsed->messages.size(), 2u);
+  EXPECT_EQ(parsed->messages[0].recv_time, 900);
+  EXPECT_FALSE(parsed->messages[1].delivered());
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].op.args.at(0), Value(5));
+  EXPECT_EQ(parsed->ops[0].ret, Value::unit());
+  EXPECT_FALSE(parsed->ops[1].completed());
+  // Serialization is canonical: round-trip twice gives identical text.
+  EXPECT_EQ(trace_to_string(*parsed), trace_to_string(trace));
+}
+
+TEST(TraceIo, RoundTripsARealRun) {
+  auto model = std::make_shared<RegisterModel>();
+  SystemOptions o;
+  o.n = 3;
+  o.timing = SystemTiming{1000, 400, 100};
+  o.delays = std::make_shared<UniformDelayPolicy>(o.timing, 5);
+  ReplicaSystem system(model, o);
+  system.sim().invoke_at(1000, 0, reg::write(3));
+  system.sim().invoke_at(1200, 1, reg::rmw(4));
+  system.sim().invoke_at(3000, 2, reg::read());
+  system.run_to_completion();
+
+  const Trace& original = system.sim().trace();
+  std::string error;
+  auto parsed = trace_from_string(trace_to_string(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(trace_to_string(*parsed), trace_to_string(original));
+  // The reloaded trace audits identically and yields the same history.
+  EXPECT_EQ(parsed->audit().admissible, original.audit().admissible);
+  EXPECT_EQ(History::from_trace(*parsed).size(),
+            History::from_trace(original).size());
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(trace_from_string("not a trace", &error).has_value());
+  EXPECT_FALSE(trace_from_string("trace v1\nbogus line", &error).has_value());
+  EXPECT_FALSE(
+      trace_from_string("trace v1\nmsg 1 2", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace linbound

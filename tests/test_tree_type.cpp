@@ -1,0 +1,154 @@
+#include "types/tree_type.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/properties.h"
+#include "spec/sequences.h"
+
+namespace linbound {
+namespace {
+
+TEST(TreeType, RootAlwaysExists) {
+  TreeModel model;
+  auto s = model.initial_state();
+  EXPECT_EQ(s->apply(tree_ops::search(TreeModel::kRootKey)), Value(true));
+  EXPECT_EQ(s->apply(tree_ops::depth()), Value(0));
+}
+
+TEST(TreeType, InsertUnderRoot) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  EXPECT_EQ(s->apply(tree_ops::search(1)), Value(true));
+  EXPECT_EQ(s->apply(tree_ops::depth()), Value(1));
+}
+
+TEST(TreeType, InsertUnderAbsentParentIsNoop) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(2, 7));
+  EXPECT_EQ(s->apply(tree_ops::search(2)), Value(false));
+}
+
+TEST(TreeType, InsertMovesExistingNodeWithSubtree) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  s->apply(tree_ops::insert(2, 1));
+  s->apply(tree_ops::insert(3, 2));  // chain 0 -> 1 -> 2 -> 3
+  EXPECT_EQ(s->apply(tree_ops::depth()), Value(3));
+  // Move node 2 (with child 3) directly under the root.
+  s->apply(tree_ops::insert(2, 0));
+  EXPECT_EQ(s->apply(tree_ops::depth()), Value(2));
+  EXPECT_EQ(s->apply(tree_ops::search(3)), Value(true));
+}
+
+TEST(TreeType, InsertCannotCreateCycle) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  s->apply(tree_ops::insert(2, 1));
+  auto before = s->clone();
+  s->apply(tree_ops::insert(1, 2));  // 1 under its own descendant: no-op
+  EXPECT_TRUE(s->equals(*before));
+}
+
+TEST(TreeType, InsertRootIsNoop) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  auto before = s->clone();
+  s->apply(tree_ops::insert(0, 1));
+  EXPECT_TRUE(s->equals(*before));
+}
+
+TEST(TreeType, RemoveLeafOnlyRemovesLeaves) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  s->apply(tree_ops::insert(2, 1));
+  s->apply(tree_ops::remove_leaf(1));  // not a leaf: no-op
+  EXPECT_EQ(s->apply(tree_ops::search(1)), Value(true));
+  s->apply(tree_ops::remove_leaf(2));
+  EXPECT_EQ(s->apply(tree_ops::search(2)), Value(false));
+  s->apply(tree_ops::remove_leaf(1));  // now a leaf
+  EXPECT_EQ(s->apply(tree_ops::search(1)), Value(false));
+}
+
+TEST(TreeType, EraseRemovesWholeSubtree) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  s->apply(tree_ops::insert(2, 1));
+  s->apply(tree_ops::insert(3, 2));
+  s->apply(tree_ops::insert(4, 0));
+  s->apply(tree_ops::erase(1));
+  EXPECT_EQ(s->apply(tree_ops::search(1)), Value(false));
+  EXPECT_EQ(s->apply(tree_ops::search(2)), Value(false));
+  EXPECT_EQ(s->apply(tree_ops::search(3)), Value(false));
+  EXPECT_EQ(s->apply(tree_ops::search(4)), Value(true));
+}
+
+TEST(TreeType, EraseRootIsNoop) {
+  TreeModel model;
+  auto s = model.initial_state();
+  s->apply(tree_ops::insert(1, 0));
+  s->apply(tree_ops::erase(0));
+  EXPECT_EQ(s->apply(tree_ops::search(1)), Value(true));
+}
+
+TEST(TreeType, Classification) {
+  TreeModel model;
+  EXPECT_EQ(model.classify(tree_ops::insert(1, 0)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(tree_ops::remove_leaf(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(tree_ops::erase(1)), OpClass::kPureMutator);
+  EXPECT_EQ(model.classify(tree_ops::search(1)), OpClass::kPureAccessor);
+  EXPECT_EQ(model.classify(tree_ops::depth()), OpClass::kPureAccessor);
+}
+
+TEST(TreeType, MoveInsertLastWriterWinsOnParent) {
+  // The Table IV witness: with move semantics, the last insert of the same
+  // key determines its parent -- exactly like the write register.
+  TreeModel model;
+  OpSequence rho;
+  for (std::int64_t p = 1; p <= 3; ++p) {
+    rho.push_back(instance_after(model, rho, tree_ops::insert(p, 0)));
+  }
+  OpSequence move_under_1 = rho;
+  move_under_1.push_back(instance_after(model, move_under_1, tree_ops::insert(9, 1)));
+  move_under_1.push_back(instance_after(model, move_under_1, tree_ops::insert(9, 2)));
+  OpSequence move_under_2 = rho;
+  move_under_2.push_back(instance_after(model, move_under_2, tree_ops::insert(9, 2)));
+  move_under_2.push_back(instance_after(model, move_under_2, tree_ops::insert(9, 1)));
+  EXPECT_FALSE(equivalent(model, move_under_1, move_under_2));
+}
+
+TEST(TreeType, RemoveLeafIsOrderSensitive) {
+  // Chain 0 -> 1 -> 2.  remove_leaf(1); remove_leaf(2) leaves {1} (first
+  // call is a no-op), while remove_leaf(2); remove_leaf(1) empties the tree.
+  TreeModel model;
+  OpSequence rho{instance_after(model, {}, tree_ops::insert(1, 0))};
+  rho.push_back(instance_after(model, rho, tree_ops::insert(2, 1)));
+  OpSequence order_a = rho;
+  order_a.push_back(instance_after(model, order_a, tree_ops::remove_leaf(1)));
+  order_a.push_back(instance_after(model, order_a, tree_ops::remove_leaf(2)));
+  OpSequence order_b = rho;
+  order_b.push_back(instance_after(model, order_b, tree_ops::remove_leaf(2)));
+  order_b.push_back(instance_after(model, order_b, tree_ops::remove_leaf(1)));
+  EXPECT_FALSE(equivalent(model, order_a, order_b));
+}
+
+TEST(TreeType, DepthObservesStructure) {
+  TreeModel model;
+  auto chain = model.initial_state();
+  chain->apply(tree_ops::insert(1, 0));
+  chain->apply(tree_ops::insert(2, 1));
+  auto star = model.initial_state();
+  star->apply(tree_ops::insert(1, 0));
+  star->apply(tree_ops::insert(2, 0));
+  EXPECT_EQ(chain->apply(tree_ops::depth()), Value(2));
+  EXPECT_EQ(star->apply(tree_ops::depth()), Value(1));
+}
+
+}  // namespace
+}  // namespace linbound

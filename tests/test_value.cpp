@@ -1,0 +1,83 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace linbound {
+namespace {
+
+TEST(Value, DefaultIsUnit) {
+  Value v;
+  EXPECT_TRUE(v.is_unit());
+  EXPECT_EQ(v, Value::unit());
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v(42);
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.to_string(), "42");
+}
+
+TEST(Value, BoolRoundTrip) {
+  Value t(true), f(false);
+  ASSERT_TRUE(t.is_bool());
+  EXPECT_TRUE(t.as_bool());
+  EXPECT_FALSE(f.as_bool());
+  EXPECT_EQ(t.to_string(), "true");
+  EXPECT_EQ(f.to_string(), "false");
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v("hello");
+  ASSERT_TRUE(v.is_str());
+  EXPECT_EQ(v.as_str(), "hello");
+  EXPECT_EQ(v.to_string(), "\"hello\"");
+}
+
+TEST(Value, ListRoundTrip) {
+  Value v(Value::List{Value(1), Value("x")});
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.as_list().size(), 2u);
+  EXPECT_EQ(v.to_string(), "[1, \"x\"]");
+}
+
+TEST(Value, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value(0), Value(false));
+  EXPECT_NE(Value(1), Value(true));
+  EXPECT_NE(Value::unit(), Value(0));
+  EXPECT_NE(Value("1"), Value(1));
+}
+
+TEST(Value, EqualitySameType) {
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(8));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(Value::List{Value(1)}), Value(Value::List{Value(1)}));
+  EXPECT_NE(Value(Value::List{Value(1)}), Value(Value::List{Value(2)}));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(7).hash(), Value(7).hash());
+  EXPECT_EQ(Value("abc").hash(), Value("abc").hash());
+  // Not guaranteed in general but expected for these simple cases:
+  EXPECT_NE(Value(7).hash(), Value(8).hash());
+  EXPECT_NE(Value(0).hash(), Value(false).hash());
+  EXPECT_NE(Value::unit().hash(), Value(0).hash());
+}
+
+TEST(Value, HashOfNestedLists) {
+  Value a(Value::List{Value(1), Value(Value::List{Value(2)})});
+  Value b(Value::List{Value(1), Value(Value::List{Value(2)})});
+  Value c(Value::List{Value(1), Value(Value::List{Value(3)})});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(Value, OrderingIsTotal) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_FALSE(Value(2) < Value(1));
+  EXPECT_FALSE(Value(1) < Value(1));
+}
+
+}  // namespace
+}  // namespace linbound
