@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seqcst_contrast.dir/bench_seqcst_contrast.cpp.o"
+  "CMakeFiles/bench_seqcst_contrast.dir/bench_seqcst_contrast.cpp.o.d"
+  "bench_seqcst_contrast"
+  "bench_seqcst_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seqcst_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_register.dir/bench_table1_register.cpp.o"
+  "CMakeFiles/bench_table1_register.dir/bench_table1_register.cpp.o.d"
+  "bench_table1_register"
+  "bench_table1_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_queue.dir/bench_table2_queue.cpp.o"
+  "CMakeFiles/bench_table2_queue.dir/bench_table2_queue.cpp.o.d"
+  "bench_table2_queue"
+  "bench_table2_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

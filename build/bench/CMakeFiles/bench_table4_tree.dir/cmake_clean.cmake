@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tree.dir/bench_table4_tree.cpp.o"
+  "CMakeFiles/bench_table4_tree.dir/bench_table4_tree.cpp.o.d"
+  "bench_table4_tree"
+  "bench_table4_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_c1_insc.dir/bench_thm_c1_insc.cpp.o"
+  "CMakeFiles/bench_thm_c1_insc.dir/bench_thm_c1_insc.cpp.o.d"
+  "bench_thm_c1_insc"
+  "bench_thm_c1_insc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_c1_insc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm_c1_insc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_d1_permuting.dir/bench_thm_d1_permuting.cpp.o"
+  "CMakeFiles/bench_thm_d1_permuting.dir/bench_thm_d1_permuting.cpp.o.d"
+  "bench_thm_d1_permuting"
+  "bench_thm_d1_permuting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_d1_permuting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

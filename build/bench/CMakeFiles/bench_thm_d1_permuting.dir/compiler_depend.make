@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_thm_d1_permuting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_e1_pair.dir/bench_thm_e1_pair.cpp.o"
+  "CMakeFiles/bench_thm_e1_pair.dir/bench_thm_e1_pair.cpp.o.d"
+  "bench_thm_e1_pair"
+  "bench_thm_e1_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_e1_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

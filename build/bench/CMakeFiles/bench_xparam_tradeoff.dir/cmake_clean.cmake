@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xparam_tradeoff.dir/bench_xparam_tradeoff.cpp.o"
+  "CMakeFiles/bench_xparam_tradeoff.dir/bench_xparam_tradeoff.cpp.o.d"
+  "bench_xparam_tradeoff"
+  "bench_xparam_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xparam_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_explorer.dir/bound_explorer.cpp.o"
+  "CMakeFiles/bound_explorer.dir/bound_explorer.cpp.o.d"
+  "bound_explorer"
+  "bound_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

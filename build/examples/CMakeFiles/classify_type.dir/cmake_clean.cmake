@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_type.dir/classify_type.cpp.o"
+  "CMakeFiles/classify_type.dir/classify_type.cpp.o.d"
+  "classify_type"
+  "classify_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_queue.dir/job_queue.cpp.o"
+  "CMakeFiles/job_queue.dir/job_queue.cpp.o.d"
+  "job_queue"
+  "job_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_directory.dir/membership_directory.cpp.o"
+  "CMakeFiles/membership_directory.dir/membership_directory.cpp.o.d"
+  "membership_directory"
+  "membership_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

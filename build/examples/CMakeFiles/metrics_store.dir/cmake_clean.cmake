@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_store.dir/metrics_store.cpp.o"
+  "CMakeFiles/metrics_store.dir/metrics_store.cpp.o.d"
+  "metrics_store"
+  "metrics_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

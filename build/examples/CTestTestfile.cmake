@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;21;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_job_queue "/root/repo/build/examples/job_queue")
+set_tests_properties(example_job_queue PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;22;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_membership_directory "/root/repo/build/examples/membership_directory")
+set_tests_properties(example_membership_directory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;23;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_org_chart "/root/repo/build/examples/org_chart")
+set_tests_properties(example_org_chart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;24;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bound_explorer "/root/repo/build/examples/bound_explorer")
+set_tests_properties(example_bound_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;25;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_classify_type "/root/repo/build/examples/classify_type")
+set_tests_properties(example_classify_type PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;26;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_metrics_store "/root/repo/build/examples/metrics_store")
+set_tests_properties(example_metrics_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;27;linbound_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replay_trace "/root/repo/build/examples/replay_trace")
+set_tests_properties(example_replay_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;28;linbound_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/brute_checker.cpp" "src/checker/CMakeFiles/linbound_checker.dir/brute_checker.cpp.o" "gcc" "src/checker/CMakeFiles/linbound_checker.dir/brute_checker.cpp.o.d"
+  "/root/repo/src/checker/history.cpp" "src/checker/CMakeFiles/linbound_checker.dir/history.cpp.o" "gcc" "src/checker/CMakeFiles/linbound_checker.dir/history.cpp.o.d"
+  "/root/repo/src/checker/lin_checker.cpp" "src/checker/CMakeFiles/linbound_checker.dir/lin_checker.cpp.o" "gcc" "src/checker/CMakeFiles/linbound_checker.dir/lin_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/linbound_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linbound_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

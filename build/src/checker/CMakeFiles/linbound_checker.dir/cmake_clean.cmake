@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_checker.dir/brute_checker.cpp.o"
+  "CMakeFiles/linbound_checker.dir/brute_checker.cpp.o.d"
+  "CMakeFiles/linbound_checker.dir/history.cpp.o"
+  "CMakeFiles/linbound_checker.dir/history.cpp.o.d"
+  "CMakeFiles/linbound_checker.dir/lin_checker.cpp.o"
+  "CMakeFiles/linbound_checker.dir/lin_checker.cpp.o.d"
+  "liblinbound_checker.a"
+  "liblinbound_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

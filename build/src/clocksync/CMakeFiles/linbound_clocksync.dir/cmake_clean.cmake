@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_clocksync.dir/lundelius_lynch.cpp.o"
+  "CMakeFiles/linbound_clocksync.dir/lundelius_lynch.cpp.o.d"
+  "liblinbound_clocksync.a"
+  "liblinbound_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

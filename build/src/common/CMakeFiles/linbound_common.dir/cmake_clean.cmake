@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_common.dir/format.cpp.o"
+  "CMakeFiles/linbound_common.dir/format.cpp.o.d"
+  "CMakeFiles/linbound_common.dir/log.cpp.o"
+  "CMakeFiles/linbound_common.dir/log.cpp.o.d"
+  "CMakeFiles/linbound_common.dir/rng.cpp.o"
+  "CMakeFiles/linbound_common.dir/rng.cpp.o.d"
+  "CMakeFiles/linbound_common.dir/value.cpp.o"
+  "CMakeFiles/linbound_common.dir/value.cpp.o.d"
+  "liblinbound_common.a"
+  "liblinbound_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

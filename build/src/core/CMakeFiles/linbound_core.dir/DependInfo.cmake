@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/centralized_algorithm.cpp" "src/core/CMakeFiles/linbound_core.dir/centralized_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/centralized_algorithm.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/linbound_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/replica_algorithm.cpp" "src/core/CMakeFiles/linbound_core.dir/replica_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/replica_algorithm.cpp.o.d"
+  "/root/repo/src/core/synced_replica.cpp" "src/core/CMakeFiles/linbound_core.dir/synced_replica.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/synced_replica.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/linbound_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/to_execute.cpp" "src/core/CMakeFiles/linbound_core.dir/to_execute.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/to_execute.cpp.o.d"
+  "/root/repo/src/core/tob_algorithm.cpp" "src/core/CMakeFiles/linbound_core.dir/tob_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/tob_algorithm.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/linbound_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/linbound_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/linbound_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/linbound_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/linbound_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/linbound_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

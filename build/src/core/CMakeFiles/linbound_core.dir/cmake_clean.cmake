@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_core.dir/centralized_algorithm.cpp.o"
+  "CMakeFiles/linbound_core.dir/centralized_algorithm.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/driver.cpp.o"
+  "CMakeFiles/linbound_core.dir/driver.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/replica_algorithm.cpp.o"
+  "CMakeFiles/linbound_core.dir/replica_algorithm.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/synced_replica.cpp.o"
+  "CMakeFiles/linbound_core.dir/synced_replica.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/system.cpp.o"
+  "CMakeFiles/linbound_core.dir/system.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/to_execute.cpp.o"
+  "CMakeFiles/linbound_core.dir/to_execute.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/tob_algorithm.cpp.o"
+  "CMakeFiles/linbound_core.dir/tob_algorithm.cpp.o.d"
+  "CMakeFiles/linbound_core.dir/workload.cpp.o"
+  "CMakeFiles/linbound_core.dir/workload.cpp.o.d"
+  "liblinbound_core.a"
+  "liblinbound_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblinbound_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_harness.dir/bounds_table.cpp.o"
+  "CMakeFiles/linbound_harness.dir/bounds_table.cpp.o.d"
+  "CMakeFiles/linbound_harness.dir/experiment.cpp.o"
+  "CMakeFiles/linbound_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/linbound_harness.dir/latency.cpp.o"
+  "CMakeFiles/linbound_harness.dir/latency.cpp.o.d"
+  "liblinbound_harness.a"
+  "liblinbound_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

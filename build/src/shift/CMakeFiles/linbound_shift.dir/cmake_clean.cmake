@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_shift.dir/proof_scenarios.cpp.o"
+  "CMakeFiles/linbound_shift.dir/proof_scenarios.cpp.o.d"
+  "CMakeFiles/linbound_shift.dir/scenario.cpp.o"
+  "CMakeFiles/linbound_shift.dir/scenario.cpp.o.d"
+  "CMakeFiles/linbound_shift.dir/shift.cpp.o"
+  "CMakeFiles/linbound_shift.dir/shift.cpp.o.d"
+  "liblinbound_shift.a"
+  "liblinbound_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

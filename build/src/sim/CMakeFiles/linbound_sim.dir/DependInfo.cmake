@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_policy.cpp" "src/sim/CMakeFiles/linbound_sim.dir/delay_policy.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/delay_policy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/linbound_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/linbound_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/linbound_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/linbound_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/linbound_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/linbound_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/linbound_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_sim.dir/delay_policy.cpp.o"
+  "CMakeFiles/linbound_sim.dir/delay_policy.cpp.o.d"
+  "CMakeFiles/linbound_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/linbound_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/linbound_sim.dir/process.cpp.o"
+  "CMakeFiles/linbound_sim.dir/process.cpp.o.d"
+  "CMakeFiles/linbound_sim.dir/simulator.cpp.o"
+  "CMakeFiles/linbound_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/linbound_sim.dir/trace.cpp.o"
+  "CMakeFiles/linbound_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/linbound_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/linbound_sim.dir/trace_io.cpp.o.d"
+  "liblinbound_sim.a"
+  "liblinbound_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

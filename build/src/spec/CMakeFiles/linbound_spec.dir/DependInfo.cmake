@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/classification_report.cpp" "src/spec/CMakeFiles/linbound_spec.dir/classification_report.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/classification_report.cpp.o.d"
+  "/root/repo/src/spec/commutativity_graph.cpp" "src/spec/CMakeFiles/linbound_spec.dir/commutativity_graph.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/commutativity_graph.cpp.o.d"
+  "/root/repo/src/spec/composite.cpp" "src/spec/CMakeFiles/linbound_spec.dir/composite.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/composite.cpp.o.d"
+  "/root/repo/src/spec/object_model.cpp" "src/spec/CMakeFiles/linbound_spec.dir/object_model.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/object_model.cpp.o.d"
+  "/root/repo/src/spec/properties.cpp" "src/spec/CMakeFiles/linbound_spec.dir/properties.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/properties.cpp.o.d"
+  "/root/repo/src/spec/reclassify.cpp" "src/spec/CMakeFiles/linbound_spec.dir/reclassify.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/reclassify.cpp.o.d"
+  "/root/repo/src/spec/sequences.cpp" "src/spec/CMakeFiles/linbound_spec.dir/sequences.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/sequences.cpp.o.d"
+  "/root/repo/src/spec/witness_search.cpp" "src/spec/CMakeFiles/linbound_spec.dir/witness_search.cpp.o" "gcc" "src/spec/CMakeFiles/linbound_spec.dir/witness_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

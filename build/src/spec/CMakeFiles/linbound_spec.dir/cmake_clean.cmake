@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_spec.dir/classification_report.cpp.o"
+  "CMakeFiles/linbound_spec.dir/classification_report.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/commutativity_graph.cpp.o"
+  "CMakeFiles/linbound_spec.dir/commutativity_graph.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/composite.cpp.o"
+  "CMakeFiles/linbound_spec.dir/composite.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/object_model.cpp.o"
+  "CMakeFiles/linbound_spec.dir/object_model.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/properties.cpp.o"
+  "CMakeFiles/linbound_spec.dir/properties.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/reclassify.cpp.o"
+  "CMakeFiles/linbound_spec.dir/reclassify.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/sequences.cpp.o"
+  "CMakeFiles/linbound_spec.dir/sequences.cpp.o.d"
+  "CMakeFiles/linbound_spec.dir/witness_search.cpp.o"
+  "CMakeFiles/linbound_spec.dir/witness_search.cpp.o.d"
+  "liblinbound_spec.a"
+  "liblinbound_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

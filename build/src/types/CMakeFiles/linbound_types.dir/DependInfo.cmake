@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/array_type.cpp" "src/types/CMakeFiles/linbound_types.dir/array_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/array_type.cpp.o.d"
+  "/root/repo/src/types/queue_type.cpp" "src/types/CMakeFiles/linbound_types.dir/queue_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/queue_type.cpp.o.d"
+  "/root/repo/src/types/register_type.cpp" "src/types/CMakeFiles/linbound_types.dir/register_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/register_type.cpp.o.d"
+  "/root/repo/src/types/set_type.cpp" "src/types/CMakeFiles/linbound_types.dir/set_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/set_type.cpp.o.d"
+  "/root/repo/src/types/stack_type.cpp" "src/types/CMakeFiles/linbound_types.dir/stack_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/stack_type.cpp.o.d"
+  "/root/repo/src/types/tree_type.cpp" "src/types/CMakeFiles/linbound_types.dir/tree_type.cpp.o" "gcc" "src/types/CMakeFiles/linbound_types.dir/tree_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/linbound_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

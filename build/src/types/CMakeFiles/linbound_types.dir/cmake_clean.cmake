@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linbound_types.dir/array_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/array_type.cpp.o.d"
+  "CMakeFiles/linbound_types.dir/queue_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/queue_type.cpp.o.d"
+  "CMakeFiles/linbound_types.dir/register_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/register_type.cpp.o.d"
+  "CMakeFiles/linbound_types.dir/set_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/set_type.cpp.o.d"
+  "CMakeFiles/linbound_types.dir/stack_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/stack_type.cpp.o.d"
+  "CMakeFiles/linbound_types.dir/tree_type.cpp.o"
+  "CMakeFiles/linbound_types.dir/tree_type.cpp.o.d"
+  "liblinbound_types.a"
+  "liblinbound_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linbound_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_type.dir/test_array_type.cpp.o"
+  "CMakeFiles/test_array_type.dir/test_array_type.cpp.o.d"
+  "test_array_type"
+  "test_array_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_cross.dir/test_checker_cross.cpp.o"
+  "CMakeFiles/test_checker_cross.dir/test_checker_cross.cpp.o.d"
+  "test_checker_cross"
+  "test_checker_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

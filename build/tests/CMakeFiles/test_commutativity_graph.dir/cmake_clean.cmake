@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commutativity_graph.dir/test_commutativity_graph.cpp.o"
+  "CMakeFiles/test_commutativity_graph.dir/test_commutativity_graph.cpp.o.d"
+  "test_commutativity_graph"
+  "test_commutativity_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commutativity_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lin_checker.dir/test_lin_checker.cpp.o"
+  "CMakeFiles/test_lin_checker.dir/test_lin_checker.cpp.o.d"
+  "test_lin_checker"
+  "test_lin_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lin_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_type.dir/test_queue_type.cpp.o"
+  "CMakeFiles/test_queue_type.dir/test_queue_type.cpp.o.d"
+  "test_queue_type"
+  "test_queue_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reclassify.dir/test_reclassify.cpp.o"
+  "CMakeFiles/test_reclassify.dir/test_reclassify.cpp.o.d"
+  "test_reclassify"
+  "test_reclassify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reclassify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_type.dir/test_register_type.cpp.o"
+  "CMakeFiles/test_register_type.dir/test_register_type.cpp.o.d"
+  "test_register_type"
+  "test_register_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

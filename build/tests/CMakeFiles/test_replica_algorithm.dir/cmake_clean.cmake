@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica_algorithm.dir/test_replica_algorithm.cpp.o"
+  "CMakeFiles/test_replica_algorithm.dir/test_replica_algorithm.cpp.o.d"
+  "test_replica_algorithm"
+  "test_replica_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

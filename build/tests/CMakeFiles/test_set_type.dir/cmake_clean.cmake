@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_type.dir/test_set_type.cpp.o"
+  "CMakeFiles/test_set_type.dir/test_set_type.cpp.o.d"
+  "test_set_type"
+  "test_set_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

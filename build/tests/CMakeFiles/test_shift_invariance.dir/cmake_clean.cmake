@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shift_invariance.dir/test_shift_invariance.cpp.o"
+  "CMakeFiles/test_shift_invariance.dir/test_shift_invariance.cpp.o.d"
+  "test_shift_invariance"
+  "test_shift_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shift_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/test_simulator.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_simulator.dir/test_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/linbound_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/linbound_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/linbound_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/linbound_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/linbound_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/linbound_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/linbound_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/shift/CMakeFiles/linbound_shift.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/linbound_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

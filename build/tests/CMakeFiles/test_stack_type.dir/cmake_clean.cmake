@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_type.dir/test_stack_type.cpp.o"
+  "CMakeFiles/test_stack_type.dir/test_stack_type.cpp.o.d"
+  "test_stack_type"
+  "test_stack_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

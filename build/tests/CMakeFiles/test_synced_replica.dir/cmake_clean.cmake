@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synced_replica.dir/test_synced_replica.cpp.o"
+  "CMakeFiles/test_synced_replica.dir/test_synced_replica.cpp.o.d"
+  "test_synced_replica"
+  "test_synced_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synced_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_synced_replica.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_to_execute.dir/test_to_execute.cpp.o"
+  "CMakeFiles/test_to_execute.dir/test_to_execute.cpp.o.d"
+  "test_to_execute"
+  "test_to_execute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_to_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

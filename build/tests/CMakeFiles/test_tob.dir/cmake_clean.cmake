@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tob.dir/test_tob.cpp.o"
+  "CMakeFiles/test_tob.dir/test_tob.cpp.o.d"
+  "test_tob"
+  "test_tob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_type.dir/test_tree_type.cpp.o"
+  "CMakeFiles/test_tree_type.dir/test_tree_type.cpp.o.d"
+  "test_tree_type"
+  "test_tree_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
