@@ -1,6 +1,7 @@
 #include "checker/brute_checker.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 
 namespace linbound {
@@ -40,6 +41,60 @@ bool legal_permutation(const ObjectModel& model, const History& history,
   return true;
 }
 
+/// Order check over the extended item list: items [0, n) are the completed
+/// ops, items [n, n+chosen.size()) are the included pending invocations.
+/// A pending invocation must come after every completed op that real-time-
+/// or program-order-precedes it; nothing is ever required to come after a
+/// pending invocation (it has no response).
+bool extended_respects_orders(const History& history,
+                              const std::vector<PendingInvocation>& pending,
+                              const std::vector<std::size_t>& chosen,
+                              const std::vector<std::size_t>& perm) {
+  const auto& ops = history.ops();
+  const std::size_t n = ops.size();
+  std::vector<std::size_t> position(perm.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) position[perm[pos]] = pos;
+
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const bool program_before =
+          ops[a].proc == ops[b].proc && ops[a].response <= ops[b].invoke &&
+          ops[a].invoke < ops[b].invoke;
+      const bool real_time_before = ops[a].response < ops[b].invoke;
+      if ((program_before || real_time_before) && position[a] > position[b]) {
+        return false;
+      }
+    }
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      const PendingInvocation& q = pending[chosen[j]];
+      const bool before = ops[a].response < q.invoke ||
+                          (ops[a].proc == q.proc && ops[a].invoke < q.invoke);
+      if (before && position[a] > position[n + j]) return false;
+    }
+  }
+  return true;
+}
+
+bool extended_legal(const ObjectModel& model, const History& history,
+                    const std::vector<PendingInvocation>& pending,
+                    const std::vector<std::size_t>& chosen,
+                    const std::vector<std::size_t>& perm) {
+  auto state = model.initial_state();
+  const std::size_t n = history.size();
+  for (std::size_t item : perm) {
+    if (item < n) {
+      const HistoryOp& op = history.ops()[item];
+      if (!(state->apply(op.op) == op.ret)) return false;
+    } else {
+      // Pending: the crashed invoker never saw the return value, so any
+      // result is consistent with the (incomplete) observation.
+      state->apply(pending[chosen[item - n]].op);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool brute_force_consistent(const ObjectModel& model, const History& history,
@@ -51,6 +106,25 @@ bool brute_force_consistent(const ObjectModel& model, const History& history,
     if (!respects_orders(history, perm, real_time_order)) continue;
     if (legal_permutation(model, history, perm)) return true;
   } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+bool brute_force_linearizable_with_pending(
+    const ObjectModel& model, const History& history,
+    const std::vector<PendingInvocation>& pending) {
+  const std::size_t m = pending.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<std::size_t> chosen;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (mask & (std::uint64_t{1} << j)) chosen.push_back(j);
+    }
+    std::vector<std::size_t> perm(history.size() + chosen.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      if (!extended_respects_orders(history, pending, chosen, perm)) continue;
+      if (extended_legal(model, history, pending, chosen, perm)) return true;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
   return false;
 }
 

@@ -25,4 +25,13 @@ inline bool brute_force_sequentially_consistent(const ObjectModel& model,
   return brute_force_consistent(model, history, /*real_time_order=*/false);
 }
 
+/// Brute-force counterpart of check_linearizable_with_pending: every subset
+/// of the pending invocations is tried, each included one linearized at any
+/// point after the operations that real-time-precede its invocation, with an
+/// unconstrained return value.  Exponential in ops *and* pending; for
+/// cross-validation on tiny crash histories only.
+bool brute_force_linearizable_with_pending(
+    const ObjectModel& model, const History& history,
+    const std::vector<PendingInvocation>& pending);
+
 }  // namespace linbound

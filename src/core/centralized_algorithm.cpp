@@ -3,9 +3,10 @@
 namespace linbound {
 
 CentralizedProcess::CentralizedProcess(std::shared_ptr<const ObjectModel> model,
-                                       ProcessId coordinator)
+                                       ProcessId coordinator, Tick give_up_after)
     : model_(std::move(model)),
       coordinator_(coordinator),
+      give_up_after_(give_up_after),
       obj_(model_->initial_state()) {}
 
 void CentralizedProcess::on_invoke(std::int64_t token, const Operation& op) {
@@ -15,6 +16,10 @@ void CentralizedProcess::on_invoke(std::int64_t token, const Operation& op) {
     return;
   }
   send(coordinator_, std::make_shared<CentralRequestPayload>(op, token));
+  if (give_up_after_ > 0) {
+    give_up_timers_[token] =
+        set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
+  }
 }
 
 void CentralizedProcess::on_message(ProcessId from, const MessagePayload& payload) {
@@ -25,9 +30,21 @@ void CentralizedProcess::on_message(ProcessId from, const MessagePayload& payloa
     return;
   }
   if (const auto* reply = dynamic_cast<const CentralReplyPayload*>(&payload)) {
+    auto it = give_up_timers_.find(reply->token);
+    if (it != give_up_timers_.end()) {
+      cancel_timer(it->second);
+      give_up_timers_.erase(it);
+    }
     respond(reply->token, reply->ret);
     return;
   }
+}
+
+void CentralizedProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
+  if (tag.kind != kGiveUp) return;
+  const std::int64_t token = tag.ts.clock_time;
+  if (give_up_timers_.erase(token) == 0) return;  // already answered
+  give_up(token);
 }
 
 }  // namespace linbound

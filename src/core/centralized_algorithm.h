@@ -5,6 +5,7 @@
 // Algorithm 1 is measured against in bench_baseline_2d.
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "sim/process.h"
@@ -26,19 +27,28 @@ struct CentralReplyPayload final : MessagePayload {
 
 class CentralizedProcess final : public Process {
  public:
-  /// All processes must agree on the coordinator id.
+  /// All processes must agree on the coordinator id.  With a positive
+  /// `give_up_after`, a client that hears nothing for that long after an
+  /// invocation abandons it (Process::give_up) -- a dead coordinator then
+  /// degrades to a Stalled run outcome instead of a forever-pending
+  /// operation; 0 keeps the historical wait-forever behavior.
   CentralizedProcess(std::shared_ptr<const ObjectModel> model,
-                     ProcessId coordinator);
+                     ProcessId coordinator, Tick give_up_after = 0);
 
   void on_invoke(std::int64_t token, const Operation& op) override;
   void on_message(ProcessId from, const MessagePayload& payload) override;
+  void on_timer(TimerId id, const TimerTag& tag) override;
 
  private:
+  enum TimerKind : int { kGiveUp = 1 };
+
   bool is_coordinator() const { return id() == coordinator_; }
 
   std::shared_ptr<const ObjectModel> model_;
   ProcessId coordinator_;
+  Tick give_up_after_;
   std::unique_ptr<ObjectState> obj_;  ///< live only on the coordinator
+  std::map<std::int64_t, TimerId> give_up_timers_;  ///< by pending token
 };
 
 }  // namespace linbound

@@ -1,0 +1,112 @@
+#include "core/hardened_replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace linbound {
+
+Tick HardenedParams::first_timeout_for(const SystemTiming& timing) const {
+  // A round trip (data out, ack back) takes at most 2(d + spike_margin);
+  // only after that can the first attempt be declared lost.
+  return retrans_timeout > 0 ? retrans_timeout
+                             : 2 * (timing.d + spike_margin) + 1;
+}
+
+Tick HardenedParams::step_cap_for(const SystemTiming& timing) const {
+  return timeout_cap > 0 ? timeout_cap : 8 * timing.d;
+}
+
+Tick HardenedParams::effective_d(const SystemTiming& timing) const {
+  if (!valid()) throw std::invalid_argument("invalid HardenedParams");
+  const Tick cap = step_cap_for(timing);
+  Tick step = std::min(first_timeout_for(timing), cap);
+  Tick total = timing.d + spike_margin;  // last attempt's one-way flight
+  for (int k = 0; k + 1 < max_attempts; ++k) {
+    total += step;
+    step = (step >= cap / backoff) ? cap : step * backoff;
+    step = std::min(step, cap);
+  }
+  return total;
+}
+
+SystemTiming HardenedParams::effective_timing(const SystemTiming& timing) const {
+  SystemTiming out = timing;
+  out.d = effective_d(timing);
+  out.u = out.d - timing.min_delay();
+  return out;
+}
+
+HardenedReplicaProcess::HardenedReplicaProcess(
+    std::shared_ptr<const ObjectModel> model, AlgorithmDelays delays,
+    HardenedParams params)
+    : ReplicaProcess(std::move(model), delays), params_(params) {
+  if (!params_.valid()) throw std::invalid_argument("invalid HardenedParams");
+}
+
+void HardenedReplicaProcess::send(ProcessId to,
+                                  std::shared_ptr<const MessagePayload> payload) {
+  const std::int64_t seq = next_link_seq_++;
+  auto frame = std::make_shared<LinkDataPayload>(seq, std::move(payload));
+  PendingSend pending;
+  pending.frame = frame;
+  pending.to = to;
+  pending.attempts = 1;
+  pending.next_timeout =
+      std::min(params_.first_timeout_for(timing()), params_.step_cap_for(timing()));
+  raw_send(to, frame);
+  pending_sends_[seq] = std::move(pending);
+  // Timer keyed by <seq, destination> through the standard tag.
+  set_timer(pending_sends_[seq].next_timeout,
+            TimerTag{kLinkRetransmit, Timestamp{seq, to}});
+}
+
+void HardenedReplicaProcess::on_message(ProcessId from,
+                                        const MessagePayload& payload) {
+  if (const auto* ack = dynamic_cast<const LinkAckPayload*>(&payload)) {
+    pending_sends_.erase(ack->seq);  // duplicate acks fall through harmlessly
+    return;
+  }
+  if (const auto* frame = dynamic_cast<const LinkDataPayload*>(&payload)) {
+    // Always (re-)ack: the sender may be retransmitting because our
+    // previous ack was lost.  Acks go out raw -- acking an ack would loop.
+    raw_send(from, std::make_shared<LinkAckPayload>(frame->seq));
+    if (!delivered_[from].insert(frame->seq).second) {
+      ++duplicates_suppressed_;
+      return;
+    }
+    ReplicaProcess::on_message(from, *frame->inner);
+    return;
+  }
+  // Unframed payload (e.g. from a non-hardened peer in a mixed system).
+  ReplicaProcess::on_message(from, payload);
+}
+
+void HardenedReplicaProcess::on_timer(TimerId id, const TimerTag& tag) {
+  if (tag.kind != kLinkRetransmit) {
+    ReplicaProcess::on_timer(id, tag);
+    return;
+  }
+  const std::int64_t seq = tag.ts.clock_time;
+  auto it = pending_sends_.find(seq);
+  if (it == pending_sends_.end()) return;  // acked in the meantime
+  PendingSend& pending = it->second;
+  if (pending.attempts >= params_.max_attempts) {
+    // Attempt budget exhausted: the destination is unreachable (crashed, or
+    // the network lost every copy).  Degrade gracefully -- stop resending
+    // so the run quiesces; the assumption monitor attributes the fallout.
+    ++link_give_ups_;
+    pending_sends_.erase(it);
+    return;
+  }
+  ++pending.attempts;
+  ++retransmissions_;
+  raw_send(pending.to, pending.frame);
+  const Tick cap = params_.step_cap_for(timing());
+  pending.next_timeout = (pending.next_timeout >= cap / params_.backoff)
+                             ? cap
+                             : pending.next_timeout * params_.backoff;
+  pending.next_timeout = std::min(pending.next_timeout, cap);
+  set_timer(pending.next_timeout, tag);
+}
+
+}  // namespace linbound

@@ -4,6 +4,18 @@
 
 namespace linbound {
 
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kComplete:
+      return "complete";
+    case RunStatus::kStalled:
+      return "stalled";
+    case RunStatus::kEventCapExceeded:
+      return "event-cap-exceeded";
+  }
+  return "?";
+}
+
 ObjectSystem::ObjectSystem(std::shared_ptr<const ObjectModel> model,
                            const SystemOptions& options)
     : model_(std::move(model)) {
@@ -11,6 +23,7 @@ ObjectSystem::ObjectSystem(std::shared_ptr<const ObjectModel> model,
   config.timing = options.timing;
   config.clock_offsets = options.clock_offsets;
   config.delays = options.delays;
+  config.faults = options.faults;
   config.max_events = options.max_events;
   sim_ = std::make_unique<Simulator>(std::move(config));
 }
@@ -23,6 +36,19 @@ History ObjectSystem::run_to_completion() {
   return History::from_trace(sim_->trace());
 }
 
+RunOutcome ObjectSystem::run_with_outcome() {
+  sim_->start();
+  const bool quiesced = sim_->run();
+  RunOutcome out;
+  auto [history, pending] = history_with_pending(sim_->trace());
+  out.history = std::move(history);
+  out.pending = std::move(pending);
+  out.status = !quiesced ? RunStatus::kEventCapExceeded
+               : out.pending.empty() ? RunStatus::kComplete
+                                     : RunStatus::kStalled;
+  return out;
+}
+
 CheckResult ObjectSystem::run_and_check() {
   return check_linearizable(*model_, run_to_completion());
 }
@@ -32,9 +58,18 @@ ReplicaSystem::ReplicaSystem(std::shared_ptr<const ObjectModel> model,
     : ObjectSystem(std::move(model), options),
       delays_(options.algorithm_delays
                   ? *options.algorithm_delays
-                  : AlgorithmDelays::standard(options.timing, options.x)) {
+                  : AlgorithmDelays::standard(
+                        options.hardened
+                            ? options.hardened->effective_timing(options.timing)
+                            : options.timing,
+                        options.x)) {
   for (int i = 0; i < options.n; ++i) {
-    sim_->add_process(std::make_unique<ReplicaProcess>(model_, delays_));
+    if (options.hardened) {
+      sim_->add_process(std::make_unique<HardenedReplicaProcess>(
+          model_, delays_, *options.hardened));
+    } else {
+      sim_->add_process(std::make_unique<ReplicaProcess>(model_, delays_));
+    }
   }
 }
 
@@ -46,8 +81,8 @@ CentralizedSystem::CentralizedSystem(std::shared_ptr<const ObjectModel> model,
                                      const SystemOptions& options)
     : ObjectSystem(std::move(model), options) {
   for (int i = 0; i < options.n; ++i) {
-    sim_->add_process(
-        std::make_unique<CentralizedProcess>(model_, /*coordinator=*/0));
+    sim_->add_process(std::make_unique<CentralizedProcess>(
+        model_, /*coordinator=*/0, options.give_up_after));
   }
 }
 
@@ -55,7 +90,8 @@ TobSystem::TobSystem(std::shared_ptr<const ObjectModel> model,
                      const SystemOptions& options)
     : ObjectSystem(std::move(model), options) {
   for (int i = 0; i < options.n; ++i) {
-    sim_->add_process(std::make_unique<TobProcess>(model_, /*sequencer=*/0));
+    sim_->add_process(std::make_unique<TobProcess>(model_, /*sequencer=*/0,
+                                                   options.give_up_after));
   }
 }
 

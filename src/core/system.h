@@ -9,6 +9,7 @@
 #include "checker/history.h"
 #include "checker/lin_checker.h"
 #include "core/centralized_algorithm.h"
+#include "core/hardened_replica.h"
 #include "core/replica_algorithm.h"
 #include "core/tob_algorithm.h"
 #include "sim/simulator.h"
@@ -22,11 +23,44 @@ struct SystemOptions {
   /// Trade-off parameter X in [0, d+eps-u] (Algorithm 1 only).
   Tick x = 0;
   std::shared_ptr<DelayPolicy> delays;     ///< default: worst case (all d)
+  /// Fault injection (drop / duplicate / spike / stall); default none.
+  std::shared_ptr<FaultPolicy> faults;
   std::vector<Tick> clock_offsets;         ///< default: all zero
   /// Override the algorithm's internal delays (eager variants for the
   /// lower-bound demonstrations).  Algorithm 1 only.
   std::optional<AlgorithmDelays> algorithm_delays;
+  /// Run the loss/duplication-tolerant replica variant
+  /// (core/hardened_replica.h); its waits are computed against the widened
+  /// effective timing unless algorithm_delays overrides them.  Algorithm 1
+  /// only.
+  std::optional<HardenedParams> hardened;
+  /// Centralized/TOB only: clients abandon an operation (Process::give_up)
+  /// this long after invoking it without an answer, so a dead coordinator
+  /// or sequencer degrades to a Stalled outcome instead of hanging the
+  /// operation forever.  0 = wait forever (the historical behavior).
+  Tick give_up_after = 0;
   std::size_t max_events = 10'000'000;
+};
+
+/// How a run ended.
+enum class RunStatus {
+  kComplete,          ///< quiescent, every dispatched operation answered
+  kStalled,           ///< quiescent, but operations were left pending/abandoned
+  kEventCapExceeded,  ///< the event cap tripped (runaway algorithm)
+};
+
+const char* run_status_name(RunStatus status);
+
+/// Tolerant counterpart of ObjectSystem::run_to_completion: the completed
+/// history plus whatever was left pending, with an explicit status instead
+/// of an exception.
+struct RunOutcome {
+  RunStatus status = RunStatus::kComplete;
+  History history;                          ///< completed operations
+  std::vector<PendingInvocation> pending;   ///< dispatched, never answered
+
+  bool complete() const { return status == RunStatus::kComplete; }
+  bool stalled() const { return status == RunStatus::kStalled; }
 };
 
 /// A simulator plus the shared-object processes living in it.
@@ -41,6 +75,11 @@ class ObjectSystem {
   /// Run to quiescence and return the resulting history.  Throws if the
   /// event cap tripped or an operation never completed.
   History run_to_completion();
+
+  /// Run to quiescence and report what happened instead of throwing:
+  /// degraded runs (dead coordinator, given-up operations) come back as
+  /// kStalled with the pending invocations listed.
+  RunOutcome run_with_outcome();
 
   /// Shorthand: run to completion and check linearizability.
   CheckResult run_and_check();

@@ -3,9 +3,10 @@
 namespace linbound {
 
 TobProcess::TobProcess(std::shared_ptr<const ObjectModel> model,
-                       ProcessId sequencer)
+                       ProcessId sequencer, Tick give_up_after)
     : model_(std::move(model)),
       sequencer_(sequencer),
+      give_up_after_(give_up_after),
       obj_(model_->initial_state()) {}
 
 void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
@@ -14,6 +15,17 @@ void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
     return;
   }
   send(sequencer_, std::make_shared<TobSubmitPayload>(op, token, id()));
+  if (give_up_after_ > 0) {
+    give_up_timers_[token] =
+        set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
+  }
+}
+
+void TobProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
+  if (tag.kind != kGiveUp) return;
+  const std::int64_t token = tag.ts.clock_time;
+  if (give_up_timers_.erase(token) == 0) return;  // already answered
+  give_up(token);
 }
 
 void TobProcess::on_message(ProcessId /*from*/, const MessagePayload& payload) {
@@ -47,7 +59,14 @@ void TobProcess::apply_in_order() {
     if (it == buffer_.end()) return;
     const Buffered& entry = it->second;
     const Value ret = obj_->apply(entry.op);
-    if (entry.origin == id()) respond(entry.token, ret);
+    if (entry.origin == id()) {
+      auto timer = give_up_timers_.find(entry.token);
+      if (timer != give_up_timers_.end()) {
+        cancel_timer(timer->second);
+        give_up_timers_.erase(timer);
+      }
+      respond(entry.token, ret);
+    }
     buffer_.erase(it);
     ++next_seq_to_apply_;
   }

@@ -46,14 +46,22 @@ struct TobDeliverPayload final : MessagePayload {
 
 class TobProcess final : public Process {
  public:
-  TobProcess(std::shared_ptr<const ObjectModel> model, ProcessId sequencer);
+  /// With a positive `give_up_after`, a non-sequencer that never sees its
+  /// own operation come back sequenced abandons it after that long
+  /// (Process::give_up), so a dead sequencer degrades to a Stalled run
+  /// outcome; 0 keeps the historical wait-forever behavior.
+  TobProcess(std::shared_ptr<const ObjectModel> model, ProcessId sequencer,
+             Tick give_up_after = 0);
 
   void on_invoke(std::int64_t token, const Operation& op) override;
   void on_message(ProcessId from, const MessagePayload& payload) override;
+  void on_timer(TimerId id, const TimerTag& tag) override;
 
   const ObjectState& local_copy() const { return *obj_; }
 
  private:
+  enum TimerKind : int { kGiveUp = 1 };
+
   bool is_sequencer() const { return id() == sequencer_; }
 
   /// Sequence and disseminate one operation (sequencer only).
@@ -65,6 +73,7 @@ class TobProcess final : public Process {
 
   std::shared_ptr<const ObjectModel> model_;
   ProcessId sequencer_;
+  Tick give_up_after_;
   std::unique_ptr<ObjectState> obj_;
   std::int64_t next_seq_to_assign_ = 0;  // sequencer state
   std::int64_t next_seq_to_apply_ = 0;
@@ -74,6 +83,7 @@ class TobProcess final : public Process {
     ProcessId origin = kNoProcess;
   };
   std::map<std::int64_t, Buffered> buffer_;  // out-of-order deliveries
+  std::map<std::int64_t, TimerId> give_up_timers_;  // by pending token
 };
 
 }  // namespace linbound

@@ -1,0 +1,68 @@
+// Assumption auditing: attribute a failed run to the model assumption that
+// was violated.
+//
+// The paper's guarantees (Chapter V) rest on four model assumptions:
+// delays in [d-u, d], exactly-once delivery, pairwise clock skew <= eps,
+// and failure-free processes.  When an injected fault breaks a run, "the
+// checker says no" is not an explanation -- this monitor reads the recorded
+// trace (message delays, clock offsets, fault events) and classifies every
+// breakage, so a non-linearizable outcome is reported as e.g. "message 17
+// from 2 to 0 dropped" or "delay 1930 outside [600, 1000]" rather than a
+// bare verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace linbound {
+
+/// The model assumptions of Chapter III, plus the extra-model stall mode.
+enum class Assumption {
+  kDelayBounds,       ///< every message delay lies in [d-u, d]
+  kReliableDelivery,  ///< every message is delivered (no loss)
+  kNoDuplication,     ///< every message is delivered at most once
+  kClockSkew,         ///< pairwise clock skew <= eps
+  kFailureFree,       ///< no process crashes
+  kNoStalls,          ///< every process keeps taking steps promptly
+};
+
+const char* assumption_name(Assumption a);
+
+struct AssumptionViolation {
+  Assumption assumption{};
+  /// Human-readable account naming the concrete evidence (message id,
+  /// endpoints, ticks, magnitudes).
+  std::string detail;
+  Tick time = kNoTime;          ///< when it happened; kNoTime if static (skew)
+  ProcessId proc = kNoProcess;  ///< primary process involved
+  MessageId msg = -1;           ///< offending message; -1 when none
+};
+
+struct AssumptionReport {
+  std::vector<AssumptionViolation> violations;
+
+  /// True when the run stayed inside the paper's model.
+  bool clean() const { return violations.empty(); }
+
+  bool violated(Assumption a) const;
+  int count(Assumption a) const;
+
+  /// One line per violated assumption with counts, e.g.
+  ///   "reliable-delivery violated 3x; delay-bounds violated 1x".
+  std::string summary() const;
+
+  /// The attribution sentence for a run whose linearizability verdict is
+  /// `linearizable`: names the violated assumptions, or -- when the model
+  /// held -- points at the implementation itself.
+  std::string attribute(bool linearizable) const;
+};
+
+/// Classify every model-assumption breakage visible in the trace.  Sources:
+/// recorded fault events (drops, duplicates, spikes, stalls, crashes),
+/// delivered delays against [d-u, d], undelivered messages against the run
+/// horizon, and clock offsets against eps.
+AssumptionReport audit_assumptions(const Trace& trace);
+
+}  // namespace linbound

@@ -1,0 +1,53 @@
+#include "fault/fault_policy.h"
+
+namespace linbound {
+
+FaultDecision ComposedFaultPolicy::on_send(ProcessId from, ProcessId to,
+                                           Tick send_time,
+                                           std::int64_t msg_seq) {
+  FaultDecision out;
+  for (const auto& child : children_) {
+    const FaultDecision d = child->on_send(from, to, send_time, msg_seq);
+    out.drop = out.drop || d.drop;
+    out.extra_copies += d.extra_copies;
+    out.delay_boost += d.delay_boost;
+  }
+  return out;
+}
+
+Tick ComposedFaultPolicy::stalled_until(ProcessId pid, Tick now) {
+  Tick until = kNoTime;
+  for (const auto& child : children_) {
+    const Tick t = child->stalled_until(pid, now);
+    if (t != kNoTime && (until == kNoTime || t > until)) until = t;
+  }
+  return until;
+}
+
+std::shared_ptr<FaultPolicy> make_fault_policy(const FaultConfig& config) {
+  Rng seeder(config.seed);
+  std::vector<std::shared_ptr<FaultPolicy>> children;
+  // Split unconditionally so each ingredient's stream depends only on the
+  // seed, not on which other ingredients are enabled.
+  const std::uint64_t drop_seed = seeder.split(1).next_u64();
+  const std::uint64_t dup_seed = seeder.split(2).next_u64();
+  const std::uint64_t spike_seed = seeder.split(3).next_u64();
+  if (config.drop_p > 0) {
+    children.push_back(
+        std::make_shared<DropFaultPolicy>(config.drop_p, drop_seed));
+  }
+  if (config.dup_p > 0) {
+    children.push_back(std::make_shared<DuplicateFaultPolicy>(
+        config.dup_p, dup_seed, config.dup_copies));
+  }
+  if (config.spike_p > 0 && config.spike_max > 0) {
+    children.push_back(std::make_shared<DelaySpikeFaultPolicy>(
+        config.spike_p, config.spike_max, spike_seed));
+  }
+  if (!config.stalls.empty()) {
+    children.push_back(std::make_shared<StallFaultPolicy>(config.stalls));
+  }
+  return std::make_shared<ComposedFaultPolicy>(std::move(children));
+}
+
+}  // namespace linbound

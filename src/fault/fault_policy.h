@@ -1,0 +1,153 @@
+// Concrete fault policies: the adversaries beyond the paper's model.
+//
+// Each policy is deterministic from its seed (one RNG draw sequence,
+// consumed in the simulator's deterministic send order), so a faulty run is
+// exactly as reproducible as a clean one: identical configuration + seed
+// implies an identical trace, fault events included.  Compose policies with
+// ComposedFaultPolicy or build the usual drop/dup/spike/stall mix in one
+// step from a FaultConfig.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/fault_injection.h"
+
+namespace linbound {
+
+/// Bernoulli message loss: each send is dropped with probability `p`.
+class DropFaultPolicy final : public FaultPolicy {
+ public:
+  DropFaultPolicy(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+  FaultDecision on_send(ProcessId, ProcessId, Tick, std::int64_t) override {
+    FaultDecision out;
+    out.drop = rng_.chance(p_);
+    return out;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Bernoulli duplication: each send spawns `copies` extra deliveries with
+/// probability `p`.
+class DuplicateFaultPolicy final : public FaultPolicy {
+ public:
+  DuplicateFaultPolicy(double p, std::uint64_t seed, int copies = 1)
+      : p_(p), copies_(copies), rng_(seed) {}
+
+  FaultDecision on_send(ProcessId, ProcessId, Tick, std::int64_t) override {
+    FaultDecision out;
+    if (rng_.chance(p_)) out.extra_copies = copies_;
+    return out;
+  }
+
+ private:
+  double p_;
+  int copies_;
+  Rng rng_;
+};
+
+/// Bernoulli delay spikes: with probability `p` a send takes an extra
+/// uniform boost in [1, max_boost] on top of the DelayPolicy's delay --
+/// typically pushing it beyond the model's upper bound d.
+class DelaySpikeFaultPolicy final : public FaultPolicy {
+ public:
+  DelaySpikeFaultPolicy(double p, Tick max_boost, std::uint64_t seed)
+      : p_(p), max_boost_(max_boost), rng_(seed) {}
+
+  FaultDecision on_send(ProcessId, ProcessId, Tick, std::int64_t) override {
+    FaultDecision out;
+    if (max_boost_ > 0 && rng_.chance(p_)) {
+      out.delay_boost = rng_.uniform_tick(1, max_boost_);
+    }
+    return out;
+  }
+
+ private:
+  double p_;
+  Tick max_boost_;
+  Rng rng_;
+};
+
+/// A scripted process stall: while real time is in [from, until) the process
+/// takes no steps; its deliveries, timers and invocations are deferred to
+/// `until` (a GC pause / scheduler preemption, not a crash).
+struct StallWindow {
+  ProcessId pid = kNoProcess;
+  Tick from = 0;
+  Tick until = 0;
+
+  bool covers(ProcessId p, Tick t) const {
+    return p == pid && t >= from && t < until;
+  }
+};
+
+/// Deterministic stall schedule built from explicit windows.
+class StallFaultPolicy final : public FaultPolicy {
+ public:
+  explicit StallFaultPolicy(std::vector<StallWindow> windows)
+      : windows_(std::move(windows)) {}
+
+  FaultDecision on_send(ProcessId, ProcessId, Tick, std::int64_t) override {
+    return {};
+  }
+
+  Tick stalled_until(ProcessId pid, Tick now) override {
+    Tick until = kNoTime;
+    for (const StallWindow& w : windows_) {
+      if (w.covers(pid, now) && (until == kNoTime || w.until > until)) {
+        until = w.until;
+      }
+    }
+    return until;
+  }
+
+ private:
+  std::vector<StallWindow> windows_;
+};
+
+/// Applies every child policy to each send: drops are OR-ed, extra copies
+/// and delay boosts summed, stall windows merged (latest end wins).
+class ComposedFaultPolicy final : public FaultPolicy {
+ public:
+  explicit ComposedFaultPolicy(
+      std::vector<std::shared_ptr<FaultPolicy>> children)
+      : children_(std::move(children)) {}
+
+  FaultDecision on_send(ProcessId from, ProcessId to, Tick send_time,
+                        std::int64_t msg_seq) override;
+  Tick stalled_until(ProcessId pid, Tick now) override;
+
+ private:
+  std::vector<std::shared_ptr<FaultPolicy>> children_;
+};
+
+/// The usual mix in one struct, for sweeps and tests.  All probabilities
+/// default to zero; a zero config still builds a (vacuous) policy whose
+/// runs are identical to no policy at all.
+struct FaultConfig {
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  int dup_copies = 1;
+  double spike_p = 0.0;
+  Tick spike_max = 0;
+  std::vector<StallWindow> stalls;
+  std::uint64_t seed = 0;
+
+  bool any() const {
+    return drop_p > 0 || dup_p > 0 || (spike_p > 0 && spike_max > 0) ||
+           !stalls.empty();
+  }
+};
+
+/// Build the composed policy for a config.  Each ingredient gets an
+/// independent RNG stream split from `config.seed`, so e.g. raising drop_p
+/// does not reshuffle which messages get duplicated.
+std::shared_ptr<FaultPolicy> make_fault_policy(const FaultConfig& config);
+
+}  // namespace linbound

@@ -72,6 +72,26 @@ const char* offset_name(OffsetKind kind) {
   return "?";
 }
 
+/// Append the run's admissibility audit (offending messages named with
+/// endpoints, send tick and observed delay) and, for matrix policies, any
+/// out-of-bound matrix entries -- so a failure log says *why* the schedule
+/// was hostile, not just that the checker said no.
+void append_run_diagnostics(std::ostringstream& os, const Trace& trace,
+                            const DelayPolicy* delays,
+                            const SystemTiming& timing) {
+  const AdmissibilityReport audit = trace.audit();
+  for (const std::string& violation : audit.violations) {
+    os << "\n    audit: " << violation;
+  }
+  if (const auto* matrix = dynamic_cast<const MatrixDelayPolicy*>(delays)) {
+    for (const auto& [from, to] : matrix->invalid_entries(timing)) {
+      os << "\n    delay matrix: entry (" << from << " -> " << to << ") = "
+         << matrix->get(from, to) << " outside [" << timing.min_delay() << ", "
+         << timing.max_delay() << "]";
+    }
+  }
+}
+
 template <typename SystemT>
 SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
                            const WorkloadFactory& workload,
@@ -123,6 +143,8 @@ SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
           std::ostringstream os;
           os << "policy=" << policy_name(policy) << " offsets=" << offset_name(offset)
              << " rep=" << rep << ": " << check.explanation;
+          append_run_diagnostics(os, system.sim().trace(), sys.delays.get(),
+                                 options.timing);
           result.failures.push_back(os.str());
         }
         result.latency.absorb(*model, system.sim().trace());

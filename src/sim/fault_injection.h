@@ -1,0 +1,61 @@
+// Fault-injection hooks of the message layer.
+//
+// The paper's model (Chapter III) assumes reliable channels: every message
+// is delivered exactly once, within [d-u, d] of its send.  A FaultPolicy
+// deliberately breaks those assumptions -- dropping, duplicating or delaying
+// individual messages and stalling whole processes -- so the robustness
+// experiments can measure what each assumption is worth.  The simulator
+// consults the policy on every send and records every injected fault in the
+// trace (sim/trace.h FaultEvent), which is what lets the assumption monitor
+// (fault/assumption_monitor.h) attribute a non-linearizable outcome to the
+// specific assumption that was violated.
+//
+// With no policy configured the send path is untouched: a faultless run is
+// byte-identical to one produced by the pre-fault simulator.
+#pragma once
+
+#include "common/time.h"
+
+namespace linbound {
+
+/// What the fault layer does to one message send.  The default-constructed
+/// decision is "no fault": deliver exactly once with the policy delay.
+struct FaultDecision {
+  /// Lose the message entirely.  The send is still recorded in the trace
+  /// (recv_time stays unset) together with a kMessageDropped fault event.
+  bool drop = false;
+
+  /// Deliver this many extra copies in addition to the original.  Each copy
+  /// gets its own delay from the run's DelayPolicy and its own trace record.
+  int extra_copies = 0;
+
+  /// Added to the DelayPolicy's delay -- a "delay spike" that may push the
+  /// delivery beyond the model's upper bound d.
+  Tick delay_boost = 0;
+};
+
+/// Decides, deterministically, which faults hit which messages.  Concrete
+/// policies (seeded Bernoulli drop/duplicate/spike, scripted stall windows,
+/// composition) live in src/fault; the simulator only needs this interface.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  /// Consulted once per send (duplicates scheduled from one decision do not
+  /// re-enter the policy).  `msg_seq` is the per-run message id, so a policy
+  /// consuming one RNG draw per call is reproducible from its seed.
+  virtual FaultDecision on_send(ProcessId from, ProcessId to, Tick send_time,
+                                std::int64_t msg_seq) = 0;
+
+  /// If process `pid` is inside a stall window at time `now`, the real time
+  /// at which the window ends; kNoTime otherwise.  While stalled a process
+  /// handles no deliveries, timers or invocations -- the simulator defers
+  /// them to the window's end (nothing is lost, everything is late).
+  virtual Tick stalled_until(ProcessId pid, Tick now) {
+    (void)pid;
+    (void)now;
+    return kNoTime;
+  }
+};
+
+}  // namespace linbound

@@ -14,10 +14,14 @@ void Process::send(ProcessId to, std::shared_ptr<const MessagePayload> payload) 
   sim_->send_from(id_, to, std::move(payload));
 }
 
+void Process::raw_send(ProcessId to, std::shared_ptr<const MessagePayload> payload) {
+  sim_->send_from(id_, to, std::move(payload));
+}
+
 void Process::broadcast(const std::shared_ptr<const MessagePayload>& payload) {
   const int n = sim_->process_count();
   for (ProcessId to = 0; to < n; ++to) {
-    if (to != id_) sim_->send_from(id_, to, payload);
+    if (to != id_) send(to, payload);
   }
 }
 
@@ -30,5 +34,7 @@ void Process::cancel_timer(TimerId id) { sim_->cancel_timer_for(id_, id); }
 void Process::respond(std::int64_t token, Value ret) {
   sim_->respond_for(id_, token, std::move(ret));
 }
+
+void Process::give_up(std::int64_t token) { sim_->give_up_for(id_, token); }
 
 }  // namespace linbound

@@ -61,10 +61,17 @@ class Process {
   const SystemTiming& timing() const;
 
   /// Send `payload` to process `to` (delivery per the run's delay policy).
-  void send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
+  /// Virtual so a link layer (core/hardened_replica.h) can interpose --
+  /// e.g. wrap payloads with sequence numbers and arm retransmissions;
+  /// raw_send below always hits the wire directly.
+  virtual void send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
 
-  /// Send to every process except this one ("send to all others").
+  /// Send to every process except this one ("send to all others"); goes
+  /// through the virtual send() per recipient.
   void broadcast(const std::shared_ptr<const MessagePayload>& payload);
+
+  /// The unadorned message-layer send (bypasses any send() override).
+  void raw_send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
 
   /// Arm a timer that fires after `local_delta` units of local-clock time
   /// (== real time, clocks have no drift).  Returns its id.
@@ -75,6 +82,12 @@ class Process {
 
   /// Complete the operation identified by `token` with return value `ret`.
   void respond(std::int64_t token, Value ret);
+
+  /// Abandon the pending operation identified by `token` (graceful
+  /// degradation: e.g. a client timing out on a dead coordinator).  The
+  /// operation is marked given-up in the trace and the process may accept
+  /// new invocations again; it must not respond for the token afterwards.
+  void give_up(std::int64_t token);
 
  private:
   friend class Simulator;

@@ -53,7 +53,11 @@ void Simulator::crash_at(Tick t, ProcessId pid) {
   if (pid < 0 || pid >= process_count()) {
     throw std::out_of_range("crash_at: unknown process");
   }
-  queue_.push(t, [this, pid] { crashed_[static_cast<std::size_t>(pid)] = true; });
+  queue_.push(t, [this, pid] {
+    crashed_[static_cast<std::size_t>(pid)] = true;
+    trace_.faults.push_back(
+        {FaultKind::kProcessCrashed, now_, pid, kNoProcess, -1, 0});
+  });
 }
 
 void Simulator::start() {
@@ -110,6 +114,13 @@ Tick Simulator::real_delta_for_local(ProcessId pid, Tick local_delta) const {
   return delta;
 }
 
+Tick Simulator::stall_deferral(ProcessId pid) {
+  if (!config_.faults) return kNoTime;
+  const Tick until = config_.faults->stalled_until(pid, now_);
+  if (until == kNoTime || until <= now_) return kNoTime;
+  return until;
+}
+
 void Simulator::send_from(ProcessId from, ProcessId to,
                           std::shared_ptr<const MessagePayload> payload) {
   if (to < 0 || to >= process_count()) {
@@ -124,7 +135,17 @@ void Simulator::send_from(ProcessId from, ProcessId to,
     // is not a run in any model.
     throw std::invalid_argument("delay policy returned a negative delay");
   }
-  const Tick recv_time = now_ + delay;
+
+  FaultDecision fault;
+  if (config_.faults) fault = config_.faults->on_send(from, to, now_, id);
+  if (fault.delay_boost < 0) {
+    throw std::invalid_argument("fault policy returned a negative delay boost");
+  }
+  if (fault.delay_boost > 0) {
+    trace_.faults.push_back(
+        {FaultKind::kDelaySpike, now_, from, to, id, fault.delay_boost});
+  }
+  const Tick recv_time = now_ + delay + fault.delay_boost;
 
   const std::size_t record_index = trace_.messages.size();
   MessageRecord rec;
@@ -135,16 +156,64 @@ void Simulator::send_from(ProcessId from, ProcessId to,
   rec.recv_time = kNoTime;  // filled in on delivery
   trace_.messages.push_back(rec);
 
-  // Deliveries outrank simultaneous timers (see event_queue.h): a message
-  // arriving at the very tick a hold-back or respond timer fires is
-  // processed first, matching the model's step ordering that Lemma C.9's
-  // boundary case relies on.
-  queue_.push(recv_time, EventPriority::kDelivery,
-              [this, from, to, record_index, payload = std::move(payload)] {
-    if (crashed(to)) return;  // receipt lost; the record stays undelivered
-    trace_.messages[record_index].recv_time = now_;
-    procs_[static_cast<std::size_t>(to)]->on_message(from, *payload);
-  });
+  if (fault.drop) {
+    // The send happened (the record stays, undelivered); the network ate it.
+    trace_.faults.push_back(
+        {FaultKind::kMessageDropped, now_, from, to, id, 0});
+  } else {
+    // Deliveries outrank simultaneous timers (see event_queue.h): a message
+    // arriving at the very tick a hold-back or respond timer fires is
+    // processed first, matching the model's step ordering that Lemma C.9's
+    // boundary case relies on.
+    queue_.push(recv_time, EventPriority::kDelivery,
+                [this, record_index, payload] {
+      deliver(record_index, std::move(payload));
+    });
+  }
+
+  // Duplicates: each extra copy is an independent transmission with its own
+  // record (fresh id, its own policy delay), linked to the original by a
+  // kMessageDuplicated fault event.
+  for (int copy = 0; copy < fault.extra_copies; ++copy) {
+    const MessageId dup_id = next_message_id_++;
+    Tick dup_delay = config_.delays->delay(from, to, now_, dup_id);
+    if (dup_delay < 0) {
+      throw std::invalid_argument("delay policy returned a negative delay");
+    }
+    dup_delay += fault.delay_boost;
+    const std::size_t dup_index = trace_.messages.size();
+    MessageRecord dup = rec;
+    dup.id = dup_id;
+    trace_.messages.push_back(dup);
+    trace_.faults.push_back(
+        {FaultKind::kMessageDuplicated, now_, from, to, dup_id,
+         static_cast<Tick>(id)});
+    queue_.push(now_ + dup_delay, EventPriority::kDelivery,
+                [this, dup_index, payload] {
+      deliver(dup_index, std::move(payload));
+    });
+  }
+}
+
+void Simulator::deliver(std::size_t record_index,
+                        std::shared_ptr<const MessagePayload> payload) {
+  const MessageRecord& rec = trace_.messages[record_index];
+  const ProcessId to = rec.to;
+  if (crashed(to)) return;  // receipt lost; the record stays undelivered
+  const Tick until = stall_deferral(to);
+  if (until != kNoTime) {
+    // The recipient is stalled: the message sits in its buffer until the
+    // window ends.  Nothing is lost, everything is late.
+    trace_.faults.push_back(
+        {FaultKind::kProcessStalled, now_, to, rec.from, rec.id, until - now_});
+    queue_.push(until, EventPriority::kDelivery,
+                [this, record_index, payload = std::move(payload)] {
+      deliver(record_index, std::move(payload));
+    });
+    return;
+  }
+  trace_.messages[record_index].recv_time = now_;
+  procs_[static_cast<std::size_t>(to)]->on_message(rec.from, *payload);
 }
 
 TimerId Simulator::set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag) {
@@ -153,14 +222,28 @@ TimerId Simulator::set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag) 
   timer_armed_[id] = true;
   // Without drift a local-clock delta equals a real-time delta; with drift
   // the conversion goes through the process's clock rate.
-  queue_.push(now_ + real_delta_for_local(pid, local_delta), [this, pid, id, tag] {
-    auto it = timer_armed_.find(id);
-    if (it == timer_armed_.end() || !it->second) return;  // canceled
-    timer_armed_.erase(it);
-    if (crashed(pid)) return;
-    procs_[static_cast<std::size_t>(pid)]->on_timer(id, tag);
-  });
+  queue_.push(now_ + real_delta_for_local(pid, local_delta),
+              [this, pid, id, tag] { fire_timer(pid, id, tag); });
   return id;
+}
+
+void Simulator::fire_timer(ProcessId pid, TimerId id, TimerTag tag) {
+  auto it = timer_armed_.find(id);
+  if (it == timer_armed_.end() || !it->second) return;  // canceled
+  if (!crashed(pid)) {
+    const Tick until = stall_deferral(pid);
+    if (until != kNoTime) {
+      // Stalled: the timer stays armed and goes off when the window ends
+      // (it cannot fire early, and a stalled process takes no steps).
+      trace_.faults.push_back(
+          {FaultKind::kProcessStalled, now_, pid, kNoProcess, -1, until - now_});
+      queue_.push(until, [this, pid, id, tag] { fire_timer(pid, id, tag); });
+      return;
+    }
+  }
+  timer_armed_.erase(it);
+  if (crashed(pid)) return;
+  procs_[static_cast<std::size_t>(pid)]->on_timer(id, tag);
 }
 
 void Simulator::cancel_timer_for(ProcessId pid, TimerId id) {
@@ -173,6 +256,7 @@ void Simulator::respond_for(ProcessId pid, std::int64_t token, Value ret) {
   if (crashed(pid)) return;  // a crashed process cannot respond
   OperationRecord& rec = trace_.ops.at(static_cast<std::size_t>(token));
   if (rec.proc != pid) throw std::logic_error("respond from wrong process");
+  if (rec.gave_up) return;  // late answer to an abandoned operation: ignored
   if (rec.completed()) throw std::logic_error("double response for operation");
   rec.response_time = now_;
   rec.ret = std::move(ret);
@@ -180,8 +264,29 @@ void Simulator::respond_for(ProcessId pid, std::int64_t token, Value ret) {
   if (response_hook_) response_hook_(rec);
 }
 
+void Simulator::give_up_for(ProcessId pid, std::int64_t token) {
+  if (crashed(pid)) return;  // a crashed process takes no steps
+  OperationRecord& rec = trace_.ops.at(static_cast<std::size_t>(token));
+  if (rec.proc != pid) throw std::logic_error("give_up from wrong process");
+  if (rec.completed()) throw std::logic_error("give_up after response");
+  if (rec.gave_up) throw std::logic_error("double give_up for operation");
+  rec.gave_up = true;
+  rec.give_up_time = now_;
+  op_pending_[static_cast<std::size_t>(pid)] = false;
+  trace_.faults.push_back(
+      {FaultKind::kOperationGivenUp, now_, pid, kNoProcess, -1, token});
+}
+
 void Simulator::dispatch_invoke(ProcessId pid, std::int64_t token) {
   if (crashed(pid)) return;  // invocation lost; the record stays pending
+  const Tick until = stall_deferral(pid);
+  if (until != kNoTime) {
+    // A stalled process accepts the invocation only once it wakes up.
+    trace_.faults.push_back(
+        {FaultKind::kProcessStalled, now_, pid, kNoProcess, -1, until - now_});
+    queue_.push(until, [this, pid, token] { dispatch_invoke(pid, token); });
+    return;
+  }
   if (op_pending_.at(static_cast<std::size_t>(pid))) {
     throw std::logic_error(
         "application invoked an operation while another is pending on "

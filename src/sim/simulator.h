@@ -17,6 +17,7 @@
 #include "common/time.h"
 #include "sim/delay_policy.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injection.h"
 #include "sim/process.h"
 #include "sim/trace.h"
 
@@ -35,6 +36,10 @@ struct SimConfig {
   std::vector<std::int64_t> clock_drift_ppm;
   /// Delay policy; defaults to FixedDelayPolicy(timing.d).
   std::shared_ptr<DelayPolicy> delays;
+  /// Fault policy (drop / duplicate / delay-spike / stall injection).
+  /// Default: none -- the send path is exactly the paper's reliable layer
+  /// and runs are byte-identical to the pre-fault simulator.
+  std::shared_ptr<FaultPolicy> faults;
   /// Hard cap on processed events (runaway protection for broken
   /// algorithms under test).
   std::size_t max_events = 10'000'000;
@@ -106,8 +111,14 @@ class Simulator {
   TimerId set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag);
   void cancel_timer_for(ProcessId pid, TimerId id);
   void respond_for(ProcessId pid, std::int64_t token, Value ret);
+  void give_up_for(ProcessId pid, std::int64_t token);
 
   void dispatch_invoke(ProcessId pid, std::int64_t token);
+  void deliver(std::size_t record_index,
+               std::shared_ptr<const MessagePayload> payload);
+  void fire_timer(ProcessId pid, TimerId id, TimerTag tag);
+  /// End of pid's stall window when one covers `now_`; kNoTime otherwise.
+  Tick stall_deferral(ProcessId pid);
 
   SimConfig config_;
   EventQueue queue_;

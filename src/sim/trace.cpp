@@ -5,6 +5,32 @@
 
 namespace linbound {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageDropped:
+      return "message-dropped";
+    case FaultKind::kMessageDuplicated:
+      return "message-duplicated";
+    case FaultKind::kDelaySpike:
+      return "delay-spike";
+    case FaultKind::kProcessStalled:
+      return "process-stalled";
+    case FaultKind::kProcessCrashed:
+      return "process-crashed";
+    case FaultKind::kOperationGivenUp:
+      return "operation-given-up";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> Trace::faults_for_message(MessageId id) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& f : faults) {
+    if (f.msg == id) out.push_back(f);
+  }
+  return out;
+}
+
 AdmissibilityReport Trace::audit() const {
   AdmissibilityReport report;
 
@@ -12,16 +38,28 @@ AdmissibilityReport Trace::audit() const {
     if (m.delivered()) {
       if (!timing.delay_admissible(m.delay())) {
         std::ostringstream os;
-        os << "message " << m.id << " (" << m.from << "->" << m.to
-           << ") delay " << m.delay() << " outside [" << timing.min_delay()
-           << ", " << timing.max_delay() << "]";
+        os << "message " << m.id << " from " << m.from << " to " << m.to
+           << " sent at tick " << m.send_time << ": observed delay "
+           << m.delay() << " outside [" << timing.min_delay() << ", "
+           << timing.max_delay() << "]";
+        for (const FaultEvent& f : faults) {
+          if (f.msg == m.id && f.kind == FaultKind::kDelaySpike) {
+            os << " (injected spike +" << f.magnitude << ")";
+          }
+        }
         report.fail(os.str());
       }
     } else if (end_time >= m.send_time + timing.d) {
       std::ostringstream os;
-      os << "message " << m.id << " (" << m.from << "->" << m.to
-         << ") sent at " << m.send_time << " undelivered although the run "
-         << "lasted past " << m.send_time + timing.d;
+      os << "message " << m.id << " from " << m.from << " to " << m.to
+         << " sent at tick " << m.send_time
+         << ": undelivered although the run lasted past "
+         << m.send_time + timing.d;
+      for (const FaultEvent& f : faults) {
+        if (f.msg == m.id && f.kind == FaultKind::kMessageDropped) {
+          os << " (dropped by fault injection)";
+        }
+      }
       report.fail(os.str());
     }
   }

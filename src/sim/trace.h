@@ -37,10 +37,42 @@ struct OperationRecord {
   Tick invoke_time = kNoTime;    ///< real time of the invocation
   Tick response_time = kNoTime;  ///< real time of the response; kNoTime if pending
   Value ret;
+  /// Set when the implementation explicitly abandoned the operation
+  /// (graceful degradation: e.g. the centralized client timed out on a dead
+  /// coordinator).  The operation still counts as pending for checking
+  /// purposes; give_up_time records when it was abandoned.
+  bool gave_up = false;
+  Tick give_up_time = kNoTime;
 
   bool completed() const { return response_time != kNoTime; }
   Tick latency() const { return response_time - invoke_time; }
 };
+
+/// Kinds of model-assumption breakage the simulator can record.  Injected
+/// faults (src/sim/fault_injection.h) and crashes land here; the assumption
+/// monitor turns these into per-assumption attributions.
+enum class FaultKind {
+  kMessageDropped,    ///< a send was lost by the fault policy
+  kMessageDuplicated, ///< an extra copy of a send was delivered
+  kDelaySpike,        ///< the fault policy added delay_boost to a delivery
+  kProcessStalled,    ///< an event was deferred past a stall window
+  kProcessCrashed,    ///< crash_at took effect
+  kOperationGivenUp,  ///< an implementation abandoned a pending operation
+};
+
+/// One injected fault / failure, as it happened.
+struct FaultEvent {
+  FaultKind kind{};
+  Tick time = kNoTime;          ///< real time of the event
+  ProcessId proc = kNoProcess;  ///< crashed/stalled process, or the sender
+  ProcessId peer = kNoProcess;  ///< message recipient where applicable
+  MessageId msg = -1;           ///< affected message id; -1 when none
+  /// Spike boost, stall deferral length, duplicate's original message id,
+  /// or the given-up operation token -- per kind.
+  Tick magnitude = 0;
+};
+
+const char* fault_kind_name(FaultKind kind);
 
 struct AdmissibilityReport {
   bool admissible = true;
@@ -57,13 +89,20 @@ struct Trace {
   std::vector<Tick> clock_offsets;  ///< c_i: local = real + c_i
   std::vector<MessageRecord> messages;
   std::vector<OperationRecord> ops;
+  /// Injected faults and failures, in event order; empty for a run under
+  /// the paper's base model (no fault policy, no crashes).
+  std::vector<FaultEvent> faults;
   Tick end_time = 0;  ///< real time at which the run ended
 
   /// Chapter III admissibility: every delivered delay in [d-u, d]; pairwise
   /// clock skew <= eps.  Undelivered messages are admissible only if the
   /// run ended before send_time + d (the recipient's view "ends before
-  /// t + d").
+  /// t + d").  Violations name the offending message: sender, recipient,
+  /// send tick, message id and the observed delay against [d-u, d].
   AdmissibilityReport audit() const;
+
+  /// Fault events affecting message `id`, in order.
+  std::vector<FaultEvent> faults_for_message(MessageId id) const;
 
   /// All operations completed?
   bool complete() const;

@@ -8,6 +8,7 @@
 // either fully sent or not at all.
 #include <gtest/gtest.h>
 
+#include "checker/brute_checker.h"
 #include "checker/lin_checker.h"
 #include "core/system.h"
 #include "types/queue_type.h"
@@ -171,6 +172,69 @@ TEST(PendingChecker, EmptyPendingEqualsPlainCheck) {
              {1, reg::read(), Value(1), 20, 30}});
   EXPECT_EQ(check_linearizable(model, h).ok,
             check_linearizable_with_pending(model, h, {}).ok);
+}
+
+// ---- cross-validation against the brute-force pending checker --------------
+
+TEST(PendingChecker, BruteForceAgreesOnSyntheticCases) {
+  RegisterModel model;
+  struct Case {
+    History h;
+    std::vector<PendingInvocation> pending;
+  };
+  const Case cases[] = {
+      // Pending write must be included to explain the read.
+      {History({{0, reg::read(), Value(3), 100, 200}}),
+       {{1, reg::write(3), 50}}},
+      // Pending write must be omitted.
+      {History({{0, reg::read(), Value(0), 100, 200}}),
+       {{1, reg::write(9), 50}}},
+      // Pending invoked after the response: real time forbids inclusion.
+      {History({{0, reg::read(), Value(3), 100, 200}}),
+       {{1, reg::write(3), 300}}},
+      // Two pending, exactly one consistent subset.
+      {History({{0, reg::read(), Value(1), 100, 200},
+                {0, reg::read(), Value(1), 300, 400}}),
+       {{1, reg::write(1), 10}, {2, reg::write(2), 10}}},
+      // Impossible ordering regardless of subsets.
+      {History({{0, reg::read(), Value(1), 100, 200},
+                {0, reg::read(), Value(2), 300, 400},
+                {0, reg::read(), Value(1), 500, 600}}),
+       {{1, reg::write(1), 10}, {2, reg::write(2), 10}}},
+      // No pending at all.
+      {History({{0, reg::write(1), Value::unit(), 0, 10},
+                {1, reg::read(), Value(1), 20, 30}}),
+       {}},
+  };
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const bool search =
+        check_linearizable_with_pending(model, cases[i].h, cases[i].pending).ok;
+    const bool brute =
+        brute_force_linearizable_with_pending(model, cases[i].h, cases[i].pending);
+    EXPECT_EQ(search, brute) << "case " << i;
+  }
+}
+
+TEST(PendingChecker, BruteForceAgreesOnSimulatedCrashHistory) {
+  // The crash-with-pending run of PendingWriteOfCrashedProcessMayHaveTakenEffect,
+  // judged by both checkers: the pending-aware verdict flips from the plain
+  // checker's NO to YES, and the brute-force enumeration agrees on both.
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, options());
+  system.sim().invoke_at(1000, 1, reg::write(7));
+  system.sim().crash_at(1050, 1);  // after broadcast, before ack
+  system.sim().invoke_at(8000, 0, reg::read());
+  system.sim().start();
+  EXPECT_TRUE(system.sim().run());
+
+  auto [history, pending] = history_with_pending(system.sim().trace());
+  ASSERT_EQ(pending.size(), 1u);
+
+  EXPECT_FALSE(check_linearizable(*model, history).ok);
+  EXPECT_FALSE(brute_force_linearizable(*model, history));
+
+  EXPECT_TRUE(check_linearizable_with_pending(*model, history, pending).ok);
+  EXPECT_TRUE(brute_force_linearizable_with_pending(*model, history, pending));
 }
 
 }  // namespace

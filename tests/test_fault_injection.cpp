@@ -1,0 +1,325 @@
+// Fault injection (sim/fault_injection.h + fault/fault_policy.h): the
+// injected adversaries are deterministic from their seed, invisible when
+// configured with zero probabilities, and every injected fault is recorded
+// in the trace and classified by the assumption monitor.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/assumption_monitor.h"
+#include "fault/fault_policy.h"
+#include "core/system.h"
+#include "sim/trace_io.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+struct PingPayload final : MessagePayload {
+  int value = 0;
+  explicit PingPayload(int v) : value(v) {}
+};
+
+/// Echo-less probe: records deliveries with their arrival time.
+class ProbeProcess final : public Process {
+ public:
+  void on_message(ProcessId from, const MessagePayload& payload) override {
+    const auto& ping = dynamic_cast<const PingPayload&>(payload);
+    received.push_back({from, ping.value, local_time()});
+  }
+  void on_invoke(std::int64_t token, const Operation&) override {
+    respond(token, Value(static_cast<std::int64_t>(id())));
+  }
+  void do_send(ProcessId to, int v) {
+    send(to, std::make_shared<PingPayload>(v));
+  }
+
+  struct Received {
+    ProcessId from;
+    int value;
+    Tick local_time;
+  };
+  std::vector<Received> received;
+};
+
+SimConfig base_config() {
+  SimConfig config;
+  config.timing = SystemTiming{1000, 400, 100};
+  return config;
+}
+
+SystemOptions system_options() {
+  SystemOptions o;
+  o.n = 3;
+  o.timing = SystemTiming{1000, 400, 100};
+  return o;
+}
+
+/// A small conflicting workload over three replicas.
+void arm_workload(Simulator& sim) {
+  sim.invoke_at(1000, 0, reg::write(1));
+  sim.invoke_at(1100, 1, reg::rmw(2));
+  sim.invoke_at(1200, 2, reg::read());
+  sim.invoke_at(4000, 0, reg::read());
+  sim.invoke_at(4100, 1, reg::write(3));
+  sim.invoke_at(7000, 2, reg::rmw(4));
+}
+
+std::string faults_to_string(const Trace& trace) {
+  std::string out;
+  for (const FaultEvent& f : trace.faults) {
+    out += fault_kind_name(f.kind);
+    out += " t=" + std::to_string(f.time) + " p=" + std::to_string(f.proc) +
+           " peer=" + std::to_string(f.peer) + " m=" + std::to_string(f.msg) +
+           " mag=" + std::to_string(f.magnitude) + "\n";
+  }
+  return out;
+}
+
+TEST(FaultInjection, DropPreventsDelivery) {
+  SimConfig config = base_config();
+  config.faults = std::make_shared<DropFaultPolicy>(1.0, 1);
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 42); });
+  EXPECT_TRUE(sim.run());
+
+  EXPECT_TRUE(p1->received.empty());
+  ASSERT_EQ(sim.trace().messages.size(), 1u);
+  EXPECT_FALSE(sim.trace().messages[0].delivered());
+  ASSERT_EQ(sim.trace().faults.size(), 1u);
+  EXPECT_EQ(sim.trace().faults[0].kind, FaultKind::kMessageDropped);
+  EXPECT_EQ(sim.trace().faults[0].msg, sim.trace().messages[0].id);
+}
+
+TEST(FaultInjection, DuplicateDeliversExtraCopies) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(800);
+  config.faults = std::make_shared<DuplicateFaultPolicy>(1.0, 1, /*copies=*/2);
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 42); });
+  EXPECT_TRUE(sim.run());
+
+  // Original + 2 copies, each with its own message record and id.
+  EXPECT_EQ(p1->received.size(), 3u);
+  EXPECT_EQ(sim.trace().messages.size(), 3u);
+  ASSERT_EQ(sim.trace().faults.size(), 2u);
+  for (const FaultEvent& f : sim.trace().faults) {
+    EXPECT_EQ(f.kind, FaultKind::kMessageDuplicated);
+    EXPECT_EQ(f.magnitude, sim.trace().messages[0].id);  // link to original
+  }
+}
+
+TEST(FaultInjection, SpikePushesDelayPastUpperBound) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(1000);  // exactly d
+  config.faults = std::make_shared<DelaySpikeFaultPolicy>(1.0, 500, 7);
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 42); });
+  EXPECT_TRUE(sim.run());
+
+  ASSERT_EQ(p1->received.size(), 1u);
+  EXPECT_GT(p1->received[0].local_time, 1100);  // beyond send + d
+  EXPECT_FALSE(sim.trace().audit().admissible);
+  ASSERT_EQ(sim.trace().faults.size(), 1u);
+  EXPECT_EQ(sim.trace().faults[0].kind, FaultKind::kDelaySpike);
+  EXPECT_GT(sim.trace().faults[0].magnitude, 0);
+}
+
+TEST(FaultInjection, StallDefersDeliveryToWindowEnd) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(700);
+  config.faults = std::make_shared<StallFaultPolicy>(
+      std::vector<StallWindow>{{1, 500, 2500}});
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 42); });  // would arrive at 800
+  EXPECT_TRUE(sim.run());
+
+  ASSERT_EQ(p1->received.size(), 1u);
+  EXPECT_EQ(p1->received[0].local_time, 2500);  // deferred, not lost
+  ASSERT_EQ(sim.trace().faults.size(), 1u);
+  EXPECT_EQ(sim.trace().faults[0].kind, FaultKind::kProcessStalled);
+  EXPECT_EQ(sim.trace().faults[0].proc, 1);
+}
+
+TEST(FaultInjection, IdenticalConfigAndSeedGiveIdenticalTraces) {
+  FaultConfig faults;
+  faults.drop_p = 0.3;
+  faults.dup_p = 0.3;
+  faults.spike_p = 0.2;
+  faults.spike_max = 300;
+  faults.seed = 42;
+
+  auto run_once = [&] {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o = system_options();
+    o.delays = std::make_shared<UniformDelayPolicy>(o.timing, 7);
+    o.faults = make_fault_policy(faults);
+    ReplicaSystem system(model, o);
+    arm_workload(system.sim());
+    system.sim().start();
+    EXPECT_TRUE(system.sim().run());
+    return std::pair<std::string, std::string>(
+        trace_to_string(system.sim().trace()),
+        faults_to_string(system.sim().trace()));
+  };
+
+  const auto [trace_a, faults_a] = run_once();
+  const auto [trace_b, faults_b] = run_once();
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(faults_a, faults_b);
+  EXPECT_FALSE(faults_a.empty());  // the config did inject something
+}
+
+TEST(FaultInjection, ZeroProbabilityConfigIsByteIdenticalToNoPolicy) {
+  auto run_once = [&](bool with_vacuous_policy) {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o = system_options();
+    o.delays = std::make_shared<UniformDelayPolicy>(o.timing, 11);
+    if (with_vacuous_policy) {
+      o.faults = make_fault_policy(FaultConfig{});  // all probabilities zero
+    }
+    ReplicaSystem system(model, o);
+    arm_workload(system.sim());
+    system.sim().start();
+    EXPECT_TRUE(system.sim().run());
+    EXPECT_TRUE(system.sim().trace().faults.empty());
+    return trace_to_string(system.sim().trace());
+  };
+
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(FaultInjection, RaisingOneProbabilityKeepsOtherStreamsStable) {
+  // The composed policy gives each ingredient an independent seed stream:
+  // turning drops on must not reshuffle which messages get duplicated.
+  auto duplicated_messages = [&](double drop_p) {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o = system_options();
+    o.delays = std::make_shared<FixedDelayPolicy>(1000);
+    FaultConfig faults;
+    faults.drop_p = drop_p;
+    faults.dup_p = 0.5;
+    faults.seed = 99;
+    o.faults = make_fault_policy(faults);
+    ReplicaSystem system(model, o);
+    arm_workload(system.sim());
+    system.sim().start();
+    EXPECT_TRUE(system.sim().run());
+    // Count duplication decisions by position in the send sequence.
+    std::vector<std::int64_t> dup_decisions;
+    for (const FaultEvent& f : system.sim().trace().faults) {
+      if (f.kind == FaultKind::kMessageDuplicated) {
+        dup_decisions.push_back(f.magnitude);
+      }
+    }
+    return dup_decisions;
+  };
+
+  // Drops change which sends exist downstream of lost messages, so exact
+  // equality of message ids is not guaranteed -- but the *first* duplicated
+  // send (before any drop can perturb the run) must be the same one.
+  const auto without_drops = duplicated_messages(0.0);
+  const auto with_drops = duplicated_messages(0.4);
+  ASSERT_FALSE(without_drops.empty());
+  ASSERT_FALSE(with_drops.empty());
+  EXPECT_EQ(without_drops.front(), with_drops.front());
+}
+
+TEST(AssumptionMonitor, CleanRunReportsClean) {
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, system_options());
+  arm_workload(system.sim());
+  system.sim().start();
+  EXPECT_TRUE(system.sim().run());
+  const AssumptionReport report = audit_assumptions(system.sim().trace());
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+TEST(AssumptionMonitor, ClassifiesEachInjectedFaultKind) {
+  auto report_for = [&](const FaultConfig& faults) {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o = system_options();
+    o.faults = make_fault_policy(faults);
+    ReplicaSystem system(model, o);
+    arm_workload(system.sim());
+    system.sim().start();
+    EXPECT_TRUE(system.sim().run());
+    return audit_assumptions(system.sim().trace());
+  };
+
+  FaultConfig drops;
+  drops.drop_p = 1.0;
+  drops.seed = 1;
+  EXPECT_TRUE(report_for(drops).violated(Assumption::kReliableDelivery));
+
+  FaultConfig dups;
+  dups.dup_p = 1.0;
+  dups.seed = 1;
+  EXPECT_TRUE(report_for(dups).violated(Assumption::kNoDuplication));
+
+  FaultConfig spikes;
+  spikes.spike_p = 1.0;
+  spikes.spike_max = 600;
+  spikes.seed = 1;
+  const AssumptionReport spike_report = report_for(spikes);
+  EXPECT_TRUE(spike_report.violated(Assumption::kDelayBounds))
+      << spike_report.summary();
+
+  // Window ends well before p1's next invocation at 4100: the deferred
+  // 1100 invocation dispatches at 2500 and answers before 4100.
+  FaultConfig stalls;
+  stalls.stalls.push_back(StallWindow{1, 1000, 2500});
+  EXPECT_TRUE(report_for(stalls).violated(Assumption::kNoStalls));
+}
+
+TEST(AssumptionMonitor, ClassifiesCrashes) {
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, system_options());
+  system.sim().invoke_at(1000, 0, reg::write(5));
+  system.sim().crash_at(1500, 2);
+  system.sim().start();
+  EXPECT_TRUE(system.sim().run());
+  const AssumptionReport report = audit_assumptions(system.sim().trace());
+  EXPECT_TRUE(report.violated(Assumption::kFailureFree)) << report.summary();
+}
+
+TEST(AssumptionMonitor, AttributionSentenceNamesTheAssumption) {
+  auto model = std::make_shared<RegisterModel>();
+  SystemOptions o = system_options();
+  FaultConfig faults;
+  faults.drop_p = 1.0;
+  faults.seed = 3;
+  o.faults = make_fault_policy(faults);
+  ReplicaSystem system(model, o);
+  arm_workload(system.sim());
+  system.sim().start();
+  EXPECT_TRUE(system.sim().run());
+  const AssumptionReport report = audit_assumptions(system.sim().trace());
+  const std::string attribution = report.attribute(/*linearizable=*/false);
+  EXPECT_NE(attribution.find("reliable-delivery"), std::string::npos)
+      << attribution;
+}
+
+}  // namespace
+}  // namespace linbound
