@@ -5,9 +5,15 @@
 namespace linbound {
 
 WorkloadDriver::WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
-                               std::function<void(const OperationRecord&)> on_response)
-    : sim_(sim), scripts_(std::move(scripts)), on_response_(std::move(on_response)) {
+                               std::function<void(const OperationRecord&)> on_response,
+                               std::function<void(ProcessId, Tick)> on_recovery)
+    : sim_(sim),
+      scripts_(std::move(scripts)),
+      on_response_(std::move(on_response)),
+      on_recovery_(std::move(on_recovery)) {
   next_op_.assign(scripts_.size(), 0);
+  inflight_token_.assign(scripts_.size(), -1);
+  inflight_sched_.assign(scripts_.size(), kNoTime);
   script_of_proc_.assign(static_cast<std::size_t>(sim_.process_count()), -1);
   for (std::size_t s = 0; s < scripts_.size(); ++s) {
     const ProcessId pid = scripts_[s].pid;
@@ -20,6 +26,10 @@ WorkloadDriver::WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts
     script_of_proc_[static_cast<std::size_t>(pid)] = static_cast<ProcessId>(s);
   }
   sim_.set_response_hook([this](const OperationRecord& rec) { handle_response(rec); });
+  sim_.set_recovery_hook([this](ProcessId pid, Tick now) {
+    reissue_cut(pid, now);
+    if (on_recovery_) on_recovery_(pid, now);
+  });
 }
 
 void WorkloadDriver::arm() {
@@ -27,7 +37,9 @@ void WorkloadDriver::arm() {
     const ClientScript& script = scripts_[s];
     if (script.ops.empty()) continue;
     next_op_[s] = 1;
-    sim_.invoke_at(script.start_time, script.pid, script.ops.front());
+    inflight_token_[s] =
+        sim_.invoke_at(script.start_time, script.pid, script.ops.front());
+    inflight_sched_[s] = script.start_time;
   }
 }
 
@@ -43,10 +55,29 @@ void WorkloadDriver::handle_response(const OperationRecord& rec) {
   const ProcessId script_idx = script_of_proc_.at(static_cast<std::size_t>(rec.proc));
   if (script_idx < 0) return;
   const auto s = static_cast<std::size_t>(script_idx);
+  inflight_token_[s] = -1;
   if (next_op_[s] >= scripts_[s].ops.size()) return;
   const Operation& op = scripts_[s].ops[next_op_[s]];
   ++next_op_[s];
-  sim_.invoke_at(sim_.now() + scripts_[s].think_time, rec.proc, op);
+  const Tick at = sim_.now() + scripts_[s].think_time;
+  inflight_token_[s] = sim_.invoke_at(at, rec.proc, op);
+  inflight_sched_[s] = at;
+}
+
+void WorkloadDriver::reissue_cut(ProcessId pid, Tick now) {
+  const ProcessId script_idx = script_of_proc_.at(static_cast<std::size_t>(pid));
+  if (script_idx < 0) return;
+  const auto s = static_cast<std::size_t>(script_idx);
+  // Nothing in flight, or the next invocation is still scheduled for the
+  // future (it will dispatch normally now that the process is back up).
+  if (inflight_token_[s] < 0 || inflight_sched_[s] > now) return;
+  // The current operation was cut: either invoked before the crash and
+  // never answered, or dispatched into the downtime and lost.  Retry it as
+  // a new invocation; the old token stays unresolved in the trace.
+  const Operation& op = scripts_[s].ops[next_op_[s] - 1];
+  inflight_token_[s] = sim_.invoke_at(now, pid, op);
+  inflight_sched_[s] = now;
+  ++reissued_;
 }
 
 }  // namespace linbound

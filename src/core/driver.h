@@ -22,11 +22,12 @@ struct ClientScript {
 
 class WorkloadDriver {
  public:
-  /// Installs the simulator's response hook; at most one driver per
-  /// simulator.  `on_response` (optional) is forwarded every response so
-  /// callers can still observe completions.
+  /// Installs the simulator's response and recovery hooks; at most one
+  /// driver per simulator.  `on_response` / `on_recovery` (optional) are
+  /// forwarded so callers can still observe completions and rejoins.
   WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
-                 std::function<void(const OperationRecord&)> on_response = {});
+                 std::function<void(const OperationRecord&)> on_response = {},
+                 std::function<void(ProcessId, Tick)> on_recovery = {});
 
   /// Schedule the first invocation of every script.  Call after
   /// Simulator::start() is not required -- events are queued either way.
@@ -35,14 +36,31 @@ class WorkloadDriver {
   /// True once every script ran to completion.
   bool done() const;
 
+  /// Number of operations re-issued after a crash cut them.
+  int reissued() const { return reissued_; }
+
  private:
   void handle_response(const OperationRecord& rec);
+
+  /// A real client retries when its replica comes back: if `pid`'s current
+  /// operation was invoked (or scheduled) before the crash and never
+  /// answered, issue it again as a fresh invocation.  The cut attempt stays
+  /// in the trace as a pending (or never-dispatched) record; the checkers
+  /// accept the cut-and-reissue shape.  Invoked from the simulator's
+  /// recovery hook.
+  void reissue_cut(ProcessId pid, Tick now);
 
   Simulator& sim_;
   std::vector<ClientScript> scripts_;
   std::vector<std::size_t> next_op_;        // per script
   std::vector<ProcessId> script_of_proc_;   // process -> script index or -1
+  /// Per script: token of the in-flight invocation (-1 when answered) and
+  /// the real time it was scheduled for.
+  std::vector<std::int64_t> inflight_token_;
+  std::vector<Tick> inflight_sched_;
+  int reissued_ = 0;
   std::function<void(const OperationRecord&)> on_response_;
+  std::function<void(ProcessId, Tick)> on_recovery_;
 };
 
 }  // namespace linbound

@@ -46,7 +46,8 @@ HardenedReplicaProcess::HardenedReplicaProcess(
 void HardenedReplicaProcess::send(ProcessId to,
                                   std::shared_ptr<const MessagePayload> payload) {
   const std::int64_t seq = next_link_seq_++;
-  auto frame = std::make_shared<LinkDataPayload>(seq, std::move(payload));
+  auto frame =
+      std::make_shared<LinkDataPayload>(seq, std::move(payload), my_incarnation_);
   PendingSend pending;
   pending.frame = frame;
   pending.to = to;
@@ -63,22 +64,26 @@ void HardenedReplicaProcess::send(ProcessId to,
 void HardenedReplicaProcess::on_message(ProcessId from,
                                         const MessagePayload& payload) {
   if (const auto* ack = dynamic_cast<const LinkAckPayload*>(&payload)) {
+    // Acks addressed to a previous life are stale: this incarnation may be
+    // reusing the acked sequence number for a different message.
+    if (ack->incarnation != my_incarnation_) return;
     pending_sends_.erase(ack->seq);  // duplicate acks fall through harmlessly
     return;
   }
   if (const auto* frame = dynamic_cast<const LinkDataPayload*>(&payload)) {
     // Always (re-)ack: the sender may be retransmitting because our
     // previous ack was lost.  Acks go out raw -- acking an ack would loop.
-    raw_send(from, std::make_shared<LinkAckPayload>(frame->seq));
-    if (!delivered_[from].insert(frame->seq).second) {
+    raw_send(from,
+             std::make_shared<LinkAckPayload>(frame->seq, frame->incarnation));
+    if (!delivered_[from][frame->incarnation].insert(frame->seq).second) {
       ++duplicates_suppressed_;
       return;
     }
-    ReplicaProcess::on_message(from, *frame->inner);
+    deliver_app(from, *frame->inner);
     return;
   }
   // Unframed payload (e.g. from a non-hardened peer in a mixed system).
-  ReplicaProcess::on_message(from, payload);
+  deliver_app(from, payload);
 }
 
 void HardenedReplicaProcess::on_timer(TimerId id, const TimerTag& tag) {
@@ -107,6 +112,17 @@ void HardenedReplicaProcess::on_timer(TimerId id, const TimerTag& tag) {
                              : pending.next_timeout * params_.backoff;
   pending.next_timeout = std::min(pending.next_timeout, cap);
   set_timer(pending.next_timeout, tag);
+}
+
+void HardenedReplicaProcess::reset_link_state(Tick new_incarnation) {
+  if (new_incarnation <= my_incarnation_) {
+    throw std::invalid_argument(
+        "reset_link_state: incarnation must be strictly increasing");
+  }
+  pending_sends_.clear();
+  delivered_.clear();
+  next_link_seq_ = 0;
+  my_incarnation_ = new_incarnation;
 }
 
 }  // namespace linbound

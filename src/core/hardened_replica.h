@@ -69,21 +69,32 @@ struct HardenedParams {
   }
 };
 
-/// The <seq, inner> frame of the reliable link.
+/// The <seq, incarnation, inner> frame of the reliable link.  `incarnation`
+/// distinguishes a sender's lifetimes across crash-recovery: a restarted
+/// process starts a fresh sequence space, and receivers deduplicate per
+/// (sender, incarnation) so a recycled seq 0 is not suppressed as a
+/// duplicate of the previous life's seq 0.  Failure-free runs keep
+/// incarnation 0 everywhere and behave exactly as before.
 struct LinkDataPayload final : MessagePayload {
   std::int64_t seq = 0;
+  Tick incarnation = 0;
   std::shared_ptr<const MessagePayload> inner;
-  LinkDataPayload(std::int64_t s, std::shared_ptr<const MessagePayload> in)
-      : seq(s), inner(std::move(in)) {}
+  LinkDataPayload(std::int64_t s, std::shared_ptr<const MessagePayload> in,
+                  Tick inc = 0)
+      : seq(s), incarnation(inc), inner(std::move(in)) {}
 };
 
-/// Receiver's acknowledgment of LinkDataPayload `seq`.
+/// Receiver's acknowledgment of LinkDataPayload <seq, incarnation>.  The
+/// echoed incarnation lets a restarted sender ignore acks addressed to its
+/// previous life (whose sequence numbers it is reusing).
 struct LinkAckPayload final : MessagePayload {
   std::int64_t seq = 0;
-  explicit LinkAckPayload(std::int64_t s) : seq(s) {}
+  Tick incarnation = 0;
+  explicit LinkAckPayload(std::int64_t s, Tick inc = 0)
+      : seq(s), incarnation(inc) {}
 };
 
-class HardenedReplicaProcess final : public ReplicaProcess {
+class HardenedReplicaProcess : public ReplicaProcess {
  public:
   /// `delays` must be computed against params.effective_timing(timing) --
   /// ReplicaSystem does this when SystemOptions::hardened is set.
@@ -102,6 +113,23 @@ class HardenedReplicaProcess final : public ReplicaProcess {
   /// Every algorithm-level send goes out framed and retransmitted.
   void send(ProcessId to, std::shared_ptr<const MessagePayload> payload) override;
 
+  /// Hand a deduplicated application payload up the stack.  The default
+  /// runs Algorithm 1's handler; the recoverable subclass interposes here
+  /// to buffer broadcasts and route its join protocol while rejoining.
+  virtual void deliver_app(ProcessId from, const MessagePayload& payload) {
+    ReplicaProcess::on_message(from, payload);
+  }
+
+  /// Restart the link layer for a new life: forget unacked sends and the
+  /// per-sender dedup history (all volatile), restart sequence numbers, and
+  /// stamp future frames with `new_incarnation` (must exceed every previous
+  /// one; recoverable replicas use the local clock at recovery, which is
+  /// monotonic across lifetimes without stable storage).
+  void reset_link_state(Tick new_incarnation);
+
+  Tick link_incarnation() const { return my_incarnation_; }
+  const HardenedParams& link_params() const { return params_; }
+
  private:
   /// Link timer kind; disjoint from ReplicaProcess's private kinds (1..4).
   static constexpr int kLinkRetransmit = 100;
@@ -115,9 +143,12 @@ class HardenedReplicaProcess final : public ReplicaProcess {
 
   HardenedParams params_;
   std::int64_t next_link_seq_ = 0;
+  /// This process's current life; stamped into every frame.
+  Tick my_incarnation_ = 0;
   std::map<std::int64_t, PendingSend> pending_sends_;  ///< unacked, by seq
-  /// Sequence numbers already delivered up the stack, per sender.
-  std::map<ProcessId, std::set<std::int64_t>> delivered_;
+  /// Sequence numbers already delivered up the stack, per sender and per
+  /// sender incarnation (a restarted sender reuses sequence numbers).
+  std::map<ProcessId, std::map<Tick, std::set<std::int64_t>>> delivered_;
 
   std::int64_t retransmissions_ = 0;
   std::int64_t duplicates_suppressed_ = 0;

@@ -100,8 +100,7 @@ void ReplicaProcess::on_invoke(std::int64_t token, const Operation& op) {
 
 void ReplicaProcess::on_message(ProcessId /*from*/, const MessagePayload& payload) {
   const auto& msg = dynamic_cast<const OpBroadcastPayload&>(payload);
-  queue_.add(PendingOp{msg.ts, msg.op, /*own_token=*/-1});
-  set_timer(delays_.holdback, TimerTag{kExecute, msg.ts});
+  enqueue_replicated(msg.ts, msg.op);
 }
 
 void ReplicaProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
@@ -148,8 +147,34 @@ void ReplicaProcess::execute_up_to(const Timestamp& ts, bool inclusive) {
     PendingOp entry = queue_.extract_min();
     const Value ret = local_obj_->apply(entry.op);
     ++executed_count_;
+    executed_frontier_ = entry.ts;
     if (entry.own_token >= 0) respond(entry.own_token, ret);
   }
+}
+
+void ReplicaProcess::reset_volatile_state() {
+  local_obj_ = model_->initial_state();
+  queue_.clear();
+  executed_count_ = 0;
+  last_stamp_clock_ = kNoTime;
+  executed_frontier_.reset();
+  awaiting_self_add_.clear();
+  awaiting_mop_ack_.clear();
+  awaiting_aop_.clear();
+}
+
+void ReplicaProcess::adopt_state(std::unique_ptr<ObjectState> state,
+                                 std::optional<Timestamp> frontier,
+                                 std::size_t executed) {
+  local_obj_ = std::move(state);
+  executed_frontier_ = frontier;
+  executed_count_ = executed;
+}
+
+void ReplicaProcess::enqueue_replicated(const Timestamp& ts,
+                                        const Operation& op) {
+  queue_.add(PendingOp{ts, op, /*own_token=*/-1});
+  set_timer(delays_.holdback, TimerTag{kExecute, ts});
 }
 
 }  // namespace linbound

@@ -95,6 +95,14 @@ class ReplicaProcess : public Process {
   std::size_t queued() const { return queue_.size(); }
   std::size_t executed_count() const { return executed_count_; }
 
+  /// Timestamp of the last operation applied to the local copy; nullopt
+  /// before the first execution.  Everything at or below this frontier is
+  /// reflected in local_copy() -- the "executed prefix" a state-transfer
+  /// snapshot hands to a rejoining replica.
+  std::optional<Timestamp> executed_frontier() const {
+    return executed_frontier_;
+  }
+
  protected:
   /// The clock that timestamps operations.  The base algorithm reads the
   /// process's local clock; the drift-managed subclass adds its running
@@ -105,6 +113,29 @@ class ReplicaProcess : public Process {
   /// per-process timestamps unique even if the adjusted clock steps
   /// backwards after a resynchronization.
   Tick next_stamp_clock();
+
+  // --- crash-recovery support (core/recoverable_replica.h) ---
+
+  /// Drop every piece of volatile algorithm state: local copy back to the
+  /// initial value, To_Execute queue and all awaiting-timer maps emptied,
+  /// counters zeroed.  What a true crash leaves behind.
+  void reset_volatile_state();
+
+  /// Install a transferred copy: `state` becomes the local object,
+  /// `frontier`/`executed` describe the prefix it reflects.  Subsequent
+  /// broadcasts with timestamps <= frontier must not be re-applied (the
+  /// recoverable subclass filters them).
+  void adopt_state(std::unique_ptr<ObjectState> state,
+                   std::optional<Timestamp> frontier, std::size_t executed);
+
+  /// Queue a replicated operation exactly as if its broadcast had just
+  /// arrived (To_Execute add + holdback timer) -- state transfer re-feeds a
+  /// snapshot's pending set and the rejoin buffer through this.
+  void enqueue_replicated(const Timestamp& ts, const Operation& op);
+
+  const ObjectModel& object_model() const { return *model_; }
+  const AlgorithmDelays& algo_delays() const { return delays_; }
+  const ToExecuteQueue& to_execute() const { return queue_; }
 
  private:
   enum TimerKind : int { kSelfAdd = 1, kExecute = 2, kMopAck = 3, kAopRespond = 4 };
@@ -119,6 +150,7 @@ class ReplicaProcess : public Process {
   ToExecuteQueue queue_;
   std::size_t executed_count_ = 0;
   Tick last_stamp_clock_ = kNoTime;
+  std::optional<Timestamp> executed_frontier_;
 
   struct StoredOwnOp {
     Operation op;

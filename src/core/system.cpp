@@ -59,12 +59,18 @@ ReplicaSystem::ReplicaSystem(std::shared_ptr<const ObjectModel> model,
       delays_(options.algorithm_delays
                   ? *options.algorithm_delays
                   : AlgorithmDelays::standard(
-                        options.hardened
+                        options.recoverable
+                            ? options.recoverable->link.effective_timing(
+                                  options.timing)
+                        : options.hardened
                             ? options.hardened->effective_timing(options.timing)
                             : options.timing,
                         options.x)) {
   for (int i = 0; i < options.n; ++i) {
-    if (options.hardened) {
+    if (options.recoverable) {
+      sim_->add_process(std::make_unique<RecoverableReplicaProcess>(
+          model_, delays_, *options.recoverable));
+    } else if (options.hardened) {
       sim_->add_process(std::make_unique<HardenedReplicaProcess>(
           model_, delays_, *options.hardened));
     } else {

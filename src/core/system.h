@@ -10,6 +10,7 @@
 #include "checker/lin_checker.h"
 #include "core/centralized_algorithm.h"
 #include "core/hardened_replica.h"
+#include "core/recoverable_replica.h"
 #include "core/replica_algorithm.h"
 #include "core/tob_algorithm.h"
 #include "sim/simulator.h"
@@ -34,6 +35,11 @@ struct SystemOptions {
   /// effective timing unless algorithm_delays overrides them.  Algorithm 1
   /// only.
   std::optional<HardenedParams> hardened;
+  /// Run the crash-recovery variant (core/recoverable_replica.h): hardened
+  /// link plus the rejoin/state-transfer protocol, so processes crashed and
+  /// restarted via Simulator::crash_at/recover_at (e.g. a ChurnSchedule)
+  /// catch back up.  Takes precedence over `hardened`.  Algorithm 1 only.
+  std::optional<RecoverableParams> recoverable;
   /// Centralized/TOB only: clients abandon an operation (Process::give_up)
   /// this long after invoking it without an answer, so a dead coordinator
   /// or sequencer degrades to a Stalled outcome instead of hanging the

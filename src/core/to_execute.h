@@ -38,6 +38,13 @@ class ToExecuteQueue {
   /// Precondition: !empty().
   PendingOp extract_min();
 
+  /// The queued entries in heap order (deterministic, not sorted) -- state
+  /// transfer (core/recoverable_replica.h) snapshots the pending set from
+  /// here; callers that need timestamp order sort a copy.
+  const std::vector<PendingOp>& entries() const { return heap_; }
+
+  void clear() { heap_.clear(); }
+
  private:
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);

@@ -34,6 +34,10 @@ const char* assumption_name(Assumption a) {
       return "failure-free";
     case Assumption::kNoStalls:
       return "no-stalls";
+    case Assumption::kRecovering:
+      return "recovering";
+    case Assumption::kAssumptionCount:
+      break;
   }
   return "?";
 }
@@ -89,6 +93,19 @@ AssumptionReport audit_assumptions(const Trace& trace) {
   AssumptionReport report;
   const SystemTiming& timing = trace.timing;
 
+  // Recovery makes a crash "churn" rather than a permanent failure: a crash
+  // of process p at tick t that p later recovers from is attributed to
+  // kRecovering, a crash it never comes back from to kFailureFree.
+  const auto recovers_after = [&trace](ProcessId pid, Tick t) {
+    for (const FaultEvent& f : trace.faults) {
+      if (f.kind == FaultKind::kProcessRecovered && f.proc == pid &&
+          f.time >= t) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   // Injected faults and failures, straight from the recorder.
   for (const FaultEvent& f : trace.faults) {
     std::ostringstream os;
@@ -119,12 +136,26 @@ AssumptionReport audit_assumptions(const Trace& trace) {
         break;
       case FaultKind::kProcessCrashed:
         os << "process " << f.proc << " crashed at tick " << f.time;
+        if (recovers_after(f.proc, f.time)) {
+          os << " (later recovered)";
+          report.violations.push_back(
+              make(Assumption::kRecovering, os.str(), f.time, f.proc, -1));
+        } else {
+          report.violations.push_back(
+              make(Assumption::kFailureFree, os.str(), f.time, f.proc, -1));
+        }
+        break;
+      case FaultKind::kProcessRecovered:
+        os << "process " << f.proc << " recovered at tick " << f.time
+           << " (incarnation " << f.magnitude << ")";
         report.violations.push_back(
-            make(Assumption::kFailureFree, os.str(), f.time, f.proc, -1));
+            make(Assumption::kRecovering, os.str(), f.time, f.proc, -1));
         break;
       case FaultKind::kOperationGivenUp:
         // Degradation behavior, not an assumption: the cause (crash, loss)
         // is reported by its own event.
+        break;
+      case FaultKind::kFaultKindCount:
         break;
     }
   }
@@ -165,9 +196,14 @@ AssumptionReport audit_assumptions(const Trace& trace) {
     os << "message " << m.id << " from " << m.from << " to " << m.to
        << " sent at tick " << m.send_time << " never delivered";
     if (recipient_crashed) {
-      os << " (recipient crashed)";
+      // A recipient that was down on arrival but came back is churn, not a
+      // permanent failure.
+      const bool came_back = recovers_after(m.to, m.send_time);
+      os << (came_back ? " (recipient was down, later recovered)"
+                       : " (recipient crashed)");
       report.violations.push_back(
-          make(Assumption::kFailureFree, os.str(), m.send_time, m.to, m.id));
+          make(came_back ? Assumption::kRecovering : Assumption::kFailureFree,
+               os.str(), m.send_time, m.to, m.id));
     } else {
       report.violations.push_back(make(Assumption::kReliableDelivery, os.str(),
                                        m.send_time, m.from, m.id));

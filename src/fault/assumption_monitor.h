@@ -26,6 +26,8 @@ enum class Assumption {
   kClockSkew,         ///< pairwise clock skew <= eps
   kFailureFree,       ///< no process crashes
   kNoStalls,          ///< every process keeps taking steps promptly
+  kRecovering,        ///< crash-recovery churn (a crashed process came back)
+  kAssumptionCount,   ///< sentinel for exhaustiveness tests; not an assumption
 };
 
 const char* assumption_name(Assumption a);

@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "fault/churn.h"
 #include "sim/fault_injection.h"
 
 namespace linbound {
@@ -137,6 +138,10 @@ struct FaultConfig {
   double spike_p = 0.0;
   Tick spike_max = 0;
   std::vector<StallWindow> stalls;
+  /// Crash/recover schedule parameters (fault/churn.h).  Not part of any():
+  /// churn is a process-layer fault, materialized separately via
+  /// make_churn_schedule and ChurnSchedule::apply, not by make_fault_policy.
+  ChurnConfig churn;
   std::uint64_t seed = 0;
 
   bool any() const {

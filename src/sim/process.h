@@ -39,6 +39,17 @@ class Process {
   /// Called once before any other handler, at the start of the run.
   virtual void on_start() {}
 
+  /// Called when Simulator::recover_at restarts this process after a crash
+  /// (crash-recovery model; Chapter VII future work).  A restarted process
+  /// has lost its volatile state: timers armed before the crash never fire
+  /// and the one-pending-operation slot is cleared by the simulator.
+  /// Implementations that support rejoining (core/recoverable_replica.h)
+  /// override this to reset their state and run a catch-up protocol; the
+  /// default keeps the pre-crash member state verbatim, which models a
+  /// pause-and-resume rather than a true crash -- fine for probes, wrong
+  /// for replicas (their copy would silently be stale).
+  virtual void on_recover() {}
+
   /// A message from another process arrived.
   virtual void on_message(ProcessId from, const MessagePayload& payload) = 0;
 

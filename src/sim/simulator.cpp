@@ -23,6 +23,7 @@ ProcessId Simulator::add_process(std::unique_ptr<Process> proc) {
   procs_.push_back(std::move(proc));
   op_pending_.push_back(false);
   crashed_.push_back(false);
+  crash_epoch_.push_back(0);
   if (config_.clock_offsets.size() < procs_.size()) {
     config_.clock_offsets.resize(procs_.size(), 0);
   }
@@ -53,10 +54,47 @@ void Simulator::crash_at(Tick t, ProcessId pid) {
   if (pid < 0 || pid >= process_count()) {
     throw std::out_of_range("crash_at: unknown process");
   }
+  if (t < now_) {
+    throw std::invalid_argument("crash_at: time " + std::to_string(t) +
+                                " is in the past (now = " +
+                                std::to_string(now_) + ")");
+  }
   queue_.push(t, [this, pid] {
+    if (crashed_[static_cast<std::size_t>(pid)]) {
+      throw std::logic_error("crash_at: process " + std::to_string(pid) +
+                             " is already crashed (double crash at tick " +
+                             std::to_string(now_) + ")");
+    }
     crashed_[static_cast<std::size_t>(pid)] = true;
     trace_.faults.push_back(
         {FaultKind::kProcessCrashed, now_, pid, kNoProcess, -1, 0});
+  });
+}
+
+void Simulator::recover_at(Tick t, ProcessId pid) {
+  if (pid < 0 || pid >= process_count()) {
+    throw std::out_of_range("recover_at: unknown process");
+  }
+  if (t < now_) {
+    throw std::invalid_argument("recover_at: time " + std::to_string(t) +
+                                " is in the past (now = " +
+                                std::to_string(now_) + ")");
+  }
+  queue_.push(t, [this, pid] {
+    const auto idx = static_cast<std::size_t>(pid);
+    if (!crashed_[idx]) {
+      throw std::logic_error("recover_at: process " + std::to_string(pid) +
+                             " is not crashed at tick " + std::to_string(now_));
+    }
+    crashed_[idx] = false;
+    ++crash_epoch_[idx];
+    // The cut operation (if any) stays pending in the trace; the restarted
+    // process has a free invocation slot again.
+    op_pending_[idx] = false;
+    trace_.faults.push_back({FaultKind::kProcessRecovered, now_, pid,
+                             kNoProcess, -1, crash_epoch_[idx]});
+    procs_[idx]->on_recover();
+    if (recovery_hook_) recovery_hook_(pid, now_);
   });
 }
 
@@ -221,15 +259,22 @@ TimerId Simulator::set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag) 
   const TimerId id = next_timer_id_++;
   timer_armed_[id] = true;
   // Without drift a local-clock delta equals a real-time delta; with drift
-  // the conversion goes through the process's clock rate.
+  // the conversion goes through the process's clock rate.  The timer
+  // belongs to the arming incarnation: if the process crashes and recovers
+  // before it fires, it is dead (volatile state does not survive a crash).
+  const int epoch = crash_epoch_[static_cast<std::size_t>(pid)];
   queue_.push(now_ + real_delta_for_local(pid, local_delta),
-              [this, pid, id, tag] { fire_timer(pid, id, tag); });
+              [this, pid, id, tag, epoch] { fire_timer(pid, id, tag, epoch); });
   return id;
 }
 
-void Simulator::fire_timer(ProcessId pid, TimerId id, TimerTag tag) {
+void Simulator::fire_timer(ProcessId pid, TimerId id, TimerTag tag, int epoch) {
   auto it = timer_armed_.find(id);
   if (it == timer_armed_.end() || !it->second) return;  // canceled
+  if (epoch != crash_epoch_[static_cast<std::size_t>(pid)]) {
+    timer_armed_.erase(it);  // armed before a crash the process recovered from
+    return;
+  }
   if (!crashed(pid)) {
     const Tick until = stall_deferral(pid);
     if (until != kNoTime) {
@@ -237,7 +282,8 @@ void Simulator::fire_timer(ProcessId pid, TimerId id, TimerTag tag) {
       // (it cannot fire early, and a stalled process takes no steps).
       trace_.faults.push_back(
           {FaultKind::kProcessStalled, now_, pid, kNoProcess, -1, until - now_});
-      queue_.push(until, [this, pid, id, tag] { fire_timer(pid, id, tag); });
+      queue_.push(until,
+                  [this, pid, id, tag, epoch] { fire_timer(pid, id, tag, epoch); });
       return;
     }
   }

@@ -71,16 +71,47 @@ class Simulator {
   /// sends nothing, receives nothing, fires no timers and takes no
   /// invocations; messages it already sent are still delivered.  Its
   /// pending operation (if any) stays pending in the trace.
+  ///
+  /// Arguments are validated: `t` must not lie in the past and `pid` must
+  /// name a process (std::invalid_argument / std::out_of_range otherwise).
+  /// Crashing an already-crashed process is a schedule bug and throws
+  /// std::logic_error when the event fires.
   void crash_at(Tick t, ProcessId pid);
+
+  /// Restart crashed process `pid` at real time `t` (crash-recovery model).
+  /// The restarted process has fresh volatile state: timers armed before
+  /// the crash never fire, its pending-operation slot is cleared (the cut
+  /// operation stays pending in the trace), and Process::on_recover is
+  /// invoked so the implementation can reset itself and rejoin.  Recorded
+  /// as a kProcessRecovered fault event.  Messages addressed to the process
+  /// that were in flight across the downtime are delivered on arrival if it
+  /// is up by then (the network does not know about crashes).
+  ///
+  /// Validation mirrors crash_at: past times and unknown processes are
+  /// rejected up front; recovering a process that is not crashed at time
+  /// `t` throws std::logic_error when the event fires.
+  void recover_at(Tick t, ProcessId pid);
 
   bool crashed(ProcessId pid) const {
     return static_cast<std::size_t>(pid) < crashed_.size() &&
            crashed_[static_cast<std::size_t>(pid)];
   }
 
+  /// Number of times `pid` has recovered (0 = the original incarnation).
+  int incarnation(ProcessId pid) const {
+    return crash_epoch_.at(static_cast<std::size_t>(pid));
+  }
+
   /// Invoked (synchronously) whenever any operation responds.
   void set_response_hook(std::function<void(const OperationRecord&)> hook) {
     response_hook_ = std::move(hook);
+  }
+
+  /// Invoked (synchronously, after Process::on_recover) whenever a crashed
+  /// process recovers -- the application layer's chance to re-issue an
+  /// operation the crash cut (core/driver.h WorkloadDriver::reissue_cut).
+  void set_recovery_hook(std::function<void(ProcessId, Tick)> hook) {
+    recovery_hook_ = std::move(hook);
   }
 
   /// Deliver on_start to every process.  Must be called exactly once,
@@ -116,7 +147,7 @@ class Simulator {
   void dispatch_invoke(ProcessId pid, std::int64_t token);
   void deliver(std::size_t record_index,
                std::shared_ptr<const MessagePayload> payload);
-  void fire_timer(ProcessId pid, TimerId id, TimerTag tag);
+  void fire_timer(ProcessId pid, TimerId id, TimerTag tag, int epoch);
   /// End of pid's stall window when one covers `now_`; kNoTime otherwise.
   Tick stall_deferral(ProcessId pid);
 
@@ -136,8 +167,13 @@ class Simulator {
   /// one-pending-operation-per-process constraint).
   std::vector<bool> op_pending_;  // indexed by process id
   std::vector<bool> crashed_;     // indexed by process id
+  /// Incarnation counter per process, bumped on every recovery.  Timers
+  /// capture the arming incarnation and fire only if it still matches --
+  /// a restarted process has lost its volatile state, old timers included.
+  std::vector<int> crash_epoch_;  // indexed by process id
 
   std::function<void(const OperationRecord&)> response_hook_;
+  std::function<void(ProcessId, Tick)> recovery_hook_;
 };
 
 }  // namespace linbound

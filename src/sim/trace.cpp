@@ -19,8 +19,20 @@ const char* fault_kind_name(FaultKind kind) {
       return "process-crashed";
     case FaultKind::kOperationGivenUp:
       return "operation-given-up";
+    case FaultKind::kProcessRecovered:
+      return "process-recovered";
+    case FaultKind::kFaultKindCount:
+      break;
   }
   return "?";
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  for (int k = 0; k < static_cast<int>(FaultKind::kFaultKindCount); ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  return FaultKind::kFaultKindCount;
 }
 
 std::vector<FaultEvent> Trace::faults_for_message(MessageId id) const {

@@ -58,6 +58,8 @@ enum class FaultKind {
   kProcessStalled,    ///< an event was deferred past a stall window
   kProcessCrashed,    ///< crash_at took effect
   kOperationGivenUp,  ///< an implementation abandoned a pending operation
+  kProcessRecovered,  ///< recover_at restarted a crashed process
+  kFaultKindCount,    ///< sentinel; keep last (exhaustiveness tests)
 };
 
 /// One injected fault / failure, as it happened.
@@ -73,6 +75,10 @@ struct FaultEvent {
 };
 
 const char* fault_kind_name(FaultKind kind);
+
+/// Inverse of fault_kind_name (trace deserialization); returns
+/// kFaultKindCount for an unknown name.
+FaultKind fault_kind_from_name(const std::string& name);
 
 struct AdmissibilityReport {
   bool admissible = true;

@@ -52,6 +52,10 @@ void write_trace(std::ostream& os, const Trace& trace) {
     for (const Value& arg : rec.op.args) os << kFieldSep << arg.to_string();
     os << "\n";
   }
+  for (const FaultEvent& f : trace.faults) {
+    os << "fault " << fault_kind_name(f.kind) << " " << f.time << " " << f.proc
+       << " " << f.peer << " " << f.msg << " " << f.magnitude << "\n";
+  }
 }
 
 std::string trace_to_string(const Trace& trace) {
@@ -152,6 +156,20 @@ std::optional<Trace> read_trace(std::istream& is, std::string* error) {
         rec.op.args.push_back(std::move(*arg));
       }
       trace.ops.push_back(std::move(rec));
+    } else if (kind == "fault") {
+      FaultEvent f;
+      std::string kind_name;
+      if (!(ls >> kind_name >> f.time >> f.proc >> f.peer >> f.msg >>
+            f.magnitude)) {
+        fail(error, "bad fault line: " + line);
+        return std::nullopt;
+      }
+      f.kind = fault_kind_from_name(kind_name);
+      if (f.kind == FaultKind::kFaultKindCount) {
+        fail(error, "unknown fault kind: " + kind_name);
+        return std::nullopt;
+      }
+      trace.faults.push_back(f);
     } else {
       fail(error, "unknown line kind: " + kind);
       return std::nullopt;

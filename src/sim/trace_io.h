@@ -7,10 +7,13 @@
 //   end <end_time>
 //   msg <id> <from> <to> <send> <recv|->
 //   op <token> <proc> <code> <invoke> <response|-> <ret> <arg>*
+//   fault <kind> <time> <proc> <peer> <msg> <magnitude>
 //
 // Operation arguments and returns use the Value::to_string grammar; the
 // opcode is numeric (data-type specific), so traces are replayable against
-// the same ObjectModel.
+// the same ObjectModel.  Fault lines (injected faults, crashes, recoveries;
+// kind per fault_kind_name) appear only for runs that had fault events, so
+// a clean run's serialization is byte-identical to the pre-fault format.
 #pragma once
 
 #include <iosfwd>

@@ -8,8 +8,10 @@
 
 #include <memory>
 
+#include "checker/brute_checker.h"
 #include "checker/lin_checker.h"
 #include "core/driver.h"
+#include "fault/assumption_monitor.h"
 #include "core/system.h"
 #include "core/workload.h"
 #include "harness/latency.h"
@@ -120,6 +122,87 @@ TEST_P(FuzzTest, RandomAdmissibleRunsAreAlwaysLinearizable) {
     if (aop != kNoTime) EXPECT_EQ(aop, t.d + t.eps - x);
     const Tick oop = latency.worst_for_class(OpClass::kOther);
     if (oop != kNoTime) EXPECT_LE(oop, t.d + t.eps);
+  }
+}
+
+TEST_P(FuzzTest, RandomCrashRecoverSchedulesStayLinearizable) {
+  // Crash-recovery fuzzing: random admissible configurations under the
+  // recoverable replica, with randomized crash/recover windows cut into a
+  // closed-loop workload (the driver re-issues cut operations on recovery).
+  // Downtime is kept within the link layer's retransmission budget, so
+  // every run must be linearizable under the pending-aware checker; small
+  // histories are cross-checked against the brute-force enumerator.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ull + 77);
+  for (int round = 0; round < 4; ++round) {
+    SystemTiming t;
+    t.u = rng.uniform_tick(2, 300);
+    t.d = t.u + rng.uniform_tick(1, 700);
+    t.eps = rng.uniform_tick(0, t.u);
+    const int n = static_cast<int>(rng.uniform(2, 3));
+
+    SystemOptions o;
+    o.n = n;
+    o.timing = t;
+    RecoverableParams rp;
+    rp.link.max_attempts = 4;  // retransmission budget covers the downtime
+    o.recoverable = rp;
+    o.delays = std::make_shared<ExtremalDelayPolicy>(t, rng.next_u64());
+    for (int i = 0; i < n; ++i) {
+      o.clock_offsets.push_back(rng.uniform_tick(0, t.eps));
+    }
+
+    auto model = random_model(rng);
+    ReplicaSystem system(model, o);
+    std::vector<ClientScript> scripts;
+    for (ProcessId p = 0; p < n; ++p) {
+      Rng crng = rng.split(static_cast<std::uint64_t>(p) + 500);
+      scripts.push_back({p, random_ops_for(*model, crng, 3),
+                         rng.uniform_tick(0, 1500), rng.uniform_tick(0, t.d)});
+    }
+    WorkloadDriver driver(system.sim(), std::move(scripts));
+    driver.arm();
+
+    // One or two crash/recover windows, sequential in time (max one process
+    // down at once, so a rejoiner always finds a fully caught-up peer).
+    const ProcessId victim = static_cast<ProcessId>(rng.uniform(0, n - 1));
+    const Tick crash = rng.uniform_tick(200, 2500);
+    const Tick down = rng.uniform_tick(t.d, 3 * t.d);
+    system.sim().crash_at(crash, victim);
+    system.sim().recover_at(crash + down, victim);
+    if (n > 2 && rng.chance(0.5)) {
+      const ProcessId victim2 = static_cast<ProcessId>((victim + 1) % n);
+      const Tick crash2 = crash + down + rng.uniform_tick(1, 2 * t.d);
+      system.sim().crash_at(crash2, victim2);
+      system.sim().recover_at(crash2 + rng.uniform_tick(t.d, 2 * t.d),
+                              victim2);
+    }
+
+    system.sim().start();
+    ASSERT_TRUE(system.sim().run());
+
+    const Trace& trace = system.sim().trace();
+    auto [history, pending] = history_with_pending(trace);
+    const CheckResult check =
+        check_linearizable_with_pending(*model, history, pending);
+    ASSERT_TRUE(check.ok)
+        << "seed " << GetParam() << " round " << round << " type "
+        << model->name() << " n=" << n << " d=" << t.d << " u=" << t.u
+        << " eps=" << t.eps << " victim=" << victim << " crash=" << crash
+        << " down=" << down << "\n"
+        << check.explanation << "\n"
+        << history.to_string(*model);
+
+    // Cross-check the pending-aware search against brute force where the
+    // enumeration is tractable.
+    if (history.size() + pending.size() <= 8) {
+      EXPECT_EQ(brute_force_linearizable_with_pending(*model, history, pending),
+                check.ok);
+    }
+
+    // Every one of these runs crashed and recovered someone: the monitor
+    // must attribute it.
+    const AssumptionReport report = audit_assumptions(trace);
+    EXPECT_TRUE(report.violated(Assumption::kRecovering)) << report.summary();
   }
 }
 
