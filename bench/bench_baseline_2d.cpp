@@ -17,7 +17,8 @@ void report(const char* label, const SweepResult& result, bool& ok) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Baseline: centralized (<= 2d) vs Algorithm 1 (<= d+eps)");
   const SystemTiming t = default_timing();
   const OpMix mix{2, 2, 2};
@@ -40,10 +41,10 @@ int main() {
 
   for (const Case& c : cases) {
     const SweepResult central =
-        run_centralized_sweep(c.model, c.workload, default_sweep(0));
-    const SweepResult tob = run_tob_sweep(c.model, c.workload, default_sweep(0));
+        run_centralized_sweep(c.model, c.workload, default_sweep(0, jobs));
+    const SweepResult tob = run_tob_sweep(c.model, c.workload, default_sweep(0, jobs));
     const SweepResult replica =
-        run_replica_sweep(c.model, c.workload, default_sweep(0));
+        run_replica_sweep(c.model, c.workload, default_sweep(0, jobs));
     report((std::string(c.name) + " centralized:").c_str(), central, ok);
     report((std::string(c.name) + " TOB:").c_str(), tob, ok);
     report((std::string(c.name) + " Algorithm 1:").c_str(), replica, ok);

@@ -19,7 +19,7 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Churn sweep: recoverable Algorithm 1 under crash/recover schedules");
   const SystemTiming t = default_timing();
 
@@ -29,6 +29,7 @@ int main() {
   options.x = 0;
   options.seeds = 6;
   options.ops_per_client = 10;
+  options.jobs = parse_jobs(argc, argv);
   // A short attempt budget keeps the effective delivery bound d_eff (and
   // with it every wait and the run length) modest; churn cells inject no
   // message loss, so retransmissions only bridge downtime.

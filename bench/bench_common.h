@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/format.h"
 #include "harness/bounds_table.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 
 namespace linbound::bench {
 
@@ -25,13 +27,30 @@ inline SystemTiming default_timing() {
   return t;
 }
 
-inline SweepOptions default_sweep(Tick x) {
+inline SweepOptions default_sweep(Tick x, int jobs = 1) {
   SweepOptions o;
   o.n = kN;
   o.timing = default_timing();
   o.x = x;
   o.seeds = 6;
+  o.jobs = jobs;
   return o;
+}
+
+/// Parse `--jobs N` / `--jobs=N` from argv (0 = one worker per hardware
+/// thread; default 1 = serial).  Sweep results are byte-identical at any
+/// value -- the flag trades wall-clock only.
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      return resolve_jobs(std::atoi(argv[i + 1]));
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      return resolve_jobs(std::atoi(arg.c_str() + 7));
+    }
+  }
+  return 1;
 }
 
 inline void print_header(const std::string& title) {

@@ -18,7 +18,7 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Fault sweep: stock vs hardened Algorithm 1 under injected faults");
   const SystemTiming t = default_timing();
 
@@ -27,6 +27,7 @@ int main() {
   options.timing = t;
   options.x = 0;
   options.seeds = 6;
+  options.jobs = parse_jobs(argc, argv);
 
   const OpMix mix{2, 2, 2};
   auto model = std::make_shared<RegisterModel>();

@@ -1,0 +1,230 @@
+// Performance benchmark for the hot-path refactor: linearizability-checker
+// throughput (COW snapshots + cached fingerprints + bucketed memo),
+// simulator event throughput (typed events + payload arena), and sweep
+// wall-clock serial vs --jobs N (harness/parallel.h).
+//
+// Prints a human-readable report, writes machine-readable numbers to
+// BENCH_perf.json, and exits 0 only when
+//   * the parallel fault and churn sweeps are byte-identical to their
+//     serial runs (tables and aggregate counters compared verbatim), and
+//   * with jobs >= 4 available, at least one sweep speeds up >= 2x.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "checker/lin_checker.h"
+#include "core/driver.h"
+#include "core/workload.h"
+#include "harness/churn_sweep.h"
+#include "harness/fault_sweep.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+/// One deterministic Algorithm 1 run under a uniform-random admissible
+/// schedule; the shared workload shape for the checker and simulator
+/// measurements.
+struct RunProduct {
+  History history;
+  std::size_t events = 0;
+};
+
+RunProduct one_run(const std::shared_ptr<const ObjectModel>& model,
+                   std::uint64_t seed) {
+  const SystemTiming t = default_timing();
+  Rng rng(seed);
+
+  SystemOptions sys;
+  sys.n = kN;
+  sys.timing = t;
+  sys.x = 0;
+  sys.delays = std::make_shared<UniformDelayPolicy>(t, rng.next_u64());
+
+  ReplicaSystem system(model, sys);
+
+  const OpMix mix{2, 2, 2};
+  std::vector<ClientScript> scripts;
+  for (int pid = 0; pid < kN; ++pid) {
+    Rng client_rng = rng.split(static_cast<std::uint64_t>(pid));
+    scripts.push_back(ClientScript{static_cast<ProcessId>(pid),
+                                   random_register_ops(client_rng, 10, mix),
+                                   /*start_time=*/1000,
+                                   /*think_time=*/0});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+
+  RunProduct out;
+  out.history = system.run_to_completion();
+  out.events = system.sim().events_processed();
+  return out;
+}
+
+struct SweepTimings {
+  double serial_s = 0;
+  double parallel_s = 0;
+  bool identical = false;
+  double speedup() const {
+    return parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("bench_perf: checker throughput, simulator throughput, sweep scaling");
+
+  int jobs = parse_jobs(argc, argv);
+  if (jobs <= 1) jobs = resolve_jobs(0);  // default: one per hardware thread
+  std::printf("parallel sweeps use --jobs %d (hardware threads: %u)\n\n", jobs,
+              std::thread::hardware_concurrency());
+
+  auto model = std::make_shared<RegisterModel>();
+
+  // --- 1. Linearizability-checker throughput -------------------------------
+  constexpr int kHistories = 8;
+  constexpr int kCheckRounds = 40;
+  std::vector<History> histories;
+  std::size_t ops_per_round = 0;
+  for (int s = 0; s < kHistories; ++s) {
+    RunProduct run = one_run(model, 0xbe9cful + static_cast<std::uint64_t>(s));
+    ops_per_round += run.history.ops().size();
+    histories.push_back(std::move(run.history));
+  }
+  std::size_t states = 0;
+  std::size_t memo_hits = 0;
+  bool all_ok = true;
+  const double check_t0 = now_seconds();
+  for (int round = 0; round < kCheckRounds; ++round) {
+    for (const History& h : histories) {
+      const CheckResult check = check_linearizable(*model, h);
+      all_ok = all_ok && check.ok;
+      states += check.states_explored;
+      memo_hits += check.memo_hits;
+    }
+  }
+  const double check_s = now_seconds() - check_t0;
+  const double checks_per_s = kCheckRounds * kHistories / check_s;
+  const double ops_per_s = kCheckRounds * static_cast<double>(ops_per_round) / check_s;
+  const double memo_rate =
+      states + memo_hits ? static_cast<double>(memo_hits) / (states + memo_hits) : 0.0;
+  std::printf("checker:   %7.0f histories/s, %8.0f ops/s, memo hit rate %.2f%%%s\n",
+              checks_per_s, ops_per_s, 100.0 * memo_rate,
+              all_ok ? "" : "  [UNEXPECTED VIOLATION]");
+
+  // --- 2. Simulator event throughput ---------------------------------------
+  constexpr int kSimRuns = 24;
+  std::size_t events = 0;
+  const double sim_t0 = now_seconds();
+  for (int s = 0; s < kSimRuns; ++s) {
+    events += one_run(model, 0x51e4ull + static_cast<std::uint64_t>(s)).events;
+  }
+  const double sim_s = now_seconds() - sim_t0;
+  const double events_per_s = static_cast<double>(events) / sim_s;
+  std::printf("simulator: %7.0f events/s over %d runs (%zu events)\n",
+              events_per_s, kSimRuns, events);
+
+  // --- 3. Sweep wall-clock: serial vs parallel -----------------------------
+  const OpMix mix{2, 2, 2};
+  WorkloadFactory workload = [&](ProcessId, Rng& rng) {
+    return random_register_ops(rng, 10, mix);
+  };
+
+  FaultSweepOptions fault_opts;
+  fault_opts.n = kN;
+  fault_opts.timing = default_timing();
+  fault_opts.x = 0;
+  fault_opts.seeds = 6;
+
+  SweepTimings fault;
+  {
+    fault_opts.jobs = 1;
+    const double t0 = now_seconds();
+    const FaultSweepResult serial = run_fault_sweep(model, workload, fault_opts);
+    fault.serial_s = now_seconds() - t0;
+    fault_opts.jobs = jobs;
+    const double t1 = now_seconds();
+    const FaultSweepResult parallel = run_fault_sweep(model, workload, fault_opts);
+    fault.parallel_s = now_seconds() - t1;
+    fault.identical = serial.table() == parallel.table() &&
+                      serial.ok() == parallel.ok() &&
+                      serial.cells.size() == parallel.cells.size();
+  }
+  std::printf("fault sweep: serial %.3fs, --jobs %d %.3fs  (%.2fx, %s)\n",
+              fault.serial_s, jobs, fault.parallel_s, fault.speedup(),
+              fault.identical ? "byte-identical" : "RESULTS DIVERGED");
+
+  ChurnSweepOptions churn_opts;
+  churn_opts.n = kN;
+  churn_opts.timing = default_timing();
+  churn_opts.x = 0;
+  churn_opts.seeds = 6;
+  churn_opts.ops_per_client = 10;
+  churn_opts.recoverable.link.max_attempts = 3;
+
+  SweepTimings churn;
+  {
+    churn_opts.jobs = 1;
+    const double t0 = now_seconds();
+    const ChurnSweepResult serial = run_churn_sweep(model, workload, churn_opts);
+    churn.serial_s = now_seconds() - t0;
+    churn_opts.jobs = jobs;
+    const double t1 = now_seconds();
+    const ChurnSweepResult parallel = run_churn_sweep(model, workload, churn_opts);
+    churn.parallel_s = now_seconds() - t1;
+    churn.identical = serial.table() == parallel.table() &&
+                      serial.ok() == parallel.ok() &&
+                      serial.cells.size() == parallel.cells.size();
+  }
+  std::printf("churn sweep: serial %.3fs, --jobs %d %.3fs  (%.2fx, %s)\n",
+              churn.serial_s, jobs, churn.parallel_s, churn.speedup(),
+              churn.identical ? "byte-identical" : "RESULTS DIVERGED");
+
+  // --- Verdict + JSON ------------------------------------------------------
+  const double best_speedup = std::max(fault.speedup(), churn.speedup());
+  const bool speedup_applicable =
+      jobs >= 4 && std::thread::hardware_concurrency() >= 4;
+  const bool speedup_ok = !speedup_applicable || best_speedup >= 2.0;
+  const bool ok =
+      all_ok && fault.identical && churn.identical && speedup_ok;
+
+  if (speedup_applicable) {
+    std::printf("\nbest sweep speedup at --jobs %d: %.2fx (need >= 2.0x)\n",
+                jobs, best_speedup);
+  } else {
+    std::printf("\nfewer than 4 workers available; speedup gate waived\n");
+  }
+
+  std::ofstream json("BENCH_perf.json");
+  json << "{\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"checker_histories_per_s\": " << checks_per_s << ",\n"
+       << "  \"checker_ops_per_s\": " << ops_per_s << ",\n"
+       << "  \"checker_memo_hit_rate\": " << memo_rate << ",\n"
+       << "  \"simulator_events_per_s\": " << events_per_s << ",\n"
+       << "  \"fault_sweep_serial_s\": " << fault.serial_s << ",\n"
+       << "  \"fault_sweep_parallel_s\": " << fault.parallel_s << ",\n"
+       << "  \"fault_sweep_speedup\": " << fault.speedup() << ",\n"
+       << "  \"fault_sweep_identical\": " << (fault.identical ? "true" : "false") << ",\n"
+       << "  \"churn_sweep_serial_s\": " << churn.serial_s << ",\n"
+       << "  \"churn_sweep_parallel_s\": " << churn.parallel_s << ",\n"
+       << "  \"churn_sweep_speedup\": " << churn.speedup() << ",\n"
+       << "  \"churn_sweep_identical\": " << (churn.identical ? "true" : "false") << ",\n"
+       << "  \"best_sweep_speedup\": " << best_speedup << "\n"
+       << "}\n";
+  std::printf("wrote BENCH_perf.json\n");
+
+  return finish(ok);
+}

@@ -17,7 +17,8 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Table I: register (read / write / read-modify-write)");
 
   auto model = std::make_shared<RegisterModel>();
@@ -30,9 +31,9 @@ int main() {
   // X = 0 favors mutators (write = eps); X = d+eps-u favors accessors
   // (read = u).  The paper quotes each operation at its favorable X.
   const Tick x_max = t.d + t.eps - t.u;
-  const SweepResult at_x0 = run_replica_sweep(model, workload, default_sweep(0));
+  const SweepResult at_x0 = run_replica_sweep(model, workload, default_sweep(0, jobs));
   const SweepResult at_xmax =
-      run_replica_sweep(model, workload, default_sweep(x_max));
+      run_replica_sweep(model, workload, default_sweep(x_max, jobs));
   print_sweep_status("sweep @ X=0:", at_x0);
   print_sweep_status("sweep @ X=d+eps-u:", at_xmax);
   std::printf("\n");

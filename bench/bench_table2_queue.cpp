@@ -10,7 +10,8 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Table II: queue (enqueue / dequeue / peek)");
 
   auto model = std::make_shared<QueueModel>();
@@ -20,7 +21,7 @@ int main() {
     return random_queue_ops(rng, 12, mix);
   };
 
-  const SweepResult result = run_replica_sweep(model, workload, default_sweep(0));
+  const SweepResult result = run_replica_sweep(model, workload, default_sweep(0, jobs));
   print_sweep_status("sweep @ X=0:", result);
   std::printf("\n");
 

@@ -19,7 +19,8 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("Table IV: rooted tree (insert / delete / search / depth)");
 
   auto model = std::make_shared<TreeModel>();
@@ -29,7 +30,7 @@ int main() {
     return random_tree_ops(rng, 12, mix);
   };
 
-  const SweepResult result = run_replica_sweep(model, workload, default_sweep(0));
+  const SweepResult result = run_replica_sweep(model, workload, default_sweep(0, jobs));
   print_sweep_status("sweep @ X=0:", result);
   std::printf("\n");
 

@@ -9,7 +9,8 @@
 using namespace linbound;
 using namespace linbound::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = parse_jobs(argc, argv);
   print_header("X trade-off: |MOP| = eps+X vs |AOP| = d+eps-X (queue)");
   const SystemTiming t = default_timing();
   auto model = std::make_shared<QueueModel>();
@@ -23,7 +24,7 @@ int main() {
                    "sum (= d+2eps)", "all linearizable"});
   const Tick x_max = t.d + t.eps - t.u;  // 900
   for (Tick x = 0; x <= x_max; x += 150) {
-    SweepOptions o = default_sweep(x);
+    SweepOptions o = default_sweep(x, jobs);
     o.seeds = 3;
     const SweepResult result = run_replica_sweep(model, workload, o);
     const Tick mop = result.latency.worst_for_class(OpClass::kPureMutator);

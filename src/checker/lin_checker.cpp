@@ -3,10 +3,23 @@
 #include <optional>
 #include <stdexcept>
 #include <sstream>
-#include <unordered_set>
+#include <unordered_map>
+
+#include "spec/snapshot.h"
 
 namespace linbound {
 namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= x & 0xff;
+    h *= kFnvPrime;
+    x >>= 8;
+  }
+}
 
 class Search {
  public:
@@ -25,15 +38,59 @@ class Search {
 
   CheckResult run() {
     CheckResult result;
-    auto state = model_.initial_state();
+    if (history_.size() == 0 && pending_.empty()) {
+      // Nothing to order: the empty witness linearizes the empty history.
+      result.ok = true;
+      result.early_exit = true;
+      return result;
+    }
+    if (pending_.empty() && active_processes() <= 1) {
+      // One process means program order is the only permutation consistent
+      // with both real-time order and per-process order; replay it.
+      return replay_single_process();
+    }
+    Snapshot state = Snapshot::initial(model_);
     std::vector<std::size_t> chosen;
     chosen.reserve(history_.size());
-    result.ok = dfs(*state, chosen, result);
+    result.ok = dfs(state, chosen, result);
     if (result.ok) result.witness = std::move(chosen);
     return result;
   }
 
  private:
+  int active_processes() const {
+    int active = 0;
+    for (int p = 0; p < history_.process_count(); ++p) {
+      if (!history_.by_process(p).empty()) ++active;
+    }
+    return active;
+  }
+
+  CheckResult replay_single_process() {
+    CheckResult result;
+    result.early_exit = true;
+    auto state = model_.initial_state();
+    for (int p = 0; p < history_.process_count(); ++p) {
+      for (std::size_t idx : history_.by_process(p)) {
+        const HistoryOp& op = history_.ops()[idx];
+        ++result.states_explored;
+        const std::string before = state->to_string();
+        const Value determined = state->apply(op.op);
+        if (!(determined == op.ret)) {
+          std::ostringstream os;
+          os << "p" << op.proc << " " << model_.describe(op.op)
+             << " returned " << op.ret.to_string() << " but state " << before
+             << " determines " << determined.to_string();
+          result.explanation = os.str();
+          return result;
+        }
+        result.witness.push_back(idx);
+      }
+    }
+    result.ok = true;
+    return result;
+  }
+
   /// Frontier op index of process p, or nullopt if exhausted.
   std::optional<std::size_t> front(int p) const {
     const auto& idxs = history_.by_process(p);
@@ -62,23 +119,50 @@ class Search {
     return eligible_at(history_.ops()[cand].invoke, cand);
   }
 
-  std::string memo_key(const ObjectState& state) const {
-    std::string key;
-    for (std::size_t f : frontier_) {
-      key += std::to_string(f);
-      key += ',';
+  std::uint64_t memo_hash(const Snapshot& state) const {
+    std::uint64_t h = kFnvOffset;
+    for (std::size_t f : frontier_) fnv_u64(h, f);
+    std::uint64_t bits = 0;
+    for (std::size_t q = 0; q < pending_taken_.size(); ++q) {
+      bits = (bits << 1) | (pending_taken_[q] ? 1u : 0u);
+      if ((q & 63u) == 63u) {
+        fnv_u64(h, bits);
+        bits = 0;
+      }
     }
-    for (bool taken : pending_taken_) key += taken ? 'x' : '.';
-    key += '|';
-    key += state.to_string();
-    return key;
+    if (!pending_taken_.empty()) fnv_u64(h, bits);
+    fnv_u64(h, state.fingerprint());
+    return h;
   }
 
-  bool dfs(ObjectState& state, std::vector<std::size_t>& chosen,
+  /// Exact identity of a dead search node; the Snapshot retains the state
+  /// by refcount so equality can be re-confirmed on every bucket hit.
+  struct DeadEntry {
+    std::vector<std::size_t> frontier;
+    std::vector<bool> pending_taken;
+    Snapshot state;
+  };
+
+  bool known_dead(std::uint64_t h, const Snapshot& state) const {
+    auto it = dead_.find(h);
+    if (it == dead_.end()) return false;
+    for (const DeadEntry& e : it->second) {
+      if (e.frontier == frontier_ && e.pending_taken == pending_taken_ &&
+          e.state.equals(state)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool dfs(Snapshot& state, std::vector<std::size_t>& chosen,
            CheckResult& result) {
     if (chosen.size() == history_.size()) return true;
-    const std::string key = memo_key(state);
-    if (dead_.count(key)) return false;
+    const std::uint64_t h = memo_hash(state);
+    if (known_dead(h, state)) {
+      ++result.memo_hits;
+      return false;
+    }
     if (++result.states_explored > limits_.max_states) {
       throw std::runtime_error(
           "consistency check exceeded the state budget (" +
@@ -92,10 +176,10 @@ class Search {
     for (std::size_t q = 0; q < pending_.size(); ++q) {
       if (pending_taken_[q]) continue;
       if (!eligible_at(pending_[q].invoke, std::nullopt)) continue;
-      auto next = state.clone();
-      next->apply(pending_[q].op);
+      Snapshot next = state;
+      next.apply(pending_[q].op);
       pending_taken_[q] = true;
-      if (dfs(*next, chosen, result)) return true;
+      if (dfs(next, chosen, result)) return true;
       pending_taken_[q] = false;
     }
 
@@ -105,8 +189,12 @@ class Search {
       if (!f || !eligible(*f)) continue;
       any_candidate = true;
       const HistoryOp& op = history_.ops()[*f];
-      auto next = state.clone();
-      const Value determined = next->apply(op.op);
+      // Pure accessors cannot change the state, so the branch can share it
+      // outright instead of triggering the copy-on-write clone.
+      Snapshot next = state;
+      const bool accessor = model_.classify(op.op) == OpClass::kPureAccessor;
+      const Value determined =
+          accessor ? next.apply_accessor(op.op) : next.apply(op.op);
       if (!(determined == op.ret)) {
         if (result.explanation.empty()) {
           std::ostringstream os;
@@ -119,7 +207,7 @@ class Search {
       }
       ++frontier_[static_cast<std::size_t>(p)];
       chosen.push_back(*f);
-      if (dfs(*next, chosen, result)) return true;
+      if (dfs(next, chosen, result)) return true;
       chosen.pop_back();
       --frontier_[static_cast<std::size_t>(p)];
     }
@@ -129,7 +217,7 @@ class Search {
           "no operation is eligible to linearize next (real-time order "
           "cycle)";
     }
-    dead_.insert(key);
+    dead_[h].push_back(DeadEntry{frontier_, pending_taken_, state});
     return false;
   }
 
@@ -140,7 +228,7 @@ class Search {
   std::vector<std::size_t> frontier_;
   std::vector<PendingInvocation> pending_;
   std::vector<bool> pending_taken_;
-  std::unordered_set<std::string> dead_;
+  std::unordered_map<std::uint64_t, std::vector<DeadEntry>> dead_;
 };
 
 }  // namespace

@@ -14,8 +14,13 @@
 // frontier operation that is not real-time-preceded by another remaining
 // operation may be linearized next, provided its recorded return equals the
 // return determined by the current object state.  Dead (frontier, state)
-// pairs are memoized by exact key (no hashing shortcuts), so verdicts are
-// sound in both directions.
+// pairs are memoized in hash buckets keyed by (frontier, pending set, state
+// fingerprint), with every bucket hit confirmed by exact frontier equality
+// and ObjectState::equals -- hashing is a shortcut, never the verdict, so
+// results stay sound in both directions.  Object states are copy-on-write
+// snapshots (spec/snapshot.h): branching is a refcount bump, pure accessors
+// apply without cloning at all, and memoized dead states are retained by
+// handle instead of by string.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +39,18 @@ struct CheckResult {
   /// On failure: a human-readable account of the first dead end.
   std::string explanation;
   std::size_t states_explored = 0;
+  /// Search nodes answered by the dead-state memo table instead of
+  /// re-exploration.
+  std::size_t memo_hits = 0;
+  /// True when the trivial-history fast path (empty or single-process
+  /// history: no interleaving to search) decided the verdict.
+  bool early_exit = false;
+
+  /// Fraction of node visits the memo table absorbed.
+  double memo_hit_rate() const {
+    const std::size_t visits = states_explored + memo_hits;
+    return visits ? static_cast<double>(memo_hits) / visits : 0.0;
+  }
 
   explicit operator bool() const { return ok; }
 };

@@ -7,7 +7,7 @@
 namespace linbound {
 
 void LundeliusLynchProcess::on_start() {
-  broadcast(std::make_shared<ClockReadingPayload>(local_time()));
+  broadcast(make_msg<ClockReadingPayload>(local_time()));
 }
 
 void LundeliusLynchProcess::on_message(ProcessId /*from*/,

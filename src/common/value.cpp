@@ -1,6 +1,9 @@
 #include "common/value.h"
 
+#include <limits>
 #include <sstream>
+
+#include "common/intern.h"
 
 namespace linbound {
 namespace {
@@ -16,56 +19,100 @@ void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
   }
 }
 
-void hash_into(std::uint64_t& h, const Value& v);
-
-struct Hasher {
-  std::uint64_t& h;
-  void operator()(const Value::Unit&) const {
+void hash_into(std::uint64_t& h, const Value& v) {
+  if (v.is_unit()) {
     char tag = 'u';
     fnv_bytes(h, &tag, 1);
-  }
-  void operator()(std::int64_t x) const {
+  } else if (v.is_int()) {
     char tag = 'i';
     fnv_bytes(h, &tag, 1);
+    std::int64_t x = v.as_int();
     fnv_bytes(h, &x, sizeof(x));
-  }
-  void operator()(bool b) const {
+  } else if (v.is_bool()) {
     char tag = 'b';
     fnv_bytes(h, &tag, 1);
+    bool b = v.as_bool();
     fnv_bytes(h, &b, sizeof(b));
-  }
-  void operator()(const std::string& s) const {
+  } else if (v.is_str()) {
     char tag = 's';
     fnv_bytes(h, &tag, 1);
+    const std::string& s = v.as_str();
     std::uint64_t n = s.size();
     fnv_bytes(h, &n, sizeof(n));
     fnv_bytes(h, s.data(), s.size());
-  }
-  void operator()(const Value::List& xs) const {
+  } else {
     char tag = 'l';
     fnv_bytes(h, &tag, 1);
+    const Value::List& xs = v.as_list();
     std::uint64_t n = xs.size();
     fnv_bytes(h, &n, sizeof(n));
     for (const Value& x : xs) hash_into(h, x);
   }
-};
+}
 
-void hash_into(std::uint64_t& h, const Value& v) {
-  // Re-dispatch through the public interface to avoid friending.
-  if (v.is_unit()) {
-    Hasher{h}(Value::Unit{});
-  } else if (v.is_int()) {
-    Hasher{h}(v.as_int());
-  } else if (v.is_bool()) {
-    Hasher{h}(v.as_bool());
-  } else if (v.is_str()) {
-    Hasher{h}(v.as_str());
-  } else {
-    Hasher{h}(v.as_list());
-  }
+// The empty list is common enough (queue/stack drains, unit results of
+// composite ops) to deserve one shared allocation for the whole process.
+const std::shared_ptr<const Value::List>& empty_list() {
+  static const auto* shared =
+      new std::shared_ptr<const Value::List>(std::make_shared<Value::List>());
+  return *shared;
 }
 
 }  // namespace
+
+Value::Value(std::string s) : v_(intern_string(std::move(s))) {}
+
+Value::Value(const char* s) : v_(intern_string(std::string(s))) {}
+
+Value::Value(List xs)
+    : v_(xs.empty() ? empty_list()
+                    : std::make_shared<const List>(std::move(xs))) {}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return false;
+  switch (a.v_.index()) {
+    case 0:
+      return true;
+    case 1:
+      return std::get<std::int64_t>(a.v_) == std::get<std::int64_t>(b.v_);
+    case 2:
+      return std::get<bool>(a.v_) == std::get<bool>(b.v_);
+    case 3: {
+      // Interning makes equal strings pointer-identical; keep the deep
+      // compare as a safety net rather than a representation invariant.
+      const auto& pa = std::get<Value::StrPtr>(a.v_);
+      const auto& pb = std::get<Value::StrPtr>(b.v_);
+      return pa == pb || *pa == *pb;
+    }
+    default: {
+      const auto& pa = std::get<Value::ListPtr>(a.v_);
+      const auto& pb = std::get<Value::ListPtr>(b.v_);
+      return pa == pb || *pa == *pb;
+    }
+  }
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  switch (a.v_.index()) {
+    case 0:
+      return false;
+    case 1:
+      return std::get<std::int64_t>(a.v_) < std::get<std::int64_t>(b.v_);
+    case 2:
+      return std::get<bool>(a.v_) < std::get<bool>(b.v_);
+    case 3: {
+      const auto& pa = std::get<Value::StrPtr>(a.v_);
+      const auto& pb = std::get<Value::StrPtr>(b.v_);
+      return pa != pb && *pa < *pb;
+    }
+    default: {
+      const auto& pa = std::get<Value::ListPtr>(a.v_);
+      const auto& pb = std::get<Value::ListPtr>(b.v_);
+      return pa != pb && *pa < *pb;
+    }
+  }
+}
 
 std::string Value::to_string() const {
   if (is_unit()) return "()";
@@ -141,20 +188,31 @@ std::optional<Value> parse_value(std::string_view s, std::size_t& pos) {
       ++pos;
     }
   }
-  // Integer: optional sign, then digits.
+  // Integer: optional sign, then digits.  Accumulate the magnitude in an
+  // unsigned so INT64_MIN parses and anything out of range is rejected
+  // instead of overflowing (signed overflow is UB).
   {
     std::size_t end = pos;
     if (end < s.size() && (s[end] == '-' || s[end] == '+')) ++end;
     const std::size_t digits_start = end;
     while (end < s.size() && s[end] >= '0' && s[end] <= '9') ++end;
     if (end == digits_start) return std::nullopt;
-    std::int64_t x = 0;
-    bool negative = s[pos] == '-';
+    const bool negative = s[pos] == '-';
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) +
+        (negative ? 1u : 0u);
+    std::uint64_t mag = 0;
     for (std::size_t i = digits_start; i < end; ++i) {
-      x = x * 10 + (s[i] - '0');
+      const std::uint64_t digit = static_cast<std::uint64_t>(s[i] - '0');
+      if (mag > (limit - digit) / 10) return std::nullopt;  // out of range
+      mag = mag * 10 + digit;
     }
     pos = end;
-    return Value(negative ? -x : x);
+    if (negative) {
+      // -mag computed in unsigned space handles INT64_MIN without UB.
+      return Value(static_cast<std::int64_t>(~mag + 1));
+    }
+    return Value(static_cast<std::int64_t>(mag));
   }
 }
 

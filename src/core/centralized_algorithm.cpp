@@ -15,7 +15,7 @@ void CentralizedProcess::on_invoke(std::int64_t token, const Operation& op) {
     respond(token, obj_->apply(op));
     return;
   }
-  send(coordinator_, std::make_shared<CentralRequestPayload>(op, token));
+  send(coordinator_, make_msg<CentralRequestPayload>(op, token));
   if (give_up_after_ > 0) {
     give_up_timers_[token] =
         set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
@@ -26,7 +26,7 @@ void CentralizedProcess::on_message(ProcessId from, const MessagePayload& payloa
   if (const auto* req = dynamic_cast<const CentralRequestPayload*>(&payload)) {
     // Linearization point: application at the coordinator, in arrival order.
     Value ret = obj_->apply(req->op);
-    send(from, std::make_shared<CentralReplyPayload>(req->token, std::move(ret)));
+    send(from, make_msg<CentralReplyPayload>(req->token, std::move(ret)));
     return;
   }
   if (const auto* reply = dynamic_cast<const CentralReplyPayload*>(&payload)) {

@@ -43,11 +43,10 @@ HardenedReplicaProcess::HardenedReplicaProcess(
   if (!params_.valid()) throw std::invalid_argument("invalid HardenedParams");
 }
 
-void HardenedReplicaProcess::send(ProcessId to,
-                                  std::shared_ptr<const MessagePayload> payload) {
+void HardenedReplicaProcess::send(ProcessId to, const MessagePayload* payload) {
   const std::int64_t seq = next_link_seq_++;
-  auto frame =
-      std::make_shared<LinkDataPayload>(seq, std::move(payload), my_incarnation_);
+  const LinkDataPayload* frame =
+      make_msg<LinkDataPayload>(seq, payload, my_incarnation_);
   PendingSend pending;
   pending.frame = frame;
   pending.to = to;
@@ -73,8 +72,7 @@ void HardenedReplicaProcess::on_message(ProcessId from,
   if (const auto* frame = dynamic_cast<const LinkDataPayload*>(&payload)) {
     // Always (re-)ack: the sender may be retransmitting because our
     // previous ack was lost.  Acks go out raw -- acking an ack would loop.
-    raw_send(from,
-             std::make_shared<LinkAckPayload>(frame->seq, frame->incarnation));
+    raw_send(from, make_msg<LinkAckPayload>(frame->seq, frame->incarnation));
     if (!delivered_[from][frame->incarnation].insert(frame->seq).second) {
       ++duplicates_suppressed_;
       return;

@@ -78,10 +78,9 @@ struct HardenedParams {
 struct LinkDataPayload final : MessagePayload {
   std::int64_t seq = 0;
   Tick incarnation = 0;
-  std::shared_ptr<const MessagePayload> inner;
-  LinkDataPayload(std::int64_t s, std::shared_ptr<const MessagePayload> in,
-                  Tick inc = 0)
-      : seq(s), incarnation(inc), inner(std::move(in)) {}
+  const MessagePayload* inner = nullptr;  ///< arena-owned, outlives the frame
+  LinkDataPayload(std::int64_t s, const MessagePayload* in, Tick inc = 0)
+      : seq(s), incarnation(inc), inner(in) {}
 };
 
 /// Receiver's acknowledgment of LinkDataPayload <seq, incarnation>.  The
@@ -111,7 +110,7 @@ class HardenedReplicaProcess : public ReplicaProcess {
 
  protected:
   /// Every algorithm-level send goes out framed and retransmitted.
-  void send(ProcessId to, std::shared_ptr<const MessagePayload> payload) override;
+  void send(ProcessId to, const MessagePayload* payload) override;
 
   /// Hand a deduplicated application payload up the stack.  The default
   /// runs Algorithm 1's handler; the recoverable subclass interposes here
@@ -135,7 +134,7 @@ class HardenedReplicaProcess : public ReplicaProcess {
   static constexpr int kLinkRetransmit = 100;
 
   struct PendingSend {
-    std::shared_ptr<const LinkDataPayload> frame;
+    const LinkDataPayload* frame = nullptr;  ///< arena-owned
     ProcessId to = kNoProcess;
     int attempts = 1;
     Tick next_timeout = 0;

@@ -40,15 +40,15 @@ void RecoverableReplicaProcess::on_recover() {
 }
 
 void RecoverableReplicaProcess::send_join_request() {
-  broadcast(std::make_shared<JoinRequestPayload>(link_incarnation()));
+  broadcast(make_msg<JoinRequestPayload>(link_incarnation()));
   join_timer_ =
       set_timer(params_.join_retry_for(timing()), TimerTag{kJoinRetry, {}});
 }
 
-std::shared_ptr<JoinSnapshotPayload> RecoverableReplicaProcess::make_snapshot(
+const JoinSnapshotPayload* RecoverableReplicaProcess::make_snapshot(
     Tick incarnation) const {
-  auto snap = std::make_shared<JoinSnapshotPayload>();
-  snap->state = local_copy().clone();
+  JoinSnapshotPayload* snap = make_msg<JoinSnapshotPayload>();
+  snap->state = local_copy().snapshot();
   snap->frontier = executed_frontier();
   snap->executed = executed_count();
   for (const PendingOp& entry : to_execute().entries()) {
@@ -74,7 +74,7 @@ void RecoverableReplicaProcess::feed_if_new(const Timestamp& ts,
 }
 
 void RecoverableReplicaProcess::adopt_snapshot(const JoinSnapshotPayload& snap) {
-  adopt_state(snap.state->clone(), snap.frontier, snap.executed);
+  adopt_state(snap.state.to_state(), snap.frontier, snap.executed);
   snapshot_frontier_ = snap.frontier;
   joined_ = true;
   if (join_timer_ >= 0) {

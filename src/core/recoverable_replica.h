@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/hardened_replica.h"
+#include "spec/snapshot.h"
 
 namespace linbound {
 
@@ -80,13 +81,14 @@ struct JoinRequestPayload final : MessagePayload {
   explicit JoinRequestPayload(Tick inc) : incarnation(inc) {}
 };
 
-/// Joined peer -> rejoiner: state transfer.  `state` is a clone of the
-/// peer's object copy, `frontier`/`executed` the prefix it reflects,
+/// Joined peer -> rejoiner: state transfer.  `state` is a copy-on-write
+/// snapshot of the peer's object copy (spec/snapshot.h; taking it costs one
+/// clone, sharing it costs nothing), `frontier`/`executed` the prefix it reflects,
 /// `pending` the peer's queued-but-unexecuted entries (timestamp order).
 /// `incarnation` echoes the request, so a stale snapshot from a previous
 /// join attempt cannot be adopted by a later life.
 struct JoinSnapshotPayload final : MessagePayload {
-  std::shared_ptr<const ObjectState> state;
+  Snapshot state;
   std::optional<Timestamp> frontier;
   std::size_t executed = 0;
   std::vector<std::pair<Timestamp, Operation>> pending;
@@ -125,7 +127,7 @@ class RecoverableReplicaProcess final : public HardenedReplicaProcess {
 
   void send_join_request();
   void adopt_snapshot(const JoinSnapshotPayload& snap);
-  std::shared_ptr<JoinSnapshotPayload> make_snapshot(Tick incarnation) const;
+  const JoinSnapshotPayload* make_snapshot(Tick incarnation) const;
   /// Queue a rejoin-sourced op unless the snapshot frontier covers it or it
   /// was already queued from the other source.
   void feed_if_new(const Timestamp& ts, const Operation& op);

@@ -88,7 +88,7 @@ void ReplicaProcess::on_invoke(std::int64_t token, const Operation& op) {
 
   // MOP and OOP share the broadcast / To_Execute path.
   const Timestamp ts{next_stamp_clock(), id()};
-  broadcast(std::make_shared<OpBroadcastPayload>(op, ts));
+  broadcast(make_msg<OpBroadcastPayload>(op, ts));
   awaiting_self_add_[ts] =
       StoredOwnOp{op, token, /*respond_on_execute=*/cls == OpClass::kOther};
   set_timer(delays_.self_add, TimerTag{kSelfAdd, ts});

@@ -18,7 +18,7 @@ void SyncedReplicaProcess::on_start() {
 
 void SyncedReplicaProcess::begin_round() {
   ++current_round_;
-  broadcast(std::make_shared<SyncReadingPayload>(current_round_, algo_clock()));
+  broadcast(make_msg<SyncReadingPayload>(current_round_, algo_clock()));
   set_timer(resync_period_, TimerTag{kSyncTimer, {}});
 }
 

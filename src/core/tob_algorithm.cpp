@@ -14,7 +14,7 @@ void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
     sequence(op, token, id());
     return;
   }
-  send(sequencer_, std::make_shared<TobSubmitPayload>(op, token, id()));
+  send(sequencer_, make_msg<TobSubmitPayload>(op, token, id()));
   if (give_up_after_ > 0) {
     give_up_timers_[token] =
         set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
@@ -42,7 +42,7 @@ void TobProcess::on_message(ProcessId /*from*/, const MessagePayload& payload) {
 void TobProcess::sequence(const Operation& op, std::int64_t token,
                           ProcessId origin) {
   const std::int64_t seq = next_seq_to_assign_++;
-  broadcast(std::make_shared<TobDeliverPayload>(op, token, origin, seq));
+  broadcast(make_msg<TobDeliverPayload>(op, token, origin, seq));
   // The sequencer delivers to itself immediately (it defines the order).
   buffer_[seq] = Buffered{op, token, origin};
   apply_in_order();

@@ -7,6 +7,7 @@
 #include "core/driver.h"
 #include "fault/assumption_monitor.h"
 #include "fault/fault_policy.h"
+#include "harness/parallel.h"
 
 namespace linbound {
 namespace {
@@ -277,22 +278,34 @@ ChurnSweepResult run_churn_sweep(const std::shared_ptr<const ObjectModel>& model
             0x2545f4914f6cdd1dULL * static_cast<std::uint64_t>(seed));
   };
 
+  // One task per (cell, seed); execution order is irrelevant because each
+  // run builds everything it touches from seed-derived values.  Aggregation
+  // below walks the results in the serial sweep's (cell, seed) order.
+  const ParallelSweepExecutor executor(options.jobs);
+  const std::size_t seeds = static_cast<std::size_t>(options.seeds);
+  const std::vector<OneChurnRun> grid_runs = executor.map<OneChurnRun>(
+      cells.size() * seeds, [&](std::size_t i) {
+        const std::size_t ci = i / seeds;
+        const int seed = static_cast<int>(i % seeds);
+        ChurnConfig churn;
+        churn.mean_uptime = cells[ci].mean_uptime;
+        churn.mean_downtime = cells[ci].mean_downtime;
+        churn.start = churn_start;
+        churn.horizon = churn_horizon;
+        const std::uint64_t churn_seed = options.base_seed +
+                                         0xbf58476d1ce4e5b9ULL * (ci + 1) +
+                                         static_cast<std::uint64_t>(seed);
+        return run_one(model, workload, options, churn, churn_seed,
+                       delay_seed(seed), workload_seed(seed),
+                       result.recovery_bound);
+      });
+
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     ChurnCellResult cell_result;
     cell_result.cell = cells[ci];
     for (int seed = 0; seed < options.seeds; ++seed) {
-      ChurnConfig churn;
-      churn.mean_uptime = cells[ci].mean_uptime;
-      churn.mean_downtime = cells[ci].mean_downtime;
-      churn.start = churn_start;
-      churn.horizon = churn_horizon;
-      const std::uint64_t churn_seed = options.base_seed +
-                                       0xbf58476d1ce4e5b9ULL * (ci + 1) +
-                                       static_cast<std::uint64_t>(seed);
-
-      const OneChurnRun run =
-          run_one(model, workload, options, churn, churn_seed,
-                  delay_seed(seed), workload_seed(seed), result.recovery_bound);
+      const OneChurnRun& run =
+          grid_runs[ci * seeds + static_cast<std::size_t>(seed)];
 
       ++cell_result.runs;
       if (run.linearizable) ++cell_result.linearizable;

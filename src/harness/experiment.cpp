@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/driver.h"
+#include "harness/parallel.h"
 
 namespace linbound {
 namespace {
@@ -92,16 +93,29 @@ void append_run_diagnostics(std::ostringstream& os, const Trace& trace,
   }
 }
 
-template <typename SystemT>
-SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
-                           const WorkloadFactory& workload,
-                           const SweepOptions& options) {
-  SweepResult result;
+/// One cell of the adversary grid, fully determined by its indices: the
+/// run_id fixes the Rng, which fixes policies, offsets and workloads.
+struct SweepTask {
+  PolicyKind policy;
+  OffsetKind offset;
+  int rep;
+  std::uint64_t run_id;
+};
+
+/// What one run contributes to the aggregate; merged in canonical task
+/// order so serial and parallel sweeps produce byte-identical results.
+struct SweepRunOutcome {
+  bool ok = false;
+  std::string failure;
+  LatencyReport latency;
+};
+
+std::vector<SweepTask> make_sweep_tasks(const SweepOptions& options) {
   const PolicyKind policies[] = {PolicyKind::kAllMax, PolicyKind::kAllMin,
                                  PolicyKind::kUniform, PolicyKind::kExtremal};
   const OffsetKind offsets[] = {OffsetKind::kZero, OffsetKind::kAlternating,
                                 OffsetKind::kRandom};
-
+  std::vector<SweepTask> tasks;
   std::uint64_t run_id = 0;
   for (PolicyKind policy : policies) {
     for (OffsetKind offset : offsets) {
@@ -110,46 +124,81 @@ SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
           offset == OffsetKind::kRandom;
       const int reps = randomized ? options.seeds : 1;
       for (int rep = 0; rep < reps; ++rep, ++run_id) {
-        Rng rng(options.base_seed + run_id * 0x9e3779b97f4a7c15ull);
-
-        SystemOptions sys;
-        sys.n = options.n;
-        sys.timing = options.timing;
-        sys.x = options.x;
-        sys.delays = make_policy(policy, options.timing, rng.next_u64());
-        sys.clock_offsets = make_offsets(offset, options.n, options.timing, rng);
-
-        SystemT system(model, sys);
-
-        std::vector<ClientScript> scripts;
-        scripts.reserve(static_cast<std::size_t>(options.n));
-        for (int pid = 0; pid < options.n; ++pid) {
-          Rng client_rng = rng.split(static_cast<std::uint64_t>(pid));
-          scripts.push_back(ClientScript{static_cast<ProcessId>(pid),
-                                         workload(pid, client_rng),
-                                         /*start_time=*/1000,
-                                         options.think_time});
-        }
-        WorkloadDriver driver(system.sim(), std::move(scripts));
-        driver.arm();
-
-        History history = system.run_to_completion();
-        const CheckResult check = check_linearizable(*model, history);
-
-        ++result.runs;
-        if (check.ok) {
-          ++result.linearizable_runs;
-        } else {
-          std::ostringstream os;
-          os << "policy=" << policy_name(policy) << " offsets=" << offset_name(offset)
-             << " rep=" << rep << ": " << check.explanation;
-          append_run_diagnostics(os, system.sim().trace(), sys.delays.get(),
-                                 options.timing);
-          result.failures.push_back(os.str());
-        }
-        result.latency.absorb(*model, system.sim().trace());
+        tasks.push_back(SweepTask{policy, offset, rep, run_id});
       }
     }
+  }
+  return tasks;
+}
+
+template <typename SystemT>
+SweepRunOutcome run_sweep_task(const std::shared_ptr<const ObjectModel>& model,
+                               const WorkloadFactory& workload,
+                               const SweepOptions& options,
+                               const SweepTask& task) {
+  Rng rng(options.base_seed + task.run_id * 0x9e3779b97f4a7c15ull);
+
+  SystemOptions sys;
+  sys.n = options.n;
+  sys.timing = options.timing;
+  sys.x = options.x;
+  sys.delays = make_policy(task.policy, options.timing, rng.next_u64());
+  sys.clock_offsets = make_offsets(task.offset, options.n, options.timing, rng);
+
+  SystemT system(model, sys);
+
+  std::vector<ClientScript> scripts;
+  scripts.reserve(static_cast<std::size_t>(options.n));
+  for (int pid = 0; pid < options.n; ++pid) {
+    Rng client_rng = rng.split(static_cast<std::uint64_t>(pid));
+    scripts.push_back(ClientScript{static_cast<ProcessId>(pid),
+                                   workload(pid, client_rng),
+                                   /*start_time=*/1000,
+                                   options.think_time});
+  }
+  WorkloadDriver driver(system.sim(), std::move(scripts));
+  driver.arm();
+
+  History history = system.run_to_completion();
+  const CheckResult check = check_linearizable(*model, history);
+
+  SweepRunOutcome outcome;
+  outcome.ok = check.ok;
+  if (!check.ok) {
+    std::ostringstream os;
+    os << "policy=" << policy_name(task.policy)
+       << " offsets=" << offset_name(task.offset) << " rep=" << task.rep
+       << ": " << check.explanation;
+    append_run_diagnostics(os, system.sim().trace(), sys.delays.get(),
+                           options.timing);
+    outcome.failure = os.str();
+  }
+  outcome.latency.absorb(*model, system.sim().trace());
+  return outcome;
+}
+
+template <typename SystemT>
+SweepResult run_sweep_impl(const std::shared_ptr<const ObjectModel>& model,
+                           const WorkloadFactory& workload,
+                           const SweepOptions& options) {
+  const std::vector<SweepTask> tasks = make_sweep_tasks(options);
+  const ParallelSweepExecutor executor(options.jobs);
+  std::vector<SweepRunOutcome> outcomes = executor.map<SweepRunOutcome>(
+      tasks.size(), [&](std::size_t i) {
+        return run_sweep_task<SystemT>(model, workload, options, tasks[i]);
+      });
+
+  // Aggregate serially in canonical task order: byte-identical at any
+  // jobs count.
+  SweepResult result;
+  for (SweepRunOutcome& outcome : outcomes) {
+    ++result.runs;
+    if (outcome.ok) {
+      ++result.linearizable_runs;
+    } else {
+      result.failures.push_back(std::move(outcome.failure));
+    }
+    result.latency.merge(outcome.latency);
   }
   return result;
 }

@@ -26,6 +26,10 @@ struct SweepOptions {
   int seeds = 8;           ///< randomized runs per (policy, offsets) cell
   Tick think_time = 0;     ///< client think time between operations
   std::uint64_t base_seed = 0x11bb0042d00dULL;
+  /// Worker threads for the grid (harness/parallel.h); every cell is an
+  /// independent deterministic simulation and results are aggregated in
+  /// canonical order, so any value produces byte-identical output.
+  int jobs = 1;
 };
 
 struct SweepResult {

@@ -6,6 +6,7 @@
 #include "core/driver.h"
 #include "fault/assumption_monitor.h"
 #include "fault/fault_policy.h"
+#include "harness/parallel.h"
 
 namespace linbound {
 namespace {
@@ -182,31 +183,56 @@ FaultSweepResult run_fault_sweep(const std::shared_ptr<const ObjectModel>& model
                                 0x2545f4914f6cdd1dULL * static_cast<std::uint64_t>(seed));
   };
 
-  for (int seed = 0; seed < options.seeds; ++seed) {
-    const OneRun clean = run_one(model, workload, options, FaultConfig{},
-                                 /*hardened=*/false, delay_seed(seed),
-                                 workload_seed(seed));
+  const ParallelSweepExecutor executor(options.jobs);
+
+  // Phase 1: the clean baseline, one run per seed.
+  const std::vector<OneRun> clean_runs = executor.map<OneRun>(
+      static_cast<std::size_t>(options.seeds), [&](std::size_t seed) {
+        return run_one(model, workload, options, FaultConfig{},
+                       /*hardened=*/false, delay_seed(static_cast<int>(seed)),
+                       workload_seed(static_cast<int>(seed)));
+      });
+  for (const OneRun& clean : clean_runs) {
     result.clean_latency.merge(clean.latency);
   }
+
+  // Phase 2: the grid.  One task per (cell, seed) computes the hardened
+  // and stock variants together; aggregation below walks the results in
+  // the same (cell, seed) order as the serial sweep.
+  struct PairRuns {
+    OneRun hardened;
+    OneRun stock;
+  };
+  const std::size_t seeds = static_cast<std::size_t>(options.seeds);
+  const std::vector<PairRuns> grid_runs = executor.map<PairRuns>(
+      cells.size() * seeds, [&](std::size_t i) {
+        const std::size_t ci = i / seeds;
+        const int seed = static_cast<int>(i % seeds);
+        FaultConfig faults;
+        faults.drop_p = cells[ci].drop_p;
+        faults.dup_p = cells[ci].dup_p;
+        faults.spike_p = cells[ci].spike_p;
+        faults.spike_max = cells[ci].spike_max;
+        faults.seed = options.base_seed + 0xbf58476d1ce4e5b9ULL * (ci + 1) +
+                      static_cast<std::uint64_t>(seed);
+        PairRuns pair;
+        pair.hardened = run_one(model, workload, options, faults,
+                                /*hardened=*/true, delay_seed(seed),
+                                workload_seed(seed));
+        pair.stock = run_one(model, workload, options, faults,
+                             /*hardened=*/false, delay_seed(seed),
+                             workload_seed(seed));
+        return pair;
+      });
 
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     FaultCellResult cell_result;
     cell_result.cell = cells[ci];
     for (int seed = 0; seed < options.seeds; ++seed) {
-      FaultConfig faults;
-      faults.drop_p = cells[ci].drop_p;
-      faults.dup_p = cells[ci].dup_p;
-      faults.spike_p = cells[ci].spike_p;
-      faults.spike_max = cells[ci].spike_max;
-      faults.seed = options.base_seed + 0xbf58476d1ce4e5b9ULL * (ci + 1) +
-                    static_cast<std::uint64_t>(seed);
-
-      const OneRun hardened =
-          run_one(model, workload, options, faults, /*hardened=*/true,
-                  delay_seed(seed), workload_seed(seed));
-      const OneRun stock =
-          run_one(model, workload, options, faults, /*hardened=*/false,
-                  delay_seed(seed), workload_seed(seed));
+      const PairRuns& pair =
+          grid_runs[ci * seeds + static_cast<std::size_t>(seed)];
+      const OneRun& hardened = pair.hardened;
+      const OneRun& stock = pair.stock;
 
       ++cell_result.runs;
       cell_result.retransmissions += hardened.retransmissions;

@@ -7,8 +7,19 @@ namespace linbound {
 
 std::uint64_t EventQueue::push(Tick time, EventPriority priority,
                                std::function<void()> fire) {
+  SimEvent ev;
+  ev.kind = EventKind::kCall;
+  ev.fn = std::move(fire);
+  return push_typed(time, priority, std::move(ev));
+}
+
+std::uint64_t EventQueue::push_typed(Tick time, EventPriority priority,
+                                     SimEvent ev) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(SimEvent{time, static_cast<int>(priority), seq, std::move(fire)});
+  ev.time = time;
+  ev.priority = static_cast<int>(priority);
+  ev.seq = seq;
+  heap_.push_back(std::move(ev));
   sift_up(heap_.size() - 1);
   return seq;
 }

@@ -7,6 +7,13 @@
 // respond time" relies on it), then in insertion order.  This makes every
 // run a pure function of its configuration (DESIGN.md "determinism
 // everywhere").
+//
+// Events are tagged PODs, not closures: the hot-path kinds (deliveries,
+// timers, invocations, crash/recover) carry their operands inline so
+// pushing them allocates nothing.  Only generic kCall events (scenario
+// glue via Simulator::call_at) still carry a std::function.  The ordering
+// key and sequence assignment are unchanged from the closure-based queue,
+// so traces are byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +21,11 @@
 #include <vector>
 
 #include "common/time.h"
+#include "common/timestamp.h"
 
 namespace linbound {
+
+struct MessagePayload;
 
 /// Priority classes for simultaneous events (lower fires first).
 enum class EventPriority : int {
@@ -23,20 +33,46 @@ enum class EventPriority : int {
   kNormal = 1,    ///< timers, invocations, scenario callbacks
 };
 
+/// What an event does when it fires; the Simulator switches on this.
+enum class EventKind : std::uint8_t {
+  kCall,     ///< run `fn` (scenario callbacks)
+  kInvoke,   ///< dispatch invocation `a` (= token) on `pid`
+  kDeliver,  ///< deliver message record `a` carrying `payload` (arena-owned)
+  kTimer,    ///< fire timer `a` (= id) on `pid` with (tag_kind, tag_ts, epoch)
+  kCrash,    ///< crash `pid`
+  kRecover,  ///< recover `pid`
+};
+
 struct SimEvent {
   Tick time = 0;
   int priority = 1;
   std::uint64_t seq = 0;  ///< global insertion order; the final tie-break
-  std::function<void()> fire;
+  EventKind kind = EventKind::kCall;
+
+  ProcessId pid = kNoProcess;               ///< invoke/timer/crash/recover
+  std::int64_t a = 0;                       ///< token / timer id / record index
+  int epoch = 0;                            ///< timer: arming incarnation
+  int tag_kind = 0;                         ///< timer: TimerTag::kind
+  Timestamp tag_ts{};                       ///< timer: TimerTag::ts
+  const MessagePayload* payload = nullptr;  ///< deliver
+  std::function<void()> fn;                 ///< kCall only
+
+  /// Run a kCall event's callback (test/scenario convenience).
+  void fire() { fn(); }
 };
 
 class EventQueue {
  public:
-  /// Insert an event at `time`.  Returns the sequence number assigned.
+  /// Insert a generic callback event at `time`.  Returns the sequence
+  /// number assigned.
   std::uint64_t push(Tick time, std::function<void()> fire) {
     return push(time, EventPriority::kNormal, std::move(fire));
   }
   std::uint64_t push(Tick time, EventPriority priority, std::function<void()> fire);
+
+  /// Insert a typed event; `ev.time`, `ev.priority` and `ev.seq` are
+  /// assigned here (callers fill only the kind and its operands).
+  std::uint64_t push_typed(Tick time, EventPriority priority, SimEvent ev);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }

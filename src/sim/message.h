@@ -7,14 +7,16 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "common/time.h"
 
 namespace linbound {
 
 /// Algorithms define their own payload types derived from this base; the
-/// simulator moves payloads around without inspecting them.
+/// simulator moves payloads around without inspecting them.  Payloads are
+/// constructed in the run's PayloadArena (Process::make_msg) and handed
+/// around as `const MessagePayload*`: immutable, arena-owned, alive for the
+/// whole run.
 struct MessagePayload {
   virtual ~MessagePayload() = default;
 };
@@ -25,7 +27,7 @@ struct Message {
   MessageId id = 0;  ///< unique per run; also identifies sender/recipient
   ProcessId from = kNoProcess;
   ProcessId to = kNoProcess;
-  std::shared_ptr<const MessagePayload> payload;
+  const MessagePayload* payload = nullptr;
 };
 
 }  // namespace linbound

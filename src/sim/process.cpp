@@ -10,15 +10,17 @@ int Process::process_count() const { return sim_->process_count(); }
 
 const SystemTiming& Process::timing() const { return sim_->config().timing; }
 
-void Process::send(ProcessId to, std::shared_ptr<const MessagePayload> payload) {
-  sim_->send_from(id_, to, std::move(payload));
+PayloadArena& Process::arena() const { return sim_->arena(); }
+
+void Process::send(ProcessId to, const MessagePayload* payload) {
+  sim_->send_from(id_, to, payload);
 }
 
-void Process::raw_send(ProcessId to, std::shared_ptr<const MessagePayload> payload) {
-  sim_->send_from(id_, to, std::move(payload));
+void Process::raw_send(ProcessId to, const MessagePayload* payload) {
+  sim_->send_from(id_, to, payload);
 }
 
-void Process::broadcast(const std::shared_ptr<const MessagePayload>& payload) {
+void Process::broadcast(const MessagePayload* payload) {
   const int n = sim_->process_count();
   for (ProcessId to = 0; to < n; ++to) {
     if (to != id_) send(to, payload);

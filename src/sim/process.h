@@ -8,11 +8,12 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <utility>
 
 #include "common/time.h"
 #include "common/timestamp.h"
 #include "common/value.h"
+#include "sim/arena.h"
 #include "sim/message.h"
 #include "spec/operation.h"
 
@@ -71,18 +72,29 @@ class Process {
   int process_count() const;
   const SystemTiming& timing() const;
 
+  /// Construct a payload in the run's arena (sim/arena.h): the allocation
+  /// is a pointer bump, the arena owns the object for the whole run, and
+  /// the returned pointer can be sent any number of times.  Payloads are
+  /// logically immutable once sent; the mutable pointer only allows filling
+  /// fields between construction and the first send.
+  template <typename T, typename... Args>
+  T* make_msg(Args&&... args) const {
+    return arena().make<T>(std::forward<Args>(args)...);
+  }
+
   /// Send `payload` to process `to` (delivery per the run's delay policy).
-  /// Virtual so a link layer (core/hardened_replica.h) can interpose --
-  /// e.g. wrap payloads with sequence numbers and arm retransmissions;
-  /// raw_send below always hits the wire directly.
-  virtual void send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
+  /// The payload must live in the run's arena (make_msg).  Virtual so a
+  /// link layer (core/hardened_replica.h) can interpose -- e.g. wrap
+  /// payloads with sequence numbers and arm retransmissions; raw_send
+  /// below always hits the wire directly.
+  virtual void send(ProcessId to, const MessagePayload* payload);
 
   /// Send to every process except this one ("send to all others"); goes
   /// through the virtual send() per recipient.
-  void broadcast(const std::shared_ptr<const MessagePayload>& payload);
+  void broadcast(const MessagePayload* payload);
 
   /// The unadorned message-layer send (bypasses any send() override).
-  void raw_send(ProcessId to, std::shared_ptr<const MessagePayload> payload);
+  void raw_send(ProcessId to, const MessagePayload* payload);
 
   /// Arm a timer that fires after `local_delta` units of local-clock time
   /// (== real time, clocks have no drift).  Returns its id.
@@ -102,6 +114,8 @@ class Process {
 
  private:
   friend class Simulator;
+  PayloadArena& arena() const;
+
   Simulator* sim_ = nullptr;
   ProcessId id_ = kNoProcess;
 };

@@ -42,7 +42,11 @@ std::int64_t Simulator::invoke_at(Tick t, ProcessId pid, Operation op) {
   // event queue still fires it in time order).
   rec.invoke_time = kNoTime;
   trace_.ops.push_back(std::move(rec));
-  queue_.push(t, [this, pid, token] { dispatch_invoke(pid, token); });
+  SimEvent ev;
+  ev.kind = EventKind::kInvoke;
+  ev.pid = pid;
+  ev.a = token;
+  queue_.push_typed(t, EventPriority::kNormal, std::move(ev));
   return token;
 }
 
@@ -59,16 +63,21 @@ void Simulator::crash_at(Tick t, ProcessId pid) {
                                 " is in the past (now = " +
                                 std::to_string(now_) + ")");
   }
-  queue_.push(t, [this, pid] {
-    if (crashed_[static_cast<std::size_t>(pid)]) {
-      throw std::logic_error("crash_at: process " + std::to_string(pid) +
-                             " is already crashed (double crash at tick " +
-                             std::to_string(now_) + ")");
-    }
-    crashed_[static_cast<std::size_t>(pid)] = true;
-    trace_.faults.push_back(
-        {FaultKind::kProcessCrashed, now_, pid, kNoProcess, -1, 0});
-  });
+  SimEvent ev;
+  ev.kind = EventKind::kCrash;
+  ev.pid = pid;
+  queue_.push_typed(t, EventPriority::kNormal, std::move(ev));
+}
+
+void Simulator::do_crash(ProcessId pid) {
+  if (crashed_[static_cast<std::size_t>(pid)]) {
+    throw std::logic_error("crash_at: process " + std::to_string(pid) +
+                           " is already crashed (double crash at tick " +
+                           std::to_string(now_) + ")");
+  }
+  crashed_[static_cast<std::size_t>(pid)] = true;
+  trace_.faults.push_back(
+      {FaultKind::kProcessCrashed, now_, pid, kNoProcess, -1, 0});
 }
 
 void Simulator::recover_at(Tick t, ProcessId pid) {
@@ -80,22 +89,27 @@ void Simulator::recover_at(Tick t, ProcessId pid) {
                                 " is in the past (now = " +
                                 std::to_string(now_) + ")");
   }
-  queue_.push(t, [this, pid] {
-    const auto idx = static_cast<std::size_t>(pid);
-    if (!crashed_[idx]) {
-      throw std::logic_error("recover_at: process " + std::to_string(pid) +
-                             " is not crashed at tick " + std::to_string(now_));
-    }
-    crashed_[idx] = false;
-    ++crash_epoch_[idx];
-    // The cut operation (if any) stays pending in the trace; the restarted
-    // process has a free invocation slot again.
-    op_pending_[idx] = false;
-    trace_.faults.push_back({FaultKind::kProcessRecovered, now_, pid,
-                             kNoProcess, -1, crash_epoch_[idx]});
-    procs_[idx]->on_recover();
-    if (recovery_hook_) recovery_hook_(pid, now_);
-  });
+  SimEvent ev;
+  ev.kind = EventKind::kRecover;
+  ev.pid = pid;
+  queue_.push_typed(t, EventPriority::kNormal, std::move(ev));
+}
+
+void Simulator::do_recover(ProcessId pid) {
+  const auto idx = static_cast<std::size_t>(pid);
+  if (!crashed_[idx]) {
+    throw std::logic_error("recover_at: process " + std::to_string(pid) +
+                           " is not crashed at tick " + std::to_string(now_));
+  }
+  crashed_[idx] = false;
+  ++crash_epoch_[idx];
+  // The cut operation (if any) stays pending in the trace; the restarted
+  // process has a free invocation slot again.
+  op_pending_[idx] = false;
+  trace_.faults.push_back({FaultKind::kProcessRecovered, now_, pid,
+                           kNoProcess, -1, crash_epoch_[idx]});
+  procs_[idx]->on_recover();
+  if (recovery_hook_) recovery_hook_(pid, now_);
 }
 
 void Simulator::start() {
@@ -115,10 +129,33 @@ bool Simulator::run_until(Tick t) {
     now_ = ev.time;
     if (now_ > trace_.end_time) trace_.end_time = now_;
     ++events_processed_;
-    ev.fire();
+    dispatch(ev);
   }
   if (t != kTimeInfinity && t > trace_.end_time) trace_.end_time = t;
   return queue_.empty();
+}
+
+void Simulator::dispatch(SimEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kCall:
+      ev.fn();
+      return;
+    case EventKind::kInvoke:
+      dispatch_invoke(ev.pid, ev.a);
+      return;
+    case EventKind::kDeliver:
+      deliver(static_cast<std::size_t>(ev.a), ev.payload);
+      return;
+    case EventKind::kTimer:
+      fire_timer(ev.pid, ev.a, TimerTag{ev.tag_kind, ev.tag_ts}, ev.epoch);
+      return;
+    case EventKind::kCrash:
+      do_crash(ev.pid);
+      return;
+    case EventKind::kRecover:
+      do_recover(ev.pid);
+      return;
+  }
 }
 
 Tick Simulator::local_time_of(ProcessId pid) const {
@@ -160,7 +197,7 @@ Tick Simulator::stall_deferral(ProcessId pid) {
 }
 
 void Simulator::send_from(ProcessId from, ProcessId to,
-                          std::shared_ptr<const MessagePayload> payload) {
+                          const MessagePayload* payload) {
   if (to < 0 || to >= process_count()) {
     throw std::out_of_range("send to unknown process");
   }
@@ -203,10 +240,11 @@ void Simulator::send_from(ProcessId from, ProcessId to,
     // arriving at the very tick a hold-back or respond timer fires is
     // processed first, matching the model's step ordering that Lemma C.9's
     // boundary case relies on.
-    queue_.push(recv_time, EventPriority::kDelivery,
-                [this, record_index, payload] {
-      deliver(record_index, std::move(payload));
-    });
+    SimEvent ev;
+    ev.kind = EventKind::kDeliver;
+    ev.a = static_cast<std::int64_t>(record_index);
+    ev.payload = payload;
+    queue_.push_typed(recv_time, EventPriority::kDelivery, std::move(ev));
   }
 
   // Duplicates: each extra copy is an independent transmission with its own
@@ -226,15 +264,17 @@ void Simulator::send_from(ProcessId from, ProcessId to,
     trace_.faults.push_back(
         {FaultKind::kMessageDuplicated, now_, from, to, dup_id,
          static_cast<Tick>(id)});
-    queue_.push(now_ + dup_delay, EventPriority::kDelivery,
-                [this, dup_index, payload] {
-      deliver(dup_index, std::move(payload));
-    });
+    SimEvent dup_ev;
+    dup_ev.kind = EventKind::kDeliver;
+    dup_ev.a = static_cast<std::int64_t>(dup_index);
+    dup_ev.payload = payload;
+    queue_.push_typed(now_ + dup_delay, EventPriority::kDelivery,
+                      std::move(dup_ev));
   }
 }
 
 void Simulator::deliver(std::size_t record_index,
-                        std::shared_ptr<const MessagePayload> payload) {
+                        const MessagePayload* payload) {
   const MessageRecord& rec = trace_.messages[record_index];
   const ProcessId to = rec.to;
   if (crashed(to)) return;  // receipt lost; the record stays undelivered
@@ -244,10 +284,11 @@ void Simulator::deliver(std::size_t record_index,
     // window ends.  Nothing is lost, everything is late.
     trace_.faults.push_back(
         {FaultKind::kProcessStalled, now_, to, rec.from, rec.id, until - now_});
-    queue_.push(until, EventPriority::kDelivery,
-                [this, record_index, payload = std::move(payload)] {
-      deliver(record_index, std::move(payload));
-    });
+    SimEvent ev;
+    ev.kind = EventKind::kDeliver;
+    ev.a = static_cast<std::int64_t>(record_index);
+    ev.payload = payload;
+    queue_.push_typed(until, EventPriority::kDelivery, std::move(ev));
     return;
   }
   trace_.messages[record_index].recv_time = now_;
@@ -263,8 +304,15 @@ TimerId Simulator::set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag) 
   // belongs to the arming incarnation: if the process crashes and recovers
   // before it fires, it is dead (volatile state does not survive a crash).
   const int epoch = crash_epoch_[static_cast<std::size_t>(pid)];
-  queue_.push(now_ + real_delta_for_local(pid, local_delta),
-              [this, pid, id, tag, epoch] { fire_timer(pid, id, tag, epoch); });
+  SimEvent ev;
+  ev.kind = EventKind::kTimer;
+  ev.pid = pid;
+  ev.a = id;
+  ev.epoch = epoch;
+  ev.tag_kind = tag.kind;
+  ev.tag_ts = tag.ts;
+  queue_.push_typed(now_ + real_delta_for_local(pid, local_delta),
+                    EventPriority::kNormal, std::move(ev));
   return id;
 }
 
@@ -282,8 +330,14 @@ void Simulator::fire_timer(ProcessId pid, TimerId id, TimerTag tag, int epoch) {
       // (it cannot fire early, and a stalled process takes no steps).
       trace_.faults.push_back(
           {FaultKind::kProcessStalled, now_, pid, kNoProcess, -1, until - now_});
-      queue_.push(until,
-                  [this, pid, id, tag, epoch] { fire_timer(pid, id, tag, epoch); });
+      SimEvent ev;
+      ev.kind = EventKind::kTimer;
+      ev.pid = pid;
+      ev.a = id;
+      ev.epoch = epoch;
+      ev.tag_kind = tag.kind;
+      ev.tag_ts = tag.ts;
+      queue_.push_typed(until, EventPriority::kNormal, std::move(ev));
       return;
     }
   }
@@ -330,7 +384,11 @@ void Simulator::dispatch_invoke(ProcessId pid, std::int64_t token) {
     // A stalled process accepts the invocation only once it wakes up.
     trace_.faults.push_back(
         {FaultKind::kProcessStalled, now_, pid, kNoProcess, -1, until - now_});
-    queue_.push(until, [this, pid, token] { dispatch_invoke(pid, token); });
+    SimEvent ev;
+    ev.kind = EventKind::kInvoke;
+    ev.pid = pid;
+    ev.a = token;
+    queue_.push_typed(until, EventPriority::kNormal, std::move(ev));
     return;
   }
   if (op_pending_.at(static_cast<std::size_t>(pid))) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "sim/arena.h"
 #include "sim/delay_policy.h"
 #include "sim/event_queue.h"
 #include "sim/fault_injection.h"
@@ -129,6 +130,11 @@ class Simulator {
 
   const Trace& trace() const { return trace_; }
 
+  /// The run-scoped payload allocator (see sim/arena.h).  Processes reach
+  /// it through Process::make_msg; benches may inspect its counters.
+  PayloadArena& arena() { return arena_; }
+  const PayloadArena& arena() const { return arena_; }
+
  private:
   friend class Process;
 
@@ -137,21 +143,26 @@ class Simulator {
   /// Smallest real-time delta after which pid's local clock has advanced by
   /// at least `local_delta` (identity when the process has no drift).
   Tick real_delta_for_local(ProcessId pid, Tick local_delta) const;
-  void send_from(ProcessId from, ProcessId to,
-                 std::shared_ptr<const MessagePayload> payload);
+  void send_from(ProcessId from, ProcessId to, const MessagePayload* payload);
   TimerId set_timer_for(ProcessId pid, Tick local_delta, TimerTag tag);
   void cancel_timer_for(ProcessId pid, TimerId id);
   void respond_for(ProcessId pid, std::int64_t token, Value ret);
   void give_up_for(ProcessId pid, std::int64_t token);
 
   void dispatch_invoke(ProcessId pid, std::int64_t token);
-  void deliver(std::size_t record_index,
-               std::shared_ptr<const MessagePayload> payload);
+  void deliver(std::size_t record_index, const MessagePayload* payload);
   void fire_timer(ProcessId pid, TimerId id, TimerTag tag, int epoch);
+  void do_crash(ProcessId pid);
+  void do_recover(ProcessId pid);
+  /// Fire one popped event by kind.
+  void dispatch(SimEvent& ev);
   /// End of pid's stall window when one covers `now_`; kNoTime otherwise.
   Tick stall_deferral(ProcessId pid);
 
   SimConfig config_;
+  /// Declared before the queue and processes: events and link layers hold
+  /// raw payload pointers, so the arena must be destroyed last.
+  PayloadArena arena_;
   EventQueue queue_;
   std::vector<std::unique_ptr<Process>> procs_;
   Trace trace_;

@@ -18,7 +18,7 @@ class CompositeState final : public ObjectState {
     return std::make_unique<CompositeState>(std::move(copies));
   }
 
-  Value apply(const Operation& op) override {
+  Value do_apply(const Operation& op) override {
     const int k = CompositeModel::slot_of(op);
     if (k < 0 || static_cast<std::size_t>(k) >= slots_.size()) {
       return Value::unit();
@@ -35,7 +35,7 @@ class CompositeState final : public ObjectState {
     return true;
   }
 
-  std::uint64_t fingerprint() const override {
+  std::uint64_t compute_fingerprint() const override {
     std::uint64_t h = 1469598103934665603ull;
     for (const auto& s : slots_) {
       h ^= s->fingerprint();

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/value.h"
@@ -26,29 +27,60 @@
 
 namespace linbound {
 
-/// A value of the data type.  Concrete states live in src/types.
+class Snapshot;
+
+/// A value of the data type.  Concrete states live in src/types and
+/// implement the protected do_apply / compute_fingerprint hooks; the public
+/// apply / fingerprint wrappers maintain a fingerprint cache so repeated
+/// memo-table lookups never re-hash an unchanged state.
 class ObjectState {
  public:
   virtual ~ObjectState() = default;
 
-  /// Deep copy.
+  /// Deep copy.  The fingerprint cache travels with the copy.
   virtual std::unique_ptr<ObjectState> clone() const = 0;
 
   /// Apply an operation: mutate the state and return the *determined*
   /// return value (Definition A.1).  Total: every operation has a defined
   /// return in every state (e.g. dequeue on an empty queue returns the
-  /// "empty" unit value).
-  virtual Value apply(const Operation& op) = 0;
+  /// "empty" unit value).  Invalidates the cached fingerprint.
+  Value apply(const Operation& op) {
+    fp_.reset();
+    return do_apply(op);
+  }
 
   /// Structural equality of abstract states (used as sequence equivalence;
   /// see the header comment).
   virtual bool equals(const ObjectState& other) const = 0;
 
   /// Stable 64-bit fingerprint consistent with equals(); used by the
-  /// linearizability checker's memo table.
-  virtual std::uint64_t fingerprint() const = 0;
+  /// linearizability checker's memo table.  Computed on first use and
+  /// cached until the next apply().
+  std::uint64_t fingerprint() const {
+    if (!fp_) fp_ = compute_fingerprint();
+    return *fp_;
+  }
 
   virtual std::string to_string() const = 0;
+
+  /// A cheap copy-on-write handle over a copy of this state (spec/
+  /// snapshot.h); subsequent mutations of *this never show through it.
+  Snapshot snapshot() const;
+
+ protected:
+  ObjectState() = default;
+  ObjectState(const ObjectState&) = default;
+  ObjectState& operator=(const ObjectState&) = default;
+
+  /// The type-specific transition function.  Called only through apply().
+  virtual Value do_apply(const Operation& op) = 0;
+
+  /// The type-specific fingerprint.  Called only through fingerprint(),
+  /// at most once per mutation.
+  virtual std::uint64_t compute_fingerprint() const = 0;
+
+ private:
+  mutable std::optional<std::uint64_t> fp_;
 };
 
 /// Stateless description of a data type.

@@ -13,7 +13,7 @@ class ArrayState final : public ObjectState {
     return std::make_unique<ArrayState>(xs_);
   }
 
-  Value apply(const Operation& op) override {
+  Value do_apply(const Operation& op) override {
     switch (op.code) {
       case ArrayModel::kUpdateNext: {
         const std::int64_t i = op.args.at(0).as_int();  // 1-based
@@ -43,7 +43,7 @@ class ArrayState final : public ObjectState {
     return o != nullptr && o->xs_ == xs_;
   }
 
-  std::uint64_t fingerprint() const override {
+  std::uint64_t compute_fingerprint() const override {
     Value::List xs;
     xs.reserve(xs_.size());
     for (std::int64_t x : xs_) xs.emplace_back(x);

@@ -11,7 +11,7 @@ class RegisterState final : public ObjectState {
     return std::make_unique<RegisterState>(value_);
   }
 
-  Value apply(const Operation& op) override {
+  Value do_apply(const Operation& op) override {
     switch (op.code) {
       case RegisterModel::kRead:
         return Value(value_);
@@ -42,7 +42,7 @@ class RegisterState final : public ObjectState {
     return o != nullptr && o->value_ == value_;
   }
 
-  std::uint64_t fingerprint() const override { return Value(value_).hash(); }
+  std::uint64_t compute_fingerprint() const override { return Value(value_).hash(); }
 
   std::string to_string() const override { return "reg(" + std::to_string(value_) + ")"; }
 

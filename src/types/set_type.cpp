@@ -14,7 +14,7 @@ class SetState final : public ObjectState {
     return std::make_unique<SetState>(items_);
   }
 
-  Value apply(const Operation& op) override {
+  Value do_apply(const Operation& op) override {
     switch (op.code) {
       case SetModel::kInsert:
         items_.insert(op.args.at(0).as_int());
@@ -36,7 +36,7 @@ class SetState final : public ObjectState {
     return o != nullptr && o->items_ == items_;
   }
 
-  std::uint64_t fingerprint() const override {
+  std::uint64_t compute_fingerprint() const override {
     Value::List xs;
     xs.reserve(items_.size());
     for (std::int64_t x : items_) xs.emplace_back(x);

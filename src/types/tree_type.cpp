@@ -20,7 +20,7 @@ class TreeState final : public ObjectState {
     return std::make_unique<TreeState>(parent_);
   }
 
-  Value apply(const Operation& op) override {
+  Value do_apply(const Operation& op) override {
     switch (op.code) {
       case TreeModel::kInsert: {
         const std::int64_t key = op.args.at(0).as_int();
@@ -58,7 +58,7 @@ class TreeState final : public ObjectState {
     return o != nullptr && o->parent_ == parent_;
   }
 
-  std::uint64_t fingerprint() const override {
+  std::uint64_t compute_fingerprint() const override {
     Value::List xs;
     xs.reserve(parent_.size());
     for (const auto& [k, p] : parent_) {

@@ -32,7 +32,7 @@ class ProbeProcess final : public Process {
     respond(token, Value(static_cast<std::int64_t>(id())));
   }
   void do_send(ProcessId to, int v) {
-    send(to, std::make_shared<PingPayload>(v));
+    send(to, make_msg<PingPayload>(v));
   }
 
   struct Received {

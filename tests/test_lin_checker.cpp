@@ -137,5 +137,64 @@ TEST(LinChecker, MemoizationHandlesWideHistories) {
   EXPECT_LT(result.states_explored, 100000u);
 }
 
+TEST(LinChecker, MemoHitsAreCounted) {
+  // The wide commuting history above revisits many (frontier, state)
+  // configurations; the memo counter must see them.
+  RegisterModel model;
+  std::vector<HistoryOp> ops;
+  for (int p = 0; p < 3; ++p) {
+    for (int k = 0; k < 6; ++k) {
+      const Tick inv = k * 10 + p;
+      ops.push_back({p, reg::increment(1), Value::unit(), inv, inv + 8});
+    }
+  }
+  // A final impossible read forces the search to exhaust (and re-reach)
+  // every interleaving instead of stopping at the first witness.
+  ops.push_back({0, reg::read(), Value(-1), 1000, 1010});
+  auto result = check_linearizable(model, History(std::move(ops)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_GT(result.memo_hits, 0u);
+  EXPECT_GT(result.memo_hit_rate(), 0.0);
+  EXPECT_LE(result.memo_hit_rate(), 1.0);
+}
+
+TEST(LinChecker, EmptyHistoryEarlyExits) {
+  RegisterModel model;
+  auto result = check_linearizable(model, History{});
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.early_exit);
+  EXPECT_EQ(result.states_explored, 0u);
+}
+
+TEST(LinChecker, SingleProcessHistoryEarlyExits) {
+  // One process: program order is the only real-time-respecting
+  // permutation, so the checker replays instead of searching.
+  RegisterModel model;
+  History ok_h({{2, reg::write(3), Value::unit(), 0, 10},
+                {2, reg::rmw(5), Value(3), 20, 30},
+                {2, reg::read(), Value(5), 40, 50}});
+  auto ok_result = check_linearizable(model, ok_h);
+  EXPECT_TRUE(ok_result.ok);
+  EXPECT_TRUE(ok_result.early_exit);
+  EXPECT_EQ(ok_result.witness, (std::vector<std::size_t>{0, 1, 2}));
+
+  History bad_h({{2, reg::write(3), Value::unit(), 0, 10},
+                 {2, reg::read(), Value(4), 20, 30}});
+  auto bad_result = check_linearizable(model, bad_h);
+  EXPECT_FALSE(bad_result.ok);
+  EXPECT_TRUE(bad_result.early_exit);
+  EXPECT_FALSE(bad_result.explanation.empty());
+}
+
+TEST(LinChecker, MultiProcessSearchIsNotEarlyExit) {
+  RegisterModel model;
+  History h({{0, reg::write(5), Value::unit(), 0, 100},
+             {1, reg::read(), Value(5), 10, 90}});
+  auto result = check_linearizable(model, h);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.early_exit);
+  EXPECT_GT(result.states_explored, 0u);
+}
+
 }  // namespace
 }  // namespace linbound

@@ -1,0 +1,130 @@
+// Serial-equals-parallel regression for every sweep in the harness: the
+// ParallelSweepExecutor (harness/parallel.h) must produce byte-identical
+// results at any --jobs value, because each grid cell is an independent
+// deterministic simulation and aggregation happens serially in canonical
+// order.  A divergence here means a cell picked up state from outside its
+// own seed derivation -- a determinism bug, not a tolerance issue.
+#include "harness/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/workload.h"
+#include "harness/churn_sweep.h"
+#include "harness/experiment.h"
+#include "harness/fault_sweep.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+WorkloadFactory register_workload(int ops) {
+  const OpMix mix{2, 2, 2};
+  return [=](ProcessId, Rng& rng) { return random_register_ops(rng, ops, mix); };
+}
+
+void expect_same(const LatencySummary& a, const LatencySummary& b) {
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.samples, b.samples);  // order-sensitive on purpose
+}
+
+void expect_same(const LatencyReport& a, const LatencyReport& b) {
+  ASSERT_EQ(a.by_code.size(), b.by_code.size());
+  for (const auto& [code, summary] : a.by_code) {
+    ASSERT_TRUE(b.by_code.count(code));
+    expect_same(summary, b.by_code.at(code));
+  }
+  ASSERT_EQ(a.by_class.size(), b.by_class.size());
+  for (const auto& [cls, summary] : a.by_class) {
+    ASSERT_TRUE(b.by_class.count(cls));
+    expect_same(summary, b.by_class.at(cls));
+  }
+}
+
+TEST(ParallelSweep, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(-3), 1);
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);  // hardware-dependent but at least serial
+}
+
+TEST(ParallelSweep, MapMatchesSerialAndPropagatesExceptions) {
+  const ParallelSweepExecutor serial(1);
+  const ParallelSweepExecutor parallel(4);
+  auto square = [](std::size_t i) { return static_cast<int>(i * i); };
+  EXPECT_EQ(serial.map<int>(37, square), parallel.map<int>(37, square));
+
+  EXPECT_THROW(parallel.map<int>(8,
+                                 [](std::size_t i) -> int {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                   return 0;
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelSweep, ReplicaSweepByteIdentical) {
+  auto model = std::make_shared<RegisterModel>();
+  const WorkloadFactory workload = register_workload(6);
+
+  SweepOptions options;
+  options.n = 3;
+  options.seeds = 3;
+  options.jobs = 1;
+  const SweepResult serial = run_replica_sweep(model, workload, options);
+  options.jobs = 4;
+  const SweepResult parallel = run_replica_sweep(model, workload, options);
+
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.linearizable_runs, parallel.linearizable_runs);
+  EXPECT_EQ(serial.failures, parallel.failures);
+  expect_same(serial.latency, parallel.latency);
+}
+
+TEST(ParallelSweep, FaultSweepByteIdentical) {
+  auto model = std::make_shared<RegisterModel>();
+  const WorkloadFactory workload = register_workload(4);
+
+  FaultSweepOptions options;
+  options.n = 3;
+  options.seeds = 3;
+  options.jobs = 1;
+  const FaultSweepResult serial = run_fault_sweep(model, workload, options);
+  options.jobs = 4;
+  const FaultSweepResult parallel = run_fault_sweep(model, workload, options);
+
+  EXPECT_EQ(serial.table(), parallel.table());
+  EXPECT_EQ(serial.ok(), parallel.ok());
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].notes, parallel.cells[i].notes);
+  }
+}
+
+TEST(ParallelSweep, ChurnSweepByteIdentical) {
+  auto model = std::make_shared<RegisterModel>();
+  const WorkloadFactory workload = register_workload(4);
+
+  ChurnSweepOptions options;
+  options.n = 3;
+  options.seeds = 3;
+  options.ops_per_client = 4;
+  options.recoverable.link.max_attempts = 3;
+  options.jobs = 1;
+  const ChurnSweepResult serial = run_churn_sweep(model, workload, options);
+  options.jobs = 4;
+  const ChurnSweepResult parallel = run_churn_sweep(model, workload, options);
+
+  EXPECT_EQ(serial.table(), parallel.table());
+  EXPECT_EQ(serial.ok(), parallel.ok());
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].notes, parallel.cells[i].notes);
+  }
+}
+
+}  // namespace
+}  // namespace linbound

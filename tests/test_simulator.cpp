@@ -30,9 +30,9 @@ class ProbeProcess final : public Process {
 
   // Exported helpers so tests can drive protected Process methods.
   void do_send(ProcessId to, int v) {
-    send(to, std::make_shared<PingPayload>(v));
+    send(to, make_msg<PingPayload>(v));
   }
-  void do_broadcast(int v) { broadcast(std::make_shared<PingPayload>(v)); }
+  void do_broadcast(int v) { broadcast(make_msg<PingPayload>(v)); }
   TimerId do_set_timer(Tick delta, int kind) {
     return set_timer(delta, TimerTag{kind, {}});
   }

@@ -1,0 +1,112 @@
+// Copy-on-write snapshot semantics (spec/snapshot.h) and the fingerprint
+// cache on ObjectState -- the invariants the linearizability checker's
+// branch-without-clone optimization rests on.
+#include "spec/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+TEST(Snapshot, MutationAfterSnapshotNeverAliases) {
+  RegisterModel model;
+  std::unique_ptr<ObjectState> state = model.initial_state();
+  state->apply(reg::write(7));
+
+  const Snapshot snap = state->snapshot();
+  EXPECT_EQ(snap.to_string(), state->to_string());
+
+  // Mutating the source must not show through the snapshot.
+  state->apply(reg::write(99));
+  EXPECT_NE(snap.to_string(), state->to_string());
+  Snapshot expected = Snapshot::initial(model);
+  expected.apply(reg::write(7));
+  EXPECT_TRUE(snap.equals(expected));
+}
+
+TEST(Snapshot, CopyIsCheapAndCowOnApply) {
+  RegisterModel model;
+  Snapshot a = Snapshot::initial(model);
+  a.apply(reg::write(1));
+
+  Snapshot b = a;  // shares the state
+  EXPECT_TRUE(a.equals(b));
+
+  // Applying through one handle forks it; the other keeps its value.
+  EXPECT_EQ(b.apply(reg::rmw(2)), Value(1));
+  EXPECT_FALSE(a.equals(b));
+  EXPECT_EQ(a.apply_accessor(reg::read()), Value(1));
+  EXPECT_EQ(b.apply_accessor(reg::read()), Value(2));
+}
+
+TEST(Snapshot, UnsharedApplyMutatesInPlace) {
+  RegisterModel model;
+  Snapshot a = Snapshot::initial(model);
+  const ObjectState* before = &a.get();
+  a.apply(reg::write(5));
+  // No other handle shares the state, so apply must not have cloned.
+  EXPECT_EQ(before, &a.get());
+}
+
+TEST(Snapshot, AccessorApplySkipsCloneAndPreservesState) {
+  RegisterModel model;
+  Snapshot a = Snapshot::initial(model);
+  a.apply(reg::write(3));
+  Snapshot b = a;  // shared on purpose
+
+  const ObjectState* before = &b.get();
+  EXPECT_EQ(b.apply_accessor(reg::read()), Value(3));
+  EXPECT_EQ(before, &b.get());  // no clone despite sharing
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Snapshot, FingerprintCacheInvalidatesOnApply) {
+  QueueModel model;
+  std::unique_ptr<ObjectState> state = model.initial_state();
+
+  const std::uint64_t empty_fp = state->fingerprint();
+  EXPECT_EQ(state->fingerprint(), empty_fp);  // cached, stable
+
+  state->apply(queue_ops::enqueue(1));
+  const std::uint64_t one_fp = state->fingerprint();
+  EXPECT_NE(one_fp, empty_fp);
+
+  // Draining back to empty must reproduce the empty fingerprint: the cache
+  // tracks content, not history.
+  state->apply(queue_ops::dequeue());
+  EXPECT_EQ(state->fingerprint(), empty_fp);
+}
+
+TEST(Snapshot, FingerprintCacheTravelsWithClone) {
+  RegisterModel model;
+  std::unique_ptr<ObjectState> state = model.initial_state();
+  state->apply(reg::write(11));
+  const std::uint64_t fp = state->fingerprint();
+
+  std::unique_ptr<ObjectState> copy = state->clone();
+  EXPECT_EQ(copy->fingerprint(), fp);
+
+  // The clone's cache is independent: mutating the copy must not disturb
+  // the original's cached value.
+  copy->apply(reg::write(12));
+  EXPECT_NE(copy->fingerprint(), fp);
+  EXPECT_EQ(state->fingerprint(), fp);
+}
+
+TEST(Snapshot, ToStateDetaches) {
+  RegisterModel model;
+  Snapshot a = Snapshot::initial(model);
+  a.apply(reg::write(4));
+
+  std::unique_ptr<ObjectState> detached = a.to_state();
+  a.apply(reg::write(5));
+  Snapshot expected = Snapshot::initial(model);
+  expected.apply(reg::write(4));
+  EXPECT_TRUE(detached->equals(expected.get()));
+}
+
+}  // namespace
+}  // namespace linbound

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+
 namespace linbound {
 namespace {
 
@@ -77,6 +82,107 @@ TEST(Value, OrderingIsTotal) {
   EXPECT_LT(Value(1), Value(2));
   EXPECT_FALSE(Value(2) < Value(1));
   EXPECT_FALSE(Value(1) < Value(1));
+}
+
+// --- parse() / to_string() round-trip -------------------------------------
+
+void expect_round_trip(const Value& v) {
+  const std::string text = v.to_string();
+  const std::optional<Value> back = Value::parse(text);
+  ASSERT_TRUE(back.has_value()) << "failed to parse: " << text;
+  EXPECT_EQ(*back, v) << "round trip changed: " << text;
+}
+
+TEST(ValueParse, ScalarsRoundTrip) {
+  expect_round_trip(Value::unit());
+  expect_round_trip(Value(0));
+  expect_round_trip(Value(-1));
+  expect_round_trip(Value(true));
+  expect_round_trip(Value(false));
+  expect_round_trip(Value("hello"));
+  expect_round_trip(Value(""));
+}
+
+TEST(ValueParse, Int64ExtremesRoundTrip) {
+  expect_round_trip(Value(std::numeric_limits<std::int64_t>::max()));
+  expect_round_trip(Value(std::numeric_limits<std::int64_t>::min()));
+  expect_round_trip(Value(std::numeric_limits<std::int64_t>::min() + 1));
+}
+
+TEST(ValueParse, OutOfRangeIntegersRejected) {
+  // One past either end of int64 must be rejected, not wrapped.
+  EXPECT_FALSE(Value::parse("9223372036854775808").has_value());
+  EXPECT_FALSE(Value::parse("-9223372036854775809").has_value());
+  EXPECT_FALSE(Value::parse("99999999999999999999999").has_value());
+  // The extremes themselves parse.
+  EXPECT_EQ(Value::parse("9223372036854775807"),
+            Value(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_EQ(Value::parse("-9223372036854775808"),
+            Value(std::numeric_limits<std::int64_t>::min()));
+}
+
+TEST(ValueParse, ListsRoundTrip) {
+  expect_round_trip(Value(Value::List{}));  // empty list -> "[]"
+  expect_round_trip(Value(Value::List{Value(1), Value("x"), Value(true)}));
+  // Nested, including nested-empty.
+  expect_round_trip(Value(Value::List{
+      Value(Value::List{}),
+      Value(Value::List{Value(Value::List{Value(-7)}), Value::unit()})}));
+}
+
+TEST(ValueParse, MalformedInputsRejected) {
+  for (const char* bad :
+       {"", "[", "]", "[1,", "[1 2]", "\"unterminated", "truex", "1 2", "--1",
+        "+", "()garbage", "[1,,2]"}) {
+    EXPECT_FALSE(Value::parse(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+/// Deterministic random Value generator for the fuzz round-trip; depth
+/// bounds keep lists small.
+Value random_value(Rng& rng, int depth) {
+  switch (rng.uniform(0, depth > 0 ? 4 : 3)) {
+    case 0:
+      return Value::unit();
+    case 1:
+      // Mix extreme magnitudes in with small ones.
+      switch (rng.uniform(0, 3)) {
+        case 0:
+          return Value(std::numeric_limits<std::int64_t>::max());
+        case 1:
+          return Value(std::numeric_limits<std::int64_t>::min());
+        default:
+          return Value(rng.uniform(-1000, 1000));
+      }
+    case 2:
+      return Value(rng.chance(0.5));
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform(0, 8));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.uniform(0, 25)));
+      }
+      return Value(std::move(s));
+    }
+    default: {
+      Value::List xs;
+      const int len = static_cast<int>(rng.uniform(0, 4));
+      for (int i = 0; i < len; ++i) {
+        xs.push_back(random_value(rng, depth - 1));
+      }
+      return Value(std::move(xs));
+    }
+  }
+}
+
+TEST(ValueParse, FuzzRoundTrip) {
+  Rng rng(0xf022f022ull);
+  for (int i = 0; i < 500; ++i) {
+    const Value v = random_value(rng, 3);
+    expect_round_trip(v);
+    // The hash must survive the round trip too (the checker memoizes on it).
+    EXPECT_EQ(Value::parse(v.to_string())->hash(), v.hash());
+  }
 }
 
 }  // namespace
