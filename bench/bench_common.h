@@ -6,6 +6,7 @@
 // tightness conditions hold and the tables print matching LB/UB columns.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,9 +14,32 @@
 #include "common/format.h"
 #include "harness/bounds_table.h"
 #include "harness/experiment.h"
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 namespace linbound::bench {
+
+/// Monotonic wall-clock for every bench timing: steady_clock only (never
+/// system_clock, which can jump under NTP and corrupt a measurement).
+inline double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+}
+
+/// Scoped phase timer: accumulate per-phase wall clock (e.g. simulate vs
+/// check) into named buckets for the JSON breakdown.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_seconds()) {}
+  double lap() {
+    const double now = now_seconds();
+    const double elapsed = now - start_;
+    start_ = now;
+    return elapsed;
+  }
+
+ private:
+  double start_;
+};
 
 inline constexpr int kN = 4;
 

@@ -1,14 +1,18 @@
-// Performance benchmark for the hot-path refactor: linearizability-checker
+// Performance benchmark for the hot paths: linearizability-checker
 // throughput (COW snapshots + cached fingerprints + bucketed memo),
+// segmented / parallel checker scaling (checker/segmented_checker.cpp),
 // simulator event throughput (typed events + payload arena), and sweep
-// wall-clock serial vs --jobs N (harness/parallel.h).
+// wall-clock serial vs --jobs N (common/parallel.h).
 //
 // Prints a human-readable report, writes machine-readable numbers to
 // BENCH_perf.json, and exits 0 only when
 //   * the parallel fault and churn sweeps are byte-identical to their
-//     serial runs (tables and aggregate counters compared verbatim), and
-//   * with jobs >= 4 available, at least one sweep speeds up >= 2x.
-#include <chrono>
+//     serial runs (tables and aggregate counters compared verbatim),
+//   * the segmented / parallel checker returns verdict, witness and
+//     explanation identical to the serial seed checker at every jobs value
+//     tried, and
+//   * with jobs >= 4 available, at least one sweep speeds up >= 2x and the
+//     parallel checker speeds up >= 2x on the wide-frontier history.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -20,17 +24,13 @@
 #include "core/workload.h"
 #include "harness/churn_sweep.h"
 #include "harness/fault_sweep.h"
+#include "types/queue_type.h"
 #include "types/register_type.h"
 
 using namespace linbound;
 using namespace linbound::bench;
 
 namespace {
-
-double now_seconds() {
-  using Clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
-}
 
 /// One deterministic Algorithm 1 run under a uniform-random admissible
 /// schedule; the shared workload shape for the checker and simulator
@@ -97,11 +97,13 @@ int main(int argc, char** argv) {
   constexpr int kCheckRounds = 40;
   std::vector<History> histories;
   std::size_t ops_per_round = 0;
+  const double simulate_t0 = now_seconds();
   for (int s = 0; s < kHistories; ++s) {
     RunProduct run = one_run(model, 0xbe9cful + static_cast<std::uint64_t>(s));
     ops_per_round += run.history.ops().size();
     histories.push_back(std::move(run.history));
   }
+  const double simulate_s = now_seconds() - simulate_t0;
   std::size_t states = 0;
   std::size_t memo_hits = 0;
   bool all_ok = true;
@@ -122,8 +124,89 @@ int main(int argc, char** argv) {
   std::printf("checker:   %7.0f histories/s, %8.0f ops/s, memo hit rate %.2f%%%s\n",
               checks_per_s, ops_per_s, 100.0 * memo_rate,
               all_ok ? "" : "  [UNEXPECTED VIOLATION]");
+  std::printf("phases:    simulate %.3fs, check %.3fs\n", simulate_s, check_s);
 
-  // --- 2. Simulator event throughput ---------------------------------------
+  // --- 2. Segmented / parallel checker scaling -----------------------------
+  // Wide-frontier history: `width` single-enqueue processes, all pairwise
+  // concurrent with distinct values (every interleaving is a distinct queue
+  // state, so memoization cannot collapse the tree), then a dequeue of a
+  // value never enqueued.  Non-linearizable: the search must exhaust all
+  // width! interleavings -- the shape the parallel subtree fan-out targets.
+  auto queue = std::make_shared<QueueModel>();
+  std::vector<HistoryOp> wide_ops;
+  constexpr int kWideWidth = 8;
+  for (int p = 0; p < kWideWidth; ++p) {
+    wide_ops.push_back({static_cast<ProcessId>(p), queue_ops::enqueue(100 + p),
+                        Value::unit(), 0, 1});
+  }
+  wide_ops.push_back({static_cast<ProcessId>(kWideWidth), queue_ops::dequeue(),
+                      Value(999), 2, 3});
+  const History wide(std::move(wide_ops));
+
+  // Multi-segment history: bursts of concurrent distinct enqueues, each
+  // burst strictly after the previous one -- one quiescent cut per burst.
+  std::vector<HistoryOp> seg_ops;
+  constexpr int kSegBursts = 24;
+  constexpr int kSegWidth = 5;
+  for (int s = 0; s < kSegBursts; ++s) {
+    const Tick t0 = s * 10;
+    for (int p = 0; p < kSegWidth; ++p) {
+      seg_ops.push_back({static_cast<ProcessId>(p),
+                         queue_ops::enqueue(s * 100 + p), Value::unit(), t0,
+                         t0 + 1});
+    }
+  }
+  const History multi(std::move(seg_ops));
+
+  auto same_output = [](const CheckResult& a, const CheckResult& b) {
+    return a.ok == b.ok && a.witness == b.witness &&
+           a.explanation == b.explanation;
+  };
+  CheckOptions seg_serial_opts;
+  seg_serial_opts.jobs = 1;
+  CheckOptions par2_opts;
+  par2_opts.jobs = 2;
+  CheckOptions par_opts;
+  par_opts.jobs = jobs;
+
+  double wide_seed_s = 0, wide_serial_s = 0, wide_par_s = 0;
+  Stopwatch wide_sw;
+  const CheckResult wide_seed = check_linearizable(*queue, wide);
+  wide_seed_s = wide_sw.lap();
+  const CheckResult wide_serial = check_linearizable(*queue, wide, seg_serial_opts);
+  wide_serial_s = wide_sw.lap();
+  const CheckResult wide_par = check_linearizable(*queue, wide, par_opts);
+  wide_par_s = wide_sw.lap();
+  const CheckResult wide_par2 = check_linearizable(*queue, wide, par2_opts);
+  const bool wide_identical = same_output(wide_seed, wide_serial) &&
+                              same_output(wide_seed, wide_par) &&
+                              same_output(wide_seed, wide_par2);
+  const double checker_speedup =
+      wide_par_s > 0 ? wide_seed_s / wide_par_s : 0.0;
+  std::printf(
+      "checker scaling (wide): seed %.3fs, segmented serial %.3fs, "
+      "--jobs %d %.3fs  (%.2fx, %zu tasks, %s)\n",
+      wide_seed_s, wide_serial_s, jobs, wide_par_s, checker_speedup,
+      wide_par.parallel_tasks,
+      wide_identical ? "identical output" : "OUTPUT DIVERGED");
+
+  Stopwatch multi_sw;
+  const CheckResult multi_seed = check_linearizable(*queue, multi);
+  const double multi_seed_s = multi_sw.lap();
+  const CheckResult multi_serial =
+      check_linearizable(*queue, multi, seg_serial_opts);
+  const double multi_serial_s = multi_sw.lap();
+  const CheckResult multi_par = check_linearizable(*queue, multi, par_opts);
+  const double multi_par_s = multi_sw.lap();
+  const bool multi_identical = same_output(multi_seed, multi_serial) &&
+                               same_output(multi_seed, multi_par);
+  std::printf(
+      "checker scaling (multi-segment): seed %.3fs, segmented serial %.3fs "
+      "(%zu segments), --jobs %d %.3fs  (%s)\n",
+      multi_seed_s, multi_serial_s, multi_serial.segments, jobs, multi_par_s,
+      multi_identical ? "identical output" : "OUTPUT DIVERGED");
+
+  // --- 3. Simulator event throughput ---------------------------------------
   constexpr int kSimRuns = 24;
   std::size_t events = 0;
   const double sim_t0 = now_seconds();
@@ -135,7 +218,7 @@ int main(int argc, char** argv) {
   std::printf("simulator: %7.0f events/s over %d runs (%zu events)\n",
               events_per_s, kSimRuns, events);
 
-  // --- 3. Sweep wall-clock: serial vs parallel -----------------------------
+  // --- 4. Sweep wall-clock: serial vs parallel -----------------------------
   const OpMix mix{2, 2, 2};
   WorkloadFactory workload = [&](ProcessId, Rng& rng) {
     return random_register_ops(rng, 10, mix);
@@ -196,14 +279,18 @@ int main(int argc, char** argv) {
   const bool speedup_applicable =
       jobs >= 4 && std::thread::hardware_concurrency() >= 4;
   const bool speedup_ok = !speedup_applicable || best_speedup >= 2.0;
-  const bool ok =
-      all_ok && fault.identical && churn.identical && speedup_ok;
+  const bool checker_speedup_ok = !speedup_applicable || checker_speedup >= 2.0;
+  const bool ok = all_ok && fault.identical && churn.identical &&
+                  wide_identical && multi_identical && speedup_ok &&
+                  checker_speedup_ok;
 
   if (speedup_applicable) {
     std::printf("\nbest sweep speedup at --jobs %d: %.2fx (need >= 2.0x)\n",
                 jobs, best_speedup);
+    std::printf("checker speedup at --jobs %d: %.2fx (need >= 2.0x)\n", jobs,
+                checker_speedup);
   } else {
-    std::printf("\nfewer than 4 workers available; speedup gate waived\n");
+    std::printf("\nfewer than 4 workers available; speedup gates waived\n");
   }
 
   std::ofstream json("BENCH_perf.json");
@@ -213,6 +300,19 @@ int main(int argc, char** argv) {
        << "  \"checker_histories_per_s\": " << checks_per_s << ",\n"
        << "  \"checker_ops_per_s\": " << ops_per_s << ",\n"
        << "  \"checker_memo_hit_rate\": " << memo_rate << ",\n"
+       << "  \"phase_simulate_s\": " << simulate_s << ",\n"
+       << "  \"phase_check_s\": " << check_s << ",\n"
+       << "  \"checker_scaling_seed_serial_s\": " << wide_seed_s << ",\n"
+       << "  \"checker_scaling_segmented_serial_s\": " << wide_serial_s << ",\n"
+       << "  \"checker_scaling_parallel_s\": " << wide_par_s << ",\n"
+       << "  \"checker_parallel_speedup\": " << checker_speedup << ",\n"
+       << "  \"checker_parallel_tasks\": " << wide_par.parallel_tasks << ",\n"
+       << "  \"checker_scaling_identical\": "
+       << (wide_identical && multi_identical ? "true" : "false") << ",\n"
+       << "  \"checker_multi_segment_segments\": " << multi_serial.segments << ",\n"
+       << "  \"checker_multi_segment_seed_s\": " << multi_seed_s << ",\n"
+       << "  \"checker_multi_segment_segmented_s\": " << multi_serial_s << ",\n"
+       << "  \"checker_multi_segment_parallel_s\": " << multi_par_s << ",\n"
        << "  \"simulator_events_per_s\": " << events_per_s << ",\n"
        << "  \"fault_sweep_serial_s\": " << fault.serial_s << ",\n"
        << "  \"fault_sweep_parallel_s\": " << fault.parallel_s << ",\n"

@@ -85,6 +85,70 @@ History restrict_history(const History& history, int k) {
   return History(std::move(ops));
 }
 
+std::vector<HistorySegment> segment_history(
+    const History& history, const std::vector<PendingInvocation>& pending) {
+  const std::vector<HistoryOp>& ops = history.ops();
+  if (ops.empty()) return {};
+  const std::size_t procs = static_cast<std::size_t>(history.process_count());
+
+  std::vector<std::size_t> order(ops.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&ops](std::size_t a, std::size_t b) {
+                     return ops[a].invoke < ops[b].invoke;
+                   });
+
+  Tick first_pending = kNoTime;
+  for (const PendingInvocation& q : pending) {
+    if (first_pending == kNoTime || q.invoke < first_pending) {
+      first_pending = q.invoke;
+    }
+  }
+
+  // Segment id per op: a new segment starts at invoke-ordered position k+1
+  // when everything before it has responded strictly earlier and no pending
+  // invocation has been issued yet.
+  std::vector<std::size_t> seg_of(ops.size(), 0);
+  std::size_t seg = 0;
+  Tick max_response = ops[order[0]].response;
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const Tick next_invoke = ops[order[k]].invoke;
+    if (max_response < next_invoke &&
+        (first_pending == kNoTime || first_pending >= next_invoke)) {
+      ++seg;
+    }
+    seg_of[order[k]] = seg;
+    max_response = std::max(max_response, ops[order[k]].response);
+  }
+
+  std::vector<HistorySegment> segments(seg + 1);
+  for (HistorySegment& s : segments) {
+    s.begin.assign(procs, 0);
+    s.end.assign(procs, 0);
+    s.min_response = kNoTime;
+  }
+  // Per process the segment id is non-decreasing along by_process order
+  // (invoke-sorted), so each segment owns one contiguous range.
+  for (std::size_t p = 0; p < procs; ++p) {
+    const std::vector<std::size_t>& idxs =
+        history.by_process(static_cast<ProcessId>(p));
+    std::size_t pos = 0;
+    for (std::size_t si = 0; si < segments.size(); ++si) {
+      segments[si].begin[p] = pos;
+      while (pos < idxs.size() && seg_of[idxs[pos]] == si) ++pos;
+      segments[si].end[p] = pos;
+    }
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    HistorySegment& s = segments[seg_of[i]];
+    ++s.op_count;
+    if (s.min_response == kNoTime || ops[i].response < s.min_response) {
+      s.min_response = ops[i].response;
+    }
+  }
+  return segments;
+}
+
 std::string History::to_string(const ObjectModel& model) const {
   std::ostringstream os;
   for (const HistoryOp& op : ops_) {

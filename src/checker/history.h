@@ -76,4 +76,39 @@ struct PendingInvocation {
 std::pair<History, std::vector<PendingInvocation>> history_with_pending(
     const Trace& trace);
 
+/// One quiescent-cut segment of a history: a real-time-contiguous slice
+/// such that every operation in earlier segments responds strictly before
+/// every operation of this segment is invoked.  Represented as per-process
+/// half-open ranges into history.by_process(p) -- segments are contiguous
+/// per process because a process's operations are invoke-ordered and
+/// non-overlapping.
+struct HistorySegment {
+  std::vector<std::size_t> begin;  ///< per-process first index (inclusive)
+  std::vector<std::size_t> end;    ///< per-process last index (exclusive)
+  std::size_t op_count = 0;        ///< total operations in the segment
+  Tick min_response = 0;           ///< earliest response in the segment
+};
+
+/// Scan a history for quiescent cuts -- real-time points where no
+/// operation is in flight -- and return the resulting segments in real-time
+/// order (empty for an empty history; a single segment when no cut exists).
+///
+/// A cut is taken between invoke-ordered positions k and k+1 only when the
+/// maximum response among ops 0..k is STRICTLY before the invocation of op
+/// k+1 (response == invoke counts as concurrent, matching the checker's
+/// strict real-time order), and only when it precedes every pending
+/// invocation ("the pending set is empty at the cut"): a pending operation
+/// never responds, so any cut after its invoke would slice an in-flight
+/// operation.
+///
+/// Soundness of checking segments independently (DESIGN.md section 10):
+/// every completed operation of segment i strictly real-time-precedes every
+/// completed operation of segment i+1, so any linearization order is forced
+/// to linearize all of segment i first -- a linearization of the history
+/// exists iff per-segment linearizations exist that agree on the object
+/// state threaded across each cut.
+std::vector<HistorySegment> segment_history(
+    const History& history,
+    const std::vector<PendingInvocation>& pending = {});
+
 }  // namespace linbound

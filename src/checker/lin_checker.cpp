@@ -21,6 +21,14 @@ void fnv_u64(std::uint64_t& h, std::uint64_t x) {
   }
 }
 
+int active_processes(const History& history) {
+  int active = 0;
+  for (int p = 0; p < history.process_count(); ++p) {
+    if (!history.by_process(p).empty()) ++active;
+  }
+  return active;
+}
+
 class Search {
  public:
   Search(const ObjectModel& model, const History& history, bool real_time_order,
@@ -44,50 +52,16 @@ class Search {
       result.early_exit = true;
       return result;
     }
-    if (pending_.empty() && active_processes() <= 1) {
+    if (pending_.empty() && active_processes(history_) <= 1) {
       // One process means program order is the only permutation consistent
       // with both real-time order and per-process order; replay it.
-      return replay_single_process();
+      return detail::replay_single_process(model_, history_);
     }
     Snapshot state = Snapshot::initial(model_);
     std::vector<std::size_t> chosen;
     chosen.reserve(history_.size());
     result.ok = dfs(state, chosen, result);
     if (result.ok) result.witness = std::move(chosen);
-    return result;
-  }
-
- private:
-  int active_processes() const {
-    int active = 0;
-    for (int p = 0; p < history_.process_count(); ++p) {
-      if (!history_.by_process(p).empty()) ++active;
-    }
-    return active;
-  }
-
-  CheckResult replay_single_process() {
-    CheckResult result;
-    result.early_exit = true;
-    auto state = model_.initial_state();
-    for (int p = 0; p < history_.process_count(); ++p) {
-      for (std::size_t idx : history_.by_process(p)) {
-        const HistoryOp& op = history_.ops()[idx];
-        ++result.states_explored;
-        const std::string before = state->to_string();
-        const Value determined = state->apply(op.op);
-        if (!(determined == op.ret)) {
-          std::ostringstream os;
-          os << "p" << op.proc << " " << model_.describe(op.op)
-             << " returned " << op.ret.to_string() << " but state " << before
-             << " determines " << determined.to_string();
-          result.explanation = os.str();
-          return result;
-        }
-        result.witness.push_back(idx);
-      }
-    }
-    result.ok = true;
     return result;
   }
 
@@ -164,11 +138,11 @@ class Search {
       return false;
     }
     if (++result.states_explored > limits_.max_states) {
-      throw std::runtime_error(
-          "consistency check exceeded the state budget (" +
-          std::to_string(limits_.max_states) +
-          " states); the history has too much concurrency for exact "
-          "checking");
+      detail::throw_state_budget_exceeded(limits_.max_states,
+                                          result.states_explored,
+                                          /*segment_index=*/0,
+                                          /*segment_count=*/1,
+                                          history_.size());
     }
 
     // Pending operations: try linearizing each untaken one here (their
@@ -249,5 +223,50 @@ CheckResult check_linearizable_with_pending(
     const std::vector<PendingInvocation>& pending, const CheckLimits& limits) {
   return Search(model, history, /*real_time_order=*/true, limits, &pending).run();
 }
+
+namespace detail {
+
+void throw_state_budget_exceeded(std::size_t max_states,
+                                 std::size_t states_explored,
+                                 std::size_t segment_index,
+                                 std::size_t segment_count,
+                                 std::size_t history_ops) {
+  std::ostringstream os;
+  os << "consistency check exceeded the state budget (max_states="
+     << max_states << "): explored " << states_explored
+     << " states in segment " << segment_index << " of " << segment_count
+     << " over a history of " << history_ops
+     << " operations; the history has too much concurrency for exact "
+        "checking";
+  throw std::runtime_error(os.str());
+}
+
+CheckResult replay_single_process(const ObjectModel& model,
+                                  const History& history) {
+  CheckResult result;
+  result.early_exit = true;
+  auto state = model.initial_state();
+  for (int p = 0; p < history.process_count(); ++p) {
+    for (std::size_t idx : history.by_process(p)) {
+      const HistoryOp& op = history.ops()[idx];
+      ++result.states_explored;
+      const std::string before = state->to_string();
+      const Value determined = state->apply(op.op);
+      if (!(determined == op.ret)) {
+        std::ostringstream os;
+        os << "p" << op.proc << " " << model.describe(op.op) << " returned "
+           << op.ret.to_string() << " but state " << before << " determines "
+           << determined.to_string();
+        result.explanation = os.str();
+        return result;
+      }
+      result.witness.push_back(idx);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace detail
 
 }  // namespace linbound

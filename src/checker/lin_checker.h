@@ -45,6 +45,15 @@ struct CheckResult {
   /// True when the trivial-history fast path (empty or single-process
   /// history: no interleaving to search) decided the verdict.
   bool early_exit = false;
+  /// Quiescent-cut segments the search was split into (1 when segmentation
+  /// is off, trivially decided, or the history has no cut).
+  std::size_t segments = 1;
+  /// Subtree tasks dispatched to the worker pool (0 for a fully serial
+  /// search).
+  std::size_t parallel_tasks = 0;
+  /// states_explored attributed per segment (parallel subtree work counts
+  /// toward the segment it searches).  Empty on the non-segmented paths.
+  std::vector<std::size_t> per_segment_states;
 
   /// Fraction of node visits the memo table absorbed.
   double memo_hit_rate() const {
@@ -60,7 +69,38 @@ struct CheckLimits {
   /// (frontier, state) pairs.  The search is exponential in the number of
   /// simultaneously pending operations; the budget turns a pathological
   /// history into a loud error instead of an OOM.
+  ///
+  /// Semantics (normative for every checker entry point): the budget is
+  /// granted PER CHECKER CALL.  One check_linearizable* invocation gets one
+  /// fresh budget, shared across all of that call's quiescent-cut segments
+  /// and all of its worker threads (a single atomic counter), and it is
+  /// never replenished mid-call.  Harness sweeps check many histories, so
+  /// each history gets its own budget -- intentional: the budget bounds the
+  /// blast radius of a single pathological history, not the sweep.  The
+  /// exceeded-budget error message reports states explored, the segment
+  /// being searched, and the history size (see
+  /// detail::throw_state_budget_exceeded, the one throw site).
   std::size_t max_states = 20'000'000;
+};
+
+/// Tuning knobs for the segmented / parallel checker entry points.  Every
+/// combination returns byte-identical verdict, witness and explanation --
+/// the knobs trade wall-clock and memory only (regression-tested in
+/// tests/test_segmented_checker.cpp).
+struct CheckOptions {
+  CheckLimits limits;
+  /// Split the history at quiescent cuts (real-time points where no
+  /// operation is in flight and no pending invocation has been issued) and
+  /// check the segments in sequence, threading the object state across the
+  /// cut.  Sound and complete: every linearization of such a history is a
+  /// concatenation of per-segment linearizations (DESIGN.md section 10).
+  bool segment = true;
+  /// Worker threads for intra-segment subtree search; <= 1 searches
+  /// serially.  Resolve user input with resolve_jobs (common/parallel.h).
+  int jobs = 1;
+  /// Split a segment's search across workers only when the fan-out at its
+  /// root (eligible first moves) reaches this many candidates.
+  std::size_t min_parallel_fanout = 3;
 };
 
 /// Is the history linearizable w.r.t. the model?
@@ -80,5 +120,38 @@ CheckResult check_sequentially_consistent(const ObjectModel& model,
 CheckResult check_linearizable_with_pending(
     const ObjectModel& model, const History& history,
     const std::vector<PendingInvocation>& pending, const CheckLimits& limits = {});
+
+/// Segmented / parallel linearizability check (checker/segmented_checker.cpp):
+/// quiescent-cut segmentation plus optional fan-out of the top of the WGL
+/// decision tree across a worker pool.  Byte-identical verdict, witness and
+/// explanation to the serial overloads above at any options value.
+CheckResult check_linearizable(const ObjectModel& model, const History& history,
+                               const CheckOptions& options);
+
+/// Segmented / parallel counterpart of check_linearizable_with_pending.
+/// Cuts are only taken at points preceding every pending invocation, so a
+/// pending operation stays available to every segment that may linearize it.
+CheckResult check_linearizable_with_pending(
+    const ObjectModel& model, const History& history,
+    const std::vector<PendingInvocation>& pending, const CheckOptions& options);
+
+namespace detail {
+
+/// The single throw site enforcing CheckLimits::max_states (all checker
+/// paths funnel here so the message stays uniform): reports states
+/// explored, the segment under search, and the history size.
+[[noreturn]] void throw_state_budget_exceeded(std::size_t max_states,
+                                              std::size_t states_explored,
+                                              std::size_t segment_index,
+                                              std::size_t segment_count,
+                                              std::size_t history_ops);
+
+/// Replay fast path shared by the serial and segmented checkers: a
+/// single-process history admits exactly one real-time-respecting
+/// permutation (program order), so replay decides the verdict.
+CheckResult replay_single_process(const ObjectModel& model,
+                                  const History& history);
+
+}  // namespace detail
 
 }  // namespace linbound

@@ -1,4 +1,4 @@
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 namespace linbound {
 
@@ -6,9 +6,9 @@ int resolve_jobs(int requested) {
   if (requested < 0) return 1;
   if (requested == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? static_cast<int>(hw) : 1;
+    requested = hw ? static_cast<int>(hw) : 1;
   }
-  return requested;
+  return requested > kMaxJobs ? kMaxJobs : requested;
 }
 
 }  // namespace linbound

@@ -1,20 +1,29 @@
-// Deterministic parallel execution of independent sweep cells.
+// Deterministic parallel execution of independent tasks.
 //
-// Every sweep in this harness is an embarrassingly parallel grid: each
-// (config, seed) cell builds its own Rng, delay/fault policies and
-// Simulator from values derived purely from the cell's indices, runs one
-// deterministic simulation, and yields a result.  The executor exploits
-// exactly that shape and nothing more:
+// Two layers share this executor:
+//
+//   * the harness sweeps: each (config, seed) cell builds its own Rng,
+//     delay/fault policies and Simulator from values derived purely from
+//     the cell's indices, runs one deterministic simulation, and yields a
+//     result;
+//   * the segmented linearizability checker (checker/segmented_checker.cpp):
+//     each task explores one disjoint top-level prefix of the WGL decision
+//     tree with a private memo table, and the caller merges task results in
+//     canonical prefix order.
+//
+// The executor exploits exactly that shape and nothing more:
 //
 //   * the task function is called once per index into a pre-sized result
 //     vector -- which task runs on which thread (or in which order) cannot
 //     affect any result;
 //   * callers aggregate the results serially, in canonical index order,
 //     *after* the map returns -- so the aggregate is byte-identical to the
-//     serial sweep at any --jobs value (regression-tested in
-//     tests/test_parallel_sweep.cpp);
+//     serial run at any --jobs value (regression-tested in
+//     tests/test_parallel_sweep.cpp and tests/test_segmented_checker.cpp);
 //   * the only mutable state shared between workers is the string interning
-//     pool (common/intern.h), which is mutex-guarded and value-idempotent.
+//     pool (common/intern.h), which is mutex-guarded and value-idempotent,
+//     plus whatever monotonic atomics (budget counters, cancellation
+//     flags) the caller threads through its task closures.
 //
 // Exceptions: the first task exception (by completion order) is captured
 // and rethrown on the calling thread after all workers join.
@@ -31,8 +40,14 @@
 
 namespace linbound {
 
+/// Hard ceiling for resolve_jobs: requests beyond this are clamped.  Far
+/// above any sane worker count, but it keeps a typo'd --jobs 1000000 from
+/// spawning a thread per unit of enthusiasm.
+inline constexpr int kMaxJobs = 256;
+
 /// Clamp a --jobs request to something sane: 0 means "one per hardware
-/// thread", negatives mean serial.
+/// thread", negatives mean serial, anything above kMaxJobs is clamped to
+/// kMaxJobs.  Shared by the sweep harness and the segmented checker.
 int resolve_jobs(int requested);
 
 class ParallelSweepExecutor {

@@ -7,7 +7,7 @@
 #include "core/driver.h"
 #include "fault/assumption_monitor.h"
 #include "fault/fault_policy.h"
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 namespace linbound {
 namespace {
@@ -77,8 +77,8 @@ OneChurnRun run_one(const std::shared_ptr<const ObjectModel>& model,
   driver.arm();
 
   const RunOutcome outcome = system.run_with_outcome();
-  const CheckResult check =
-      check_linearizable_with_pending(*model, outcome.history, outcome.pending);
+  const CheckResult check = check_linearizable_with_pending(
+      *model, outcome.history, outcome.pending, options.check);
   const Trace& trace = system.sim().trace();
 
   OneChurnRun out;

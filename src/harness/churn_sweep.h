@@ -52,10 +52,13 @@ struct ChurnSweepOptions {
   Tick churn_start = 0;
   Tick churn_horizon = 0;
   std::uint64_t base_seed = 0xc4a5'4baccULL;
-  /// Worker threads (harness/parallel.h); every (cell, seed) run is an
+  /// Worker threads (common/parallel.h); every (cell, seed) run is an
   /// independent deterministic simulation, aggregated in canonical order,
   /// so any value produces byte-identical results.
   int jobs = 1;
+  /// Checker configuration for every run's (possibly pending-laden)
+  /// history; verdicts are identical at any value.
+  CheckOptions check;
 };
 
 /// The standard grid, scaled by the effective delivery bound d_eff:

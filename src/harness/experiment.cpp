@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "core/driver.h"
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 namespace linbound {
 namespace {
@@ -160,7 +160,7 @@ SweepRunOutcome run_sweep_task(const std::shared_ptr<const ObjectModel>& model,
   driver.arm();
 
   History history = system.run_to_completion();
-  const CheckResult check = check_linearizable(*model, history);
+  const CheckResult check = check_linearizable(*model, history, options.check);
 
   SweepRunOutcome outcome;
   outcome.ok = check.ok;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/lin_checker.h"
 #include "core/system.h"
 #include "core/workload.h"
 #include "harness/latency.h"
@@ -26,10 +27,14 @@ struct SweepOptions {
   int seeds = 8;           ///< randomized runs per (policy, offsets) cell
   Tick think_time = 0;     ///< client think time between operations
   std::uint64_t base_seed = 0x11bb0042d00dULL;
-  /// Worker threads for the grid (harness/parallel.h); every cell is an
+  /// Worker threads for the grid (common/parallel.h); every cell is an
   /// independent deterministic simulation and results are aggregated in
   /// canonical order, so any value produces byte-identical output.
   int jobs = 1;
+  /// Checker configuration for every cell's history (segmentation on,
+  /// checker-internal jobs serial by default: sweeps already parallelize
+  /// across cells, and any CheckOptions value yields identical verdicts).
+  CheckOptions check;
 };
 
 struct SweepResult {

@@ -6,7 +6,7 @@
 #include "core/driver.h"
 #include "fault/assumption_monitor.h"
 #include "fault/fault_policy.h"
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 namespace linbound {
 namespace {
@@ -56,8 +56,8 @@ OneRun run_one(const std::shared_ptr<const ObjectModel>& model,
   driver.arm();
 
   const RunOutcome outcome = system.run_with_outcome();
-  const CheckResult check =
-      check_linearizable_with_pending(*model, outcome.history, outcome.pending);
+  const CheckResult check = check_linearizable_with_pending(
+      *model, outcome.history, outcome.pending, options.check);
 
   OneRun out;
   out.status = outcome.status;

@@ -49,10 +49,13 @@ struct FaultSweepOptions {
   /// injected boost).
   HardenedParams hardened;
   std::uint64_t base_seed = 0xfa017'5eedULL;
-  /// Worker threads (harness/parallel.h); every (cell, seed) run is an
+  /// Worker threads (common/parallel.h); every (cell, seed) run is an
   /// independent deterministic simulation, aggregated in canonical order,
   /// so any value produces byte-identical results.
   int jobs = 1;
+  /// Checker configuration for every run's (possibly pending-laden)
+  /// history; verdicts are identical at any value.
+  CheckOptions check;
 };
 
 /// The standard grid: drops alone, duplicates alone, spikes alone, and the

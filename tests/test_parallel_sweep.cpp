@@ -1,10 +1,10 @@
 // Serial-equals-parallel regression for every sweep in the harness: the
-// ParallelSweepExecutor (harness/parallel.h) must produce byte-identical
+// ParallelSweepExecutor (common/parallel.h) must produce byte-identical
 // results at any --jobs value, because each grid cell is an independent
 // deterministic simulation and aggregation happens serially in canonical
 // order.  A divergence here means a cell picked up state from outside its
 // own seed derivation -- a determinism bug, not a tolerance issue.
-#include "harness/parallel.h"
+#include "common/parallel.h"
 
 #include <gtest/gtest.h>
 
@@ -47,9 +47,17 @@ void expect_same(const LatencyReport& a, const LatencyReport& b) {
 
 TEST(ParallelSweep, ResolveJobs) {
   EXPECT_EQ(resolve_jobs(-3), 1);
+  EXPECT_EQ(resolve_jobs(-1), 1);
   EXPECT_EQ(resolve_jobs(1), 1);
   EXPECT_EQ(resolve_jobs(7), 7);
-  EXPECT_GE(resolve_jobs(0), 1);  // hardware-dependent but at least serial
+  // 0 = one per hardware thread; hardware-dependent but at least serial and
+  // never past the clamp.
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_LE(resolve_jobs(0), kMaxJobs);
+  // Absurd requests clamp instead of spawning a thread army.
+  EXPECT_EQ(resolve_jobs(kMaxJobs), kMaxJobs);
+  EXPECT_EQ(resolve_jobs(kMaxJobs + 1), kMaxJobs);
+  EXPECT_EQ(resolve_jobs(1 << 20), kMaxJobs);
 }
 
 TEST(ParallelSweep, MapMatchesSerialAndPropagatesExceptions) {

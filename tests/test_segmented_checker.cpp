@@ -1,0 +1,301 @@
+// The segmented / parallel checker's contract: byte-identical verdict,
+// witness and explanation to the serial seed checker at every CheckOptions
+// value -- segmentation on or off, any jobs count.  Differentially fuzzed
+// here over random histories (including pending invocations and
+// non-linearizable mutants), plus unit tests for quiescent-cut
+// segmentation and the shared state budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "checker/history.h"
+#include "checker/lin_checker.h"
+#include "common/rng.h"
+#include "types/queue_type.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+// --- segment_history unit tests ---------------------------------------------
+
+TEST(SegmentHistory, EmptyHistoryHasNoSegments) {
+  EXPECT_TRUE(segment_history(History{}).empty());
+}
+
+TEST(SegmentHistory, FullyConcurrentHistoryIsOneSegment) {
+  History h({{0, reg::write(1), Value::unit(), 0, 10},
+             {1, reg::read(), Value(1), 5, 15}});
+  const auto segments = segment_history(h);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].op_count, 2u);
+}
+
+TEST(SegmentHistory, GapsBecomeCuts) {
+  // Two concurrent bursts separated by a quiescent gap.
+  History h({{0, reg::write(1), Value::unit(), 0, 10},
+             {1, reg::write(2), Value::unit(), 0, 10},
+             {0, reg::read(), Value(2), 20, 30},
+             {1, reg::read(), Value(2), 20, 30}});
+  const auto segments = segment_history(h);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].op_count, 2u);
+  EXPECT_EQ(segments[1].op_count, 2u);
+  // Per-process ranges partition by_process order.
+  for (int p = 0; p < h.process_count(); ++p) {
+    EXPECT_EQ(segments[0].begin[static_cast<std::size_t>(p)], 0u);
+    EXPECT_EQ(segments[0].end[static_cast<std::size_t>(p)],
+              segments[1].begin[static_cast<std::size_t>(p)]);
+    EXPECT_EQ(segments[1].end[static_cast<std::size_t>(p)],
+              h.by_process(p).size());
+  }
+}
+
+TEST(SegmentHistory, EqualTimesAreConcurrentSoNoCut) {
+  // response == next invocation: concurrent under the strict real-time
+  // order (see LinChecker.EqualTimesCountAsConcurrent), so no cut.
+  History h({{0, reg::write(1), Value::unit(), 0, 10},
+             {1, reg::read(), Value(0), 10, 20}});
+  EXPECT_EQ(segment_history(h).size(), 1u);
+}
+
+TEST(SegmentHistory, PendingInvocationSuppressesLaterCuts) {
+  History h({{0, reg::write(1), Value::unit(), 0, 10},
+             {0, reg::read(), Value(1), 20, 30},
+             {0, reg::read(), Value(1), 40, 50}});
+  // Without pending: three sequential ops, three segments.
+  EXPECT_EQ(segment_history(h).size(), 3u);
+  // A pending invocation at t=25 never responds, so it is in flight at
+  // every later point: only the cut before it survives.
+  std::vector<PendingInvocation> pending{{1, reg::write(9), 25}};
+  EXPECT_EQ(segment_history(h, pending).size(), 2u);
+  // Pending from the very start: no cut anywhere.
+  std::vector<PendingInvocation> early{{1, reg::write(9), 0}};
+  EXPECT_EQ(segment_history(h, early).size(), 1u);
+}
+
+// --- differential fuzz -------------------------------------------------------
+
+struct GeneratedHistory {
+  History history;
+  std::vector<PendingInvocation> pending;
+};
+
+/// Random history with quiescent gaps (so segmentation kicks in), perturbed
+/// returns (so some histories are non-linearizable), and optionally pending
+/// invocations appended after each process's completed operations.
+GeneratedHistory random_segmented_history(const ObjectModel& model,
+                                          const std::vector<Operation>& pool,
+                                          int n_procs, int n_ops, Rng& rng,
+                                          bool allow_pending) {
+  std::vector<HistoryOp> ops;
+  std::vector<Tick> proc_clock(static_cast<std::size_t>(n_procs), 0);
+  auto global = model.initial_state();
+  for (int k = 0; k < n_ops; ++k) {
+    if (k > 0 && rng.chance(0.3)) {
+      // Quiescent gap: advance every process past the latest response.
+      Tick latest = 0;
+      for (Tick t : proc_clock) latest = std::max(latest, t);
+      for (Tick& t : proc_clock) t = latest + 2;
+    }
+    const auto p = static_cast<std::size_t>(rng.uniform(0, n_procs - 1));
+    const Operation& op = pool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    const Tick invoke = proc_clock[p] + rng.uniform(0, 3);
+    const Tick response = invoke + rng.uniform(1, 6);
+    proc_clock[p] = response + (rng.chance(0.5) ? 0 : 1);
+    Value ret = global->apply(op);
+    if (rng.chance(0.2)) ret = Value(rng.uniform(0, 3));
+    ops.push_back({static_cast<ProcessId>(p), op, ret, invoke, response});
+  }
+  GeneratedHistory out{History(std::move(ops)), {}};
+  if (allow_pending) {
+    for (int p = 0; p < n_procs && out.pending.size() < 2; ++p) {
+      if (!rng.chance(0.4)) continue;
+      const Operation& op = pool[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      const Tick invoke =
+          proc_clock[static_cast<std::size_t>(p)] + rng.uniform(0, 4);
+      out.pending.push_back({static_cast<ProcessId>(p), op, invoke});
+    }
+  }
+  return out;
+}
+
+void expect_same_output(const CheckResult& expected, const CheckResult& got,
+                        const ObjectModel& model, const History& h,
+                        const char* label) {
+  EXPECT_EQ(expected.ok, got.ok) << label << "\n" << h.to_string(model);
+  EXPECT_EQ(expected.witness, got.witness) << label << "\n"
+                                           << h.to_string(model);
+  EXPECT_EQ(expected.explanation, got.explanation)
+      << label << "\n"
+      << h.to_string(model);
+}
+
+void fuzz_against_serial(const std::shared_ptr<ObjectModel>& model,
+                         const std::vector<Operation>& pool,
+                         std::uint64_t seed, bool allow_pending) {
+  Rng rng(seed);
+  for (int iter = 0; iter < 60; ++iter) {
+    GeneratedHistory g = random_segmented_history(*model, pool, 3, 9, rng,
+                                                  allow_pending);
+    const CheckResult serial =
+        check_linearizable_with_pending(*model, g.history, g.pending);
+    for (const bool segment : {true, false}) {
+      for (const int jobs : {1, 2, 4}) {
+        CheckOptions options;
+        options.segment = segment;
+        options.jobs = jobs;
+        // Fan out even at fuzz-test sizes.
+        options.min_parallel_fanout = 2;
+        const CheckResult got = check_linearizable_with_pending(
+            *model, g.history, g.pending, options);
+        expect_same_output(serial, got, *model, g.history,
+                           segment ? "segmented" : "unsegmented");
+        if (segment && !g.history.empty()) {
+          EXPECT_GE(got.segments, 1u);
+        }
+      }
+    }
+    // On success with no pending ops, the witness must replay legally.
+    if (serial.ok && g.pending.empty() && !serial.early_exit) {
+      auto state = model->initial_state();
+      ASSERT_EQ(serial.witness.size(), g.history.size());
+      for (std::size_t i : serial.witness) {
+        const HistoryOp& op = g.history.ops()[i];
+        EXPECT_EQ(state->apply(op.op), op.ret) << g.history.to_string(*model);
+      }
+    }
+  }
+}
+
+class SegmentedCheckerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentedCheckerFuzz, RegisterHistoriesMatchSerial) {
+  auto model = std::make_shared<RegisterModel>();
+  std::vector<Operation> pool{reg::read(), reg::write(1), reg::write(2),
+                              reg::rmw(3), reg::increment(1)};
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  fuzz_against_serial(model, pool, seed * 7919 + 3, /*allow_pending=*/false);
+  fuzz_against_serial(model, pool, seed * 15485863 + 7, /*allow_pending=*/true);
+}
+
+TEST_P(SegmentedCheckerFuzz, QueueHistoriesMatchSerial) {
+  auto model = std::make_shared<QueueModel>();
+  std::vector<Operation> pool{queue_ops::enqueue(1), queue_ops::enqueue(2),
+                              queue_ops::dequeue(), queue_ops::peek()};
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  fuzz_against_serial(model, pool, seed * 104729 + 13, /*allow_pending=*/false);
+  fuzz_against_serial(model, pool, seed * 1299709 + 17, /*allow_pending=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentedCheckerFuzz, ::testing::Range(0, 4));
+
+// --- targeted parallel / counter behavior ------------------------------------
+
+/// The bench's wide-frontier shape, scaled down: `width` pairwise-concurrent
+/// distinct enqueues (every interleaving is a distinct state) plus a dequeue
+/// of a value never enqueued -- forces exhaustive search.
+History wide_frontier_history(int width) {
+  std::vector<HistoryOp> ops;
+  for (int p = 0; p < width; ++p) {
+    ops.push_back({static_cast<ProcessId>(p), queue_ops::enqueue(100 + p),
+                   Value::unit(), 0, 1});
+  }
+  ops.push_back({static_cast<ProcessId>(width), queue_ops::dequeue(),
+                 Value(999), 2, 3});
+  return History(std::move(ops));
+}
+
+TEST(SegmentedChecker, ParallelSearchActuallyFansOut) {
+  QueueModel model;
+  // Width 8: past the op_count >= 8 split heuristic, so tasks are spawned.
+  const History h = wide_frontier_history(8);
+  const CheckResult serial = check_linearizable(model, h);
+  CheckOptions options;
+  options.jobs = 4;
+  const CheckResult parallel = check_linearizable(model, h, options);
+  EXPECT_FALSE(parallel.ok);
+  EXPECT_EQ(serial.ok, parallel.ok);
+  EXPECT_EQ(serial.explanation, parallel.explanation);
+  EXPECT_GT(parallel.parallel_tasks, 0u);
+  EXPECT_EQ(parallel.segments, 2u);  // the enqueue burst, then the dequeue
+}
+
+TEST(SegmentedChecker, SerialCountersMatchSeedChecker) {
+  // At jobs <= 1 the counters (not just the verdict) are part of the
+  // contract: the unsegmented serial path is the seed algorithm.
+  QueueModel model;
+  const History h = wide_frontier_history(5);
+  const CheckResult seed = check_linearizable(model, h);
+  CheckOptions options;
+  options.segment = false;
+  options.jobs = 1;
+  const CheckResult same = check_linearizable(model, h, options);
+  EXPECT_EQ(seed.states_explored, same.states_explored);
+  EXPECT_EQ(seed.memo_hits, same.memo_hits);
+}
+
+TEST(SegmentedChecker, PerSegmentStatesSumToTotal) {
+  QueueModel model;
+  const History h = wide_frontier_history(5);
+  CheckOptions options;
+  options.jobs = 1;
+  const CheckResult result = check_linearizable(model, h, options);
+  ASSERT_EQ(result.per_segment_states.size(), result.segments);
+  std::size_t sum = 0;
+  for (std::size_t s : result.per_segment_states) sum += s;
+  EXPECT_EQ(sum, result.states_explored);
+}
+
+TEST(SegmentedChecker, StateBudgetIsSharedAcrossSegmentsAndWorkers) {
+  QueueModel model;
+  const History h = wide_frontier_history(6);
+  for (const int jobs : {1, 4}) {
+    CheckOptions options;
+    options.jobs = jobs;
+    options.limits.max_states = 50;
+    try {
+      check_linearizable(model, h, options);
+      FAIL() << "expected the state budget to trip at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("state budget"), std::string::npos) << what;
+      EXPECT_NE(what.find("max_states=50"), std::string::npos) << what;
+      EXPECT_NE(what.find("segment"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(SegmentedChecker, TrivialFastPathsMatchSerial) {
+  RegisterModel model;
+  CheckOptions options;
+  options.jobs = 4;
+  // Empty history.
+  const CheckResult empty = check_linearizable(model, History{}, options);
+  EXPECT_TRUE(empty.ok);
+  EXPECT_TRUE(empty.early_exit);
+  // Single process: replay fast path.
+  History solo({{0, reg::write(1), Value::unit(), 0, 10},
+                {0, reg::read(), Value(1), 20, 30}});
+  const CheckResult serial = check_linearizable(model, solo);
+  const CheckResult fast = check_linearizable(model, solo, options);
+  EXPECT_EQ(serial.ok, fast.ok);
+  EXPECT_EQ(serial.witness, fast.witness);
+  EXPECT_TRUE(fast.early_exit);
+  // Only pending invocations, no completed ops.
+  std::vector<PendingInvocation> pending{{0, reg::write(1), 5}};
+  const CheckResult pend_serial =
+      check_linearizable_with_pending(model, History{}, pending);
+  const CheckResult pend_fast =
+      check_linearizable_with_pending(model, History{}, pending, options);
+  EXPECT_EQ(pend_serial.ok, pend_fast.ok);
+  EXPECT_TRUE(pend_fast.ok);
+}
+
+}  // namespace
+}  // namespace linbound
