@@ -7,9 +7,14 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/format.h"
 #include "harness/bounds_table.h"
@@ -39,6 +44,88 @@ class Stopwatch {
 
  private:
   double start_;
+};
+
+/// Flat JSON report shared by the perf binaries: bench_perf and
+/// bench_throughput both merge their keys into the one BENCH_perf.json
+/// committed at the repo root (and uploaded by the perf CI workflow), so
+/// either can run alone without clobbering the other's section.  The format
+/// is deliberately minimal -- one `"key": value` pair per line, insertion
+/// ordered -- which is what load() parses back.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) { load(); }
+
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    put(key, buf);
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, unsigned value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) { put(key, std::to_string(value)); }
+  void set(const std::string& key, long long value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    put(key, value ? "true" : "false");
+  }
+
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return bool(out);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void put(const std::string& key, std::string value) {
+    for (auto& entry : entries_) {
+      if (entry.first == key) {
+        entry.second = std::move(value);
+        return;
+      }
+    }
+    entries_.emplace_back(key, std::move(value));
+  }
+
+  /// Best-effort parse of a previous report (our own flat format only);
+  /// anything unparseable starts the report fresh.
+  void load() {
+    std::ifstream in(path_);
+    if (!in) return;
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto open = line.find('"');
+      if (open == std::string::npos) continue;
+      const auto close = line.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const auto colon = line.find(':', close);
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && (value.back() == ',' || value.back() == ' ' ||
+                                value.back() == '\r')) {
+        value.pop_back();
+      }
+      const auto start = value.find_first_not_of(' ');
+      if (start == std::string::npos) continue;
+      put(line.substr(open + 1, close - open - 1), value.substr(start));
+    }
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 inline constexpr int kN = 4;

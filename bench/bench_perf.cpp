@@ -293,38 +293,38 @@ int main(int argc, char** argv) {
     std::printf("\nfewer than 4 workers available; speedup gates waived\n");
   }
 
-  std::ofstream json("BENCH_perf.json");
-  json << "{\n"
-       << "  \"jobs\": " << jobs << ",\n"
-       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
-       << "  \"checker_histories_per_s\": " << checks_per_s << ",\n"
-       << "  \"checker_ops_per_s\": " << ops_per_s << ",\n"
-       << "  \"checker_memo_hit_rate\": " << memo_rate << ",\n"
-       << "  \"phase_simulate_s\": " << simulate_s << ",\n"
-       << "  \"phase_check_s\": " << check_s << ",\n"
-       << "  \"checker_scaling_seed_serial_s\": " << wide_seed_s << ",\n"
-       << "  \"checker_scaling_segmented_serial_s\": " << wide_serial_s << ",\n"
-       << "  \"checker_scaling_parallel_s\": " << wide_par_s << ",\n"
-       << "  \"checker_parallel_speedup\": " << checker_speedup << ",\n"
-       << "  \"checker_parallel_tasks\": " << wide_par.parallel_tasks << ",\n"
-       << "  \"checker_scaling_identical\": "
-       << (wide_identical && multi_identical ? "true" : "false") << ",\n"
-       << "  \"checker_multi_segment_segments\": " << multi_serial.segments << ",\n"
-       << "  \"checker_multi_segment_seed_s\": " << multi_seed_s << ",\n"
-       << "  \"checker_multi_segment_segmented_s\": " << multi_serial_s << ",\n"
-       << "  \"checker_multi_segment_parallel_s\": " << multi_par_s << ",\n"
-       << "  \"simulator_events_per_s\": " << events_per_s << ",\n"
-       << "  \"fault_sweep_serial_s\": " << fault.serial_s << ",\n"
-       << "  \"fault_sweep_parallel_s\": " << fault.parallel_s << ",\n"
-       << "  \"fault_sweep_speedup\": " << fault.speedup() << ",\n"
-       << "  \"fault_sweep_identical\": " << (fault.identical ? "true" : "false") << ",\n"
-       << "  \"churn_sweep_serial_s\": " << churn.serial_s << ",\n"
-       << "  \"churn_sweep_parallel_s\": " << churn.parallel_s << ",\n"
-       << "  \"churn_sweep_speedup\": " << churn.speedup() << ",\n"
-       << "  \"churn_sweep_identical\": " << (churn.identical ? "true" : "false") << ",\n"
-       << "  \"best_sweep_speedup\": " << best_speedup << "\n"
-       << "}\n";
-  std::printf("wrote BENCH_perf.json\n");
+  // Merge into the shared report (bench_throughput owns the throughput_*
+  // keys of the same file; see bench_common.h JsonReport).
+  JsonReport json("BENCH_perf.json");
+  json.set("jobs", jobs);
+  json.set("hardware_threads", std::thread::hardware_concurrency());
+  json.set("checker_histories_per_s", checks_per_s);
+  json.set("checker_ops_per_s", ops_per_s);
+  json.set("checker_memo_hit_rate", memo_rate);
+  json.set("phase_simulate_s", simulate_s);
+  json.set("phase_check_s", check_s);
+  json.set("checker_scaling_seed_serial_s", wide_seed_s);
+  json.set("checker_scaling_segmented_serial_s", wide_serial_s);
+  json.set("checker_scaling_parallel_s", wide_par_s);
+  json.set("checker_parallel_speedup", checker_speedup);
+  json.set("checker_parallel_tasks", wide_par.parallel_tasks);
+  json.set("checker_scaling_identical", wide_identical && multi_identical);
+  json.set("checker_multi_segment_segments", multi_serial.segments);
+  json.set("checker_multi_segment_seed_s", multi_seed_s);
+  json.set("checker_multi_segment_segmented_s", multi_serial_s);
+  json.set("checker_multi_segment_parallel_s", multi_par_s);
+  json.set("simulator_events_per_s", events_per_s);
+  json.set("fault_sweep_serial_s", fault.serial_s);
+  json.set("fault_sweep_parallel_s", fault.parallel_s);
+  json.set("fault_sweep_speedup", fault.speedup());
+  json.set("fault_sweep_identical", fault.identical);
+  json.set("churn_sweep_serial_s", churn.serial_s);
+  json.set("churn_sweep_parallel_s", churn.parallel_s);
+  json.set("churn_sweep_speedup", churn.speedup());
+  json.set("churn_sweep_identical", churn.identical);
+  json.set("best_sweep_speedup", best_speedup);
+  std::printf(json.write() ? "wrote %s\n" : "FAILED writing %s\n",
+              json.path().c_str());
 
   return finish(ok);
 }

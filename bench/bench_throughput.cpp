@@ -1,0 +1,383 @@
+// Simulator-core throughput: a million-operation open-loop run through
+// Algorithm 1 (plus centralized / TOB baseline runs), measured end-to-end
+// and at the queue level, with a regression gate against the seed binary
+// heap.
+//
+// What runs:
+//   * HeavyTrafficWorkload (core/workload.h) drives --ops (default 1M)
+//     register reads/writes through a 4-replica Algorithm 1 system, once
+//     with the calendar event queue and once with the seed binary heap.
+//     The two traces are FNV-1a-hashed through write_trace and must be
+//     byte-identical -- the determinism contract, checked at full scale.
+//   * The calendar run records every queue push/pop via EventQueue::set_log;
+//     that exact interleaving is replayed through both queue
+//     implementations in isolation, timing the data structure alone
+//     (the end-to-end run also spends time in process logic, so the
+//     queue-level replay is where the structural speedup is visible).
+//   * The same workload (at --baseline-ops, default 200k) runs through the
+//     centralized and TOB baselines for the cross-algorithm picture.
+//
+// Latency percentiles are reported against the paper's bounds: accessors
+// respond in exactly d+eps-X and pure mutators ack in eps+X under the
+// default worst-case delay policy (all messages take d), so p50 == max ==
+// bound is the expected shape; the centralized/TOB numbers sit at ~2d
+// (the folklore bound Algorithm 1 beats).
+//
+// Exit status is 0 only when
+//   * both replica runs complete (every operation answered, no event-cap
+//     trip) and their traces hash identically,
+//   * accessor/mutator worst-case latencies meet the paper's bounds, and
+//   * max(queue-replay speedup, end-to-end speedup) >= 1.5x over the seed
+//     heap -- the throughput-regression gate enforced by perf CI.
+//
+// Results merge into BENCH_perf.json under throughput_* keys (JsonReport
+// preserves bench_perf's keys).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "harness/latency.h"
+#include "sim/trace_io.h"
+#include "types/register_type.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+/// FNV-1a over everything written, so a ~100MB serialized trace can be
+/// compared without materializing it.
+class HashStreambuf final : public std::streambuf {
+ public:
+  std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) absorb(static_cast<unsigned char>(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) {
+      absorb(static_cast<unsigned char>(s[i]));
+    }
+    return n;
+  }
+
+ private:
+  void absorb(unsigned char c) {
+    hash_ = (hash_ ^ c) * 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+std::uint64_t hash_trace(const Trace& trace) {
+  HashStreambuf buf;
+  std::ostream os(&buf);
+  write_trace(os, trace);
+  return buf.hash();
+}
+
+struct RunResult {
+  bool complete = false;
+  double seconds = 0;
+  std::size_t events = 0;
+  std::size_t ops = 0;
+  std::uint64_t trace_hash = 0;
+  TraceStats stats;
+  LatencyReport latency;
+
+  double events_per_s() const { return seconds > 0 ? events / seconds : 0; }
+  double ops_per_s() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+HeavyTrafficOptions workload_options(std::size_t ops) {
+  HeavyTrafficOptions w;
+  w.clients = kN;
+  w.total_ops = ops;
+  // Open-loop floor above every system's worst-case response (d+eps for
+  // Algorithm 1, ~2d for the baselines); prime jitter spreads arrivals
+  // across ticks so bucket occupancy is irregular, not strided.
+  w.min_gap = 4 * default_timing().d;
+  w.jitter = 997;
+  return w;
+}
+
+/// One open-loop run through `SystemT`; when `log` is non-null the queue
+/// records its push/pop stream into it (replica calendar run only -- the
+/// one extra branch per operation biases *against* the calendar, which is
+/// the conservative direction for the gate).
+template <typename SystemT>
+RunResult run_system(const std::shared_ptr<const ObjectModel>& model,
+                     std::size_t ops, EventQueueImpl impl,
+                     std::vector<std::int64_t>* log, std::size_t log_cap) {
+  SystemOptions sys;
+  sys.n = kN;
+  sys.timing = default_timing();
+  sys.x = 0;
+  sys.queue_impl = impl;
+  // Algorithm 1 costs ~3n+2 events per mutator (broadcast + per-replica
+  // holdback timers); 40x leaves generous headroom for every system here.
+  sys.max_events = ops * 40 + 100'000;
+
+  SystemT system(model, sys);
+  HeavyTrafficWorkload workload(system.sim(), workload_options(ops));
+  if (log) {
+    log->clear();
+    log->reserve(log_cap);
+    system.sim().event_queue().set_log(log, log_cap);
+  }
+  system.sim().start();
+  workload.arm();
+
+  RunResult out;
+  const double t0 = now_seconds();
+  const bool quiescent = system.sim().run();
+  out.seconds = now_seconds() - t0;
+
+  const Trace& trace = system.sim().trace();
+  out.complete = quiescent && trace.complete() &&
+                 trace.ops.size() == ops && workload.scheduled() == ops;
+  out.events = system.sim().events_processed();
+  out.ops = trace.ops.size();
+  out.trace_hash = hash_trace(trace);
+  out.stats = trace.stats;
+  out.latency.absorb(*model, trace);
+  return out;
+}
+
+/// Replay a recorded push/pop interleaving through a bare EventQueue:
+/// the queue-level timing, free of process logic.  Returns seconds; sinks
+/// the popped (time, priority) stream into `sink` so the work cannot be
+/// optimized away (and so the two impls' pop streams can be compared).
+double replay_log(EventQueueImpl impl, const std::vector<std::int64_t>& log,
+                  std::uint64_t* sink) {
+  EventQueue queue(impl);
+  queue.reserve(4096);
+  std::uint64_t acc = 14695981039346656037ull;
+  const double t0 = now_seconds();
+  for (const std::int64_t entry : log) {
+    if (entry == EventQueue::kPopSentinel) {
+      if (queue.empty()) continue;  // guard: log truncated mid-stream
+      const SimEvent ev = queue.pop();
+      acc = (acc ^ static_cast<std::uint64_t>(ev.time)) * 1099511628211ull;
+      acc = (acc ^ static_cast<std::uint64_t>(ev.priority)) * 1099511628211ull;
+    } else {
+      SimEvent ev;
+      ev.kind = EventKind::kTimer;  // POD kind: pushing allocates nothing
+      queue.push_typed(entry >> 1, static_cast<EventPriority>(entry & 1), ev);
+    }
+  }
+  const double elapsed = now_seconds() - t0;
+  *sink = acc;
+  return elapsed;
+}
+
+std::string parse_flag(int argc, char** argv, const char* flag,
+                       const char* fallback) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(flag, 0) == 0 && arg.size() > flag_len &&
+        arg[flag_len] == '=') {
+      return arg.substr(flag_len + 1);
+    }
+  }
+  return fallback;
+}
+
+std::size_t parse_size(int argc, char** argv, const char* flag,
+                       std::size_t fallback) {
+  const std::string value = parse_flag(argc, argv, flag, "");
+  return value.empty() ? fallback
+                       : static_cast<std::size_t>(std::atoll(value.c_str()));
+}
+
+void print_class_latency(const char* label, const LatencyReport& report,
+                         OpClass cls, Tick bound) {
+  auto it = report.by_class.find(cls);
+  if (it == report.by_class.end()) {
+    std::printf("  %-10s (no samples)\n", label);
+    return;
+  }
+  const LatencySummary& s = it->second;
+  std::printf("  %-10s p50=%lld p95=%lld p99=%lld max=%lld  (bound %lld: %s)\n",
+              label, static_cast<long long>(s.percentile(50)),
+              static_cast<long long>(s.percentile(95)),
+              static_cast<long long>(s.percentile(99)),
+              static_cast<long long>(s.max), static_cast<long long>(bound),
+              s.max <= bound ? "met" : "EXCEEDED");
+}
+
+Tick class_max(const LatencyReport& report, OpClass cls) {
+  auto it = report.by_class.find(cls);
+  return it == report.by_class.end() ? kNoTime : it->second.max;
+}
+
+Tick class_pct(const LatencyReport& report, OpClass cls, double p) {
+  auto it = report.by_class.find(cls);
+  return it == report.by_class.end() ? kNoTime : it->second.percentile(p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("bench_throughput: million-op open-loop simulator throughput");
+
+  const std::size_t ops = parse_size(argc, argv, "--ops", 1'000'000);
+  const std::size_t baseline_ops =
+      parse_size(argc, argv, "--baseline-ops", 200'000);
+  const std::size_t log_cap = parse_size(argc, argv, "--log-cap", 8'000'000);
+  const SystemTiming timing = default_timing();
+  const Tick aop_bound = timing.d + timing.eps;  // d+eps-X with X=0
+  const Tick mop_bound = timing.eps;             // eps+X with X=0
+
+  auto model = std::make_shared<RegisterModel>();
+
+  // --- 1. Algorithm 1, calendar queue (the default), with queue log -------
+  std::printf("replica run: %zu ops, n=%d, d=%lld u=%lld eps=%lld, X=0\n", ops,
+              kN, static_cast<long long>(timing.d),
+              static_cast<long long>(timing.u),
+              static_cast<long long>(timing.eps));
+  std::vector<std::int64_t> queue_log;
+  const RunResult calendar = run_system<ReplicaSystem>(
+      model, ops, EventQueueImpl::kCalendar, &queue_log, log_cap);
+  std::printf(
+      "calendar:  %.3fs, %zu events (%.0f events/s, %.0f ops/s)%s\n",
+      calendar.seconds, calendar.events, calendar.events_per_s(),
+      calendar.ops_per_s(), calendar.complete ? "" : "  [INCOMPLETE]");
+  std::printf(
+      "timers:    %llu set, %llu cancelled, %llu purged at dispatch\n",
+      static_cast<unsigned long long>(calendar.stats.timers_set),
+      static_cast<unsigned long long>(calendar.stats.timers_cancelled),
+      static_cast<unsigned long long>(calendar.stats.timers_purged));
+
+  // --- 2. Algorithm 1, seed binary heap (the regression baseline) ---------
+  const RunResult heap = run_system<ReplicaSystem>(
+      model, ops, EventQueueImpl::kBinaryHeap, nullptr, 0);
+  std::printf(
+      "seed heap: %.3fs, %zu events (%.0f events/s, %.0f ops/s)%s\n",
+      heap.seconds, heap.events, heap.events_per_s(), heap.ops_per_s(),
+      heap.complete ? "" : "  [INCOMPLETE]");
+
+  const bool traces_identical = calendar.trace_hash == heap.trace_hash &&
+                                calendar.events == heap.events;
+  const double e2e_speedup =
+      calendar.seconds > 0 ? heap.seconds / calendar.seconds : 0;
+  std::printf("traces:    %s (fnv1a %016llx), end-to-end speedup %.2fx\n",
+              traces_identical ? "byte-identical" : "DIVERGED",
+              static_cast<unsigned long long>(calendar.trace_hash),
+              e2e_speedup);
+
+  // --- 3. Queue-level replay of the recorded interleaving -----------------
+  std::uint64_t sink_cal = 0, sink_heap = 0;
+  const double replay_cal_s =
+      replay_log(EventQueueImpl::kCalendar, queue_log, &sink_cal);
+  const double replay_heap_s =
+      replay_log(EventQueueImpl::kBinaryHeap, queue_log, &sink_heap);
+  const bool replay_identical = sink_cal == sink_heap;
+  const double replay_speedup =
+      replay_cal_s > 0 ? replay_heap_s / replay_cal_s : 0;
+  std::printf(
+      "replay:    %zu log entries; calendar %.3fs, heap %.3fs (%.2fx, pops %s)\n",
+      queue_log.size(), replay_cal_s, replay_heap_s, replay_speedup,
+      replay_identical ? "identical" : "DIVERGED");
+
+  // --- 4. Latency percentiles vs the paper's bounds ------------------------
+  std::printf("\nlatency (replica, %zu ops):\n", ops);
+  print_class_latency("accessor", calendar.latency, OpClass::kPureAccessor,
+                      aop_bound);
+  print_class_latency("mutator", calendar.latency, OpClass::kPureMutator,
+                      mop_bound);
+  const bool bounds_met =
+      class_max(calendar.latency, OpClass::kPureAccessor) <= aop_bound &&
+      class_max(calendar.latency, OpClass::kPureMutator) <= mop_bound;
+
+  // --- 5. Centralized / TOB baselines (folklore ~2d latency) ---------------
+  const RunResult central = run_system<CentralizedSystem>(
+      model, baseline_ops, EventQueueImpl::kCalendar, nullptr, 0);
+  const RunResult tob = run_system<TobSystem>(
+      model, baseline_ops, EventQueueImpl::kCalendar, nullptr, 0);
+  std::printf("\nbaselines (%zu ops each, vs folklore 2d = %lld):\n",
+              baseline_ops, static_cast<long long>(2 * timing.d));
+  std::printf("  centralized: %.3fs (%.0f events/s), worst latency %lld%s\n",
+              central.seconds, central.events_per_s(),
+              static_cast<long long>(
+                  class_max(central.latency, OpClass::kPureAccessor)),
+              central.complete ? "" : "  [INCOMPLETE]");
+  std::printf("  tob:         %.3fs (%.0f events/s), worst latency %lld%s\n",
+              tob.seconds, tob.events_per_s(),
+              static_cast<long long>(
+                  class_max(tob.latency, OpClass::kPureAccessor)),
+              tob.complete ? "" : "  [INCOMPLETE]");
+
+  // --- Verdict + JSON ------------------------------------------------------
+  // The structural win lives at the queue level; end-to-end also counts
+  // when process logic is cheap enough for the queue to dominate.
+  const double gate_speedup = std::max(replay_speedup, e2e_speedup);
+  const bool speedup_ok = gate_speedup >= 1.5;
+  std::printf("\nregression gate: max(replay %.2fx, end-to-end %.2fx) = "
+              "%.2fx (need >= 1.5x vs seed heap)\n",
+              replay_speedup, e2e_speedup, gate_speedup);
+  const bool ok = calendar.complete && heap.complete && central.complete &&
+                  tob.complete && traces_identical && replay_identical &&
+                  bounds_met && speedup_ok;
+
+  JsonReport json(parse_flag(argc, argv, "--json", "BENCH_perf.json"));
+  json.set("throughput_ops", ops);
+  json.set("throughput_baseline_ops", baseline_ops);
+  json.set("throughput_replica_events", calendar.events);
+  json.set("throughput_calendar_s", calendar.seconds);
+  json.set("throughput_heap_s", heap.seconds);
+  json.set("throughput_calendar_events_per_s", calendar.events_per_s());
+  json.set("throughput_heap_events_per_s", heap.events_per_s());
+  json.set("throughput_calendar_ops_per_s", calendar.ops_per_s());
+  json.set("throughput_e2e_speedup", e2e_speedup);
+  json.set("throughput_replay_entries", queue_log.size());
+  json.set("throughput_replay_calendar_s", replay_cal_s);
+  json.set("throughput_replay_heap_s", replay_heap_s);
+  json.set("throughput_replay_speedup", replay_speedup);
+  json.set("throughput_gate_speedup", gate_speedup);
+  json.set("throughput_traces_identical", traces_identical);
+  json.set("throughput_replay_identical", replay_identical);
+  json.set("throughput_timers_set",
+           static_cast<std::uint64_t>(calendar.stats.timers_set));
+  json.set("throughput_timers_cancelled",
+           static_cast<std::uint64_t>(calendar.stats.timers_cancelled));
+  json.set("throughput_timers_purged",
+           static_cast<std::uint64_t>(calendar.stats.timers_purged));
+  json.set("throughput_aop_bound", static_cast<long long>(aop_bound));
+  json.set("throughput_aop_p50", static_cast<long long>(class_pct(
+                                     calendar.latency, OpClass::kPureAccessor, 50)));
+  json.set("throughput_aop_p99", static_cast<long long>(class_pct(
+                                     calendar.latency, OpClass::kPureAccessor, 99)));
+  json.set("throughput_aop_max", static_cast<long long>(class_max(
+                                     calendar.latency, OpClass::kPureAccessor)));
+  json.set("throughput_mop_bound", static_cast<long long>(mop_bound));
+  json.set("throughput_mop_p50", static_cast<long long>(class_pct(
+                                     calendar.latency, OpClass::kPureMutator, 50)));
+  json.set("throughput_mop_p99", static_cast<long long>(class_pct(
+                                     calendar.latency, OpClass::kPureMutator, 99)));
+  json.set("throughput_mop_max", static_cast<long long>(class_max(
+                                     calendar.latency, OpClass::kPureMutator)));
+  json.set("throughput_bounds_met", bounds_met);
+  json.set("throughput_centralized_events_per_s", central.events_per_s());
+  json.set("throughput_centralized_max_latency",
+           static_cast<long long>(
+               class_max(central.latency, OpClass::kPureAccessor)));
+  json.set("throughput_tob_events_per_s", tob.events_per_s());
+  json.set("throughput_tob_max_latency",
+           static_cast<long long>(
+               class_max(tob.latency, OpClass::kPureAccessor)));
+  std::printf(json.write() ? "wrote %s\n" : "FAILED writing %s\n",
+              json.path().c_str());
+
+  return finish(ok);
+}

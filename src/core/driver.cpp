@@ -33,6 +33,13 @@ WorkloadDriver::WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts
 }
 
 void WorkloadDriver::arm() {
+  // Reserve the operation records for the whole run up front (closed-loop
+  // scripts know their op counts exactly; recovery reissues are rare
+  // extras).  Message/event totals depend on the algorithm under test, so
+  // only the known-tight hint is passed.
+  std::size_t total_ops = 0;
+  for (const ClientScript& script : scripts_) total_ops += script.ops.size();
+  sim_.reserve(/*ops=*/total_ops, /*messages=*/0, /*events=*/0);
   for (std::size_t s = 0; s < scripts_.size(); ++s) {
     const ClientScript& script = scripts_[s];
     if (script.ops.empty()) continue;

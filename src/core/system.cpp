@@ -25,6 +25,7 @@ ObjectSystem::ObjectSystem(std::shared_ptr<const ObjectModel> model,
   config.delays = options.delays;
   config.faults = options.faults;
   config.max_events = options.max_events;
+  config.queue_impl = options.queue_impl;
   sim_ = std::make_unique<Simulator>(std::move(config));
 }
 

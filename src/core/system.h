@@ -46,6 +46,10 @@ struct SystemOptions {
   /// operation forever.  0 = wait forever (the historical behavior).
   Tick give_up_after = 0;
   std::size_t max_events = 10'000'000;
+  /// Future-event-list implementation (sim/event_queue.h); both produce
+  /// byte-identical traces.  kBinaryHeap is the seed structure, used by the
+  /// differential tests and the bench_throughput regression baseline.
+  EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
 };
 
 /// How a run ended.

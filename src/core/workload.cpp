@@ -1,5 +1,8 @@
 #include "core/workload.h"
 
+#include <stdexcept>
+#include <utility>
+
 #include "types/array_type.h"
 #include "types/queue_type.h"
 #include "types/register_type.h"
@@ -131,6 +134,78 @@ std::vector<Operation> random_tree_ops(Rng& rng, int count, const OpMix& mix) {
     }
   }
   return out;
+}
+
+HeavyTrafficWorkload::HeavyTrafficWorkload(Simulator& sim,
+                                           HeavyTrafficOptions options)
+    : sim_(sim), opt_(std::move(options)) {
+  if (opt_.clients < 1) throw std::invalid_argument("HeavyTraffic: no clients");
+  if (opt_.min_gap < 1) {
+    throw std::invalid_argument(
+        "HeavyTraffic: min_gap must be positive (the model allows one "
+        "pending operation per process; see HeavyTrafficOptions::min_gap)");
+  }
+  if (opt_.jitter < 0) throw std::invalid_argument("HeavyTraffic: negative jitter");
+  if (opt_.batch == 0) opt_.batch = 1;
+  if (opt_.accessors < 0 || opt_.mutators < 0 ||
+      opt_.accessors + opt_.mutators <= 0) {
+    throw std::invalid_argument("HeavyTraffic: bad accessor/mutator weights");
+  }
+  Rng root(opt_.seed);
+  rngs_.reserve(static_cast<std::size_t>(opt_.clients));
+  next_time_.reserve(static_cast<std::size_t>(opt_.clients));
+  for (int c = 0; c < opt_.clients; ++c) {
+    rngs_.push_back(root.split(static_cast<std::uint64_t>(c)));
+    // Stagger the first arrivals across one mean gap so the clients do not
+    // start in lockstep.
+    next_time_.push_back(opt_.start_time +
+                         rngs_.back().uniform(0, opt_.min_gap + opt_.jitter));
+  }
+}
+
+void HeavyTrafficWorkload::arm() {
+  const std::size_t msgs_per_op = opt_.messages_per_op
+                                      ? opt_.messages_per_op
+                                      : static_cast<std::size_t>(opt_.clients);
+  // Pre-reserve the hot-loop storage: operation and message records for the
+  // whole run, and queue capacity for one scheduling burst plus headroom
+  // for in-flight deliveries and timers.
+  sim_.reserve(/*ops=*/opt_.total_ops,
+               /*messages=*/opt_.total_ops * msgs_per_op,
+               /*events=*/2 * opt_.batch + 1024);
+  schedule_batch();
+}
+
+void HeavyTrafficWorkload::schedule_batch() {
+  const int total_weight = opt_.accessors + opt_.mutators;
+  std::size_t issued = 0;
+  while (issued < opt_.batch && scheduled_ < opt_.total_ops) {
+    // Next arrival across the clients in global time order (ties by client
+    // id): with at most a few dozen clients a linear scan beats any heap.
+    int client = 0;
+    for (int c = 1; c < opt_.clients; ++c) {
+      if (next_time_[static_cast<std::size_t>(c)] <
+          next_time_[static_cast<std::size_t>(client)]) {
+        client = c;
+      }
+    }
+    const auto ci = static_cast<std::size_t>(client);
+    Rng& rng = rngs_[ci];
+    const Tick t = next_time_[ci];
+    const bool accessor = rng.uniform(0, total_weight - 1) < opt_.accessors;
+    sim_.invoke_at(t, static_cast<ProcessId>(client),
+                   accessor ? reg::read() : reg::write(small_value(rng)));
+    next_time_[ci] = t + opt_.min_gap +
+                     (opt_.jitter > 0 ? rng.uniform(0, opt_.jitter) : 0);
+    last_time_ = t;
+    ++scheduled_;
+    ++issued;
+  }
+  if (scheduled_ < opt_.total_ops) {
+    // Chain the next burst at this burst's horizon: every remaining arrival
+    // is at t >= last_time_, so nothing is ever scheduled into the past.
+    sim_.call_at(last_time_, [this] { schedule_batch(); });
+  }
 }
 
 std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,

@@ -1,11 +1,13 @@
 // Workload generation: deterministic random operation streams per data
-// type, used by the integration tests and the latency benches.
+// type (used by the integration tests and the latency benches), plus the
+// open-loop HeavyTrafficWorkload generator behind bench_throughput.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/simulator.h"
 #include "spec/operation.h"
 
 namespace linbound {
@@ -27,5 +29,63 @@ std::vector<Operation> random_set_ops(Rng& rng, int count, const OpMix& mix);
 std::vector<Operation> random_tree_ops(Rng& rng, int count, const OpMix& mix);
 std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,
                                         int array_size);
+
+/// Configuration for HeavyTrafficWorkload (see below).  The effective
+/// per-client arrival rate is 1 / (min_gap + jitter/2) operations per tick,
+/// i.e. clients / (min_gap + jitter/2) system-wide.
+struct HeavyTrafficOptions {
+  int clients = 4;                 ///< invoking processes 0..clients-1
+  std::size_t total_ops = 1'000'000;
+  Tick start_time = 1000;          ///< earliest possible arrival
+  /// Per-client inter-arrival floor.  Open-loop scheduling does not wait
+  /// for responses, but the model allows one pending operation per process
+  /// (the simulator throws on overlap), so this must exceed the worst-case
+  /// response bound of the system under test (e.g. d + eps for Algorithm 1,
+  /// ~2d for the centralized/TOB baselines; bench_throughput uses 4d).
+  Tick min_gap = 4000;
+  Tick jitter = 0;                 ///< extra uniform spacing in [0, jitter]
+  int accessors = 1;               ///< weight of register reads
+  int mutators = 1;                ///< weight of register writes
+  std::uint64_t seed = 0x7ea4f'f1cULL;
+  /// Arrivals scheduled per scheduling burst: the generator issues this
+  /// many invoke_at calls, then chains one callback at the burst's last
+  /// arrival time to schedule the next burst, keeping the future-event
+  /// list's footprint O(batch) instead of O(total_ops).  The schedule is a
+  /// pure function of this configuration, batch size included.
+  std::size_t batch = 4096;
+  /// Trace::messages reservation hint per operation; 0 = clients (sized
+  /// for Algorithm 1's broadcast per operation).
+  std::size_t messages_per_op = 0;
+};
+
+/// Open-loop traffic at a configurable arrival rate: every arrival time is
+/// fixed up front from the seed (never response-driven, unlike the
+/// closed-loop WorkloadDriver), with a read/write register mix.  arm()
+/// pre-reserves Trace::ops / Trace::messages / EventQueue storage from the
+/// size hints and schedules the first burst; the rest of the schedule
+/// installs itself as the run progresses.  Deterministic: one
+/// configuration, one schedule, byte-identical traces.
+class HeavyTrafficWorkload {
+ public:
+  HeavyTrafficWorkload(Simulator& sim, HeavyTrafficOptions options);
+
+  /// Reserve storage and schedule the first burst.  Call once, before
+  /// Simulator::run (before or after start()).
+  void arm();
+
+  std::size_t scheduled() const { return scheduled_; }
+  /// Arrival time of the latest scheduled invocation.
+  Tick last_arrival() const { return last_time_; }
+
+ private:
+  void schedule_batch();
+
+  Simulator& sim_;
+  HeavyTrafficOptions opt_;
+  std::vector<Rng> rngs_;        // per client
+  std::vector<Tick> next_time_;  // per client: next arrival
+  std::size_t scheduled_ = 0;
+  Tick last_time_ = 0;
+};
 
 }  // namespace linbound

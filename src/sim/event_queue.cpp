@@ -5,6 +5,10 @@
 
 namespace linbound {
 
+EventQueue::EventQueue(EventQueueImpl impl) : impl_(impl) {
+  if (impl_ == EventQueueImpl::kCalendar) buckets_.resize(kWindow);
+}
+
 std::uint64_t EventQueue::push(Tick time, EventPriority priority,
                                std::function<void()> fire) {
   SimEvent ev;
@@ -19,45 +23,163 @@ std::uint64_t EventQueue::push_typed(Tick time, EventPriority priority,
   ev.time = time;
   ev.priority = static_cast<int>(priority);
   ev.seq = seq;
-  heap_.push_back(std::move(ev));
-  sift_up(heap_.size() - 1);
+  log_push(time, ev.priority);
+  ++size_;
+  if (impl_ == EventQueueImpl::kBinaryHeap) {
+    heap_push(heap_, std::move(ev));
+  } else {
+    calendar_push(std::move(ev));
+  }
   return seq;
 }
 
 Tick EventQueue::next_time() const {
-  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  if (size_ == 0) return kTimeInfinity;
+  if (impl_ == EventQueueImpl::kBinaryHeap) return heap_.front().time;
+  return calendar_next_time();
 }
 
 SimEvent EventQueue::pop() {
-  assert(!heap_.empty());
-  SimEvent out = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  assert(size_ > 0 && "EventQueue::pop on an empty queue");
+  log_pop();
+  --size_;
+  if (impl_ == EventQueueImpl::kBinaryHeap) return heap_pop(heap_);
+  return calendar_pop();
+}
+
+void EventQueue::reserve(std::size_t events) {
+  // Both the heap impl and the calendar's overflow rung absorb scheduling
+  // bursts (batched open-loop invocations land far in the future), so the
+  // contiguous heap vector is the one worth pre-sizing in either mode.
+  if (heap_.capacity() < events) heap_.reserve(events);
+}
+
+// --- binary-heap machinery --------------------------------------------------
+
+void EventQueue::heap_push(std::vector<SimEvent>& heap, SimEvent ev) {
+  heap.push_back(std::move(ev));
+  sift_up(heap, heap.size() - 1);
+}
+
+SimEvent EventQueue::heap_pop(std::vector<SimEvent>& heap) {
+  assert(!heap.empty());
+  SimEvent out = std::move(heap.front());
+  heap.front() = std::move(heap.back());
+  heap.pop_back();
+  if (!heap.empty()) sift_down(heap, 0);
   return out;
 }
 
-void EventQueue::sift_up(std::size_t i) {
+void EventQueue::sift_up(std::vector<SimEvent>& heap, std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    if (!later(heap[parent], heap[i])) break;
+    std::swap(heap[parent], heap[i]);
     i = parent;
   }
 }
 
-void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
+void EventQueue::sift_down(std::vector<SimEvent>& heap, std::size_t i) {
+  const std::size_t n = heap.size();
   while (true) {
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
     std::size_t best = i;
-    if (l < n && later(heap_[best], heap_[l])) best = l;
-    if (r < n && later(heap_[best], heap_[r])) best = r;
+    if (l < n && later(heap[best], heap[l])) best = l;
+    if (r < n && later(heap[best], heap[r])) best = r;
     if (best == i) return;
-    std::swap(heap_[i], heap_[best]);
+    std::swap(heap[i], heap[best]);
     i = best;
   }
+}
+
+// --- calendar machinery -----------------------------------------------------
+
+void EventQueue::calendar_push(SimEvent ev) {
+  if (ev.time < window_start_) {
+    // Behind the window (the window never moves back): the early rung.  All
+    // of its times are strictly below every bucketed/overflow time, so the
+    // global (time, priority, seq) order is preserved by draining it first.
+    heap_push(early_, std::move(ev));
+    return;
+  }
+  const Tick off = ev.time - window_start_;
+  if (off >= static_cast<Tick>(kWindow)) {
+    heap_push(heap_, std::move(ev));  // overflow rung
+    return;
+  }
+  if (static_cast<std::size_t>(off) < cursor_) {
+    cursor_ = static_cast<std::size_t>(off);
+  }
+  bucket_insert(std::move(ev));
+}
+
+void EventQueue::bucket_insert(SimEvent ev) {
+  const std::size_t off = static_cast<std::size_t>(ev.time - window_start_);
+  assert(off < kWindow);
+  const std::size_t lane = ev.priority == 0 ? 0 : 1;
+  buckets_[off].lane[lane].push_back(std::move(ev));
+  words_[off / 64] |= 1ull << (off % 64);
+  summary_ |= 1ull << (off / 64);
+  ++calendar_live_;
+}
+
+std::size_t EventQueue::next_populated(std::size_t from) const {
+  if (from >= kWindow) return kWindow;
+  std::size_t w = from / 64;
+  std::uint64_t word = words_[w] & (~0ull << (from % 64));
+  if (word == 0) {
+    const std::uint64_t rest =
+        w + 1 < kWords ? summary_ & (~0ull << (w + 1)) : 0;
+    if (rest == 0) return kWindow;
+    w = static_cast<std::size_t>(__builtin_ctzll(rest));
+    word = words_[w];
+  }
+  return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+}
+
+Tick EventQueue::calendar_next_time() const {
+  if (!early_.empty()) return early_.front().time;
+  if (calendar_live_ > 0) {
+    const std::size_t off = next_populated(cursor_);
+    assert(off < kWindow);
+    return window_start_ + static_cast<Tick>(off);
+  }
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+void EventQueue::rotate() {
+  assert(calendar_live_ == 0 && !heap_.empty());
+  window_start_ = heap_.front().time;
+  cursor_ = 0;
+  // Overflow pops ascend in (time, priority, seq), so per-bucket lanes are
+  // appended in seq order -- the same order a direct push would have built.
+  const Tick window_end = window_start_ + static_cast<Tick>(kWindow);
+  while (!heap_.empty() && heap_.front().time < window_end) {
+    bucket_insert(heap_pop(heap_));
+  }
+}
+
+SimEvent EventQueue::calendar_pop() {
+  if (!early_.empty()) return heap_pop(early_);
+  if (calendar_live_ == 0) rotate();
+  const std::size_t off = next_populated(cursor_);
+  assert(off < kWindow && "calendar queue lost track of a live bucket");
+  Bucket& bucket = buckets_[off];
+  const std::size_t lane = bucket.pos[0] < bucket.lane[0].size() ? 0 : 1;
+  assert(bucket.pos[lane] < bucket.lane[lane].size());
+  SimEvent out = std::move(bucket.lane[lane][bucket.pos[lane]]);
+  ++bucket.pos[lane];
+  --calendar_live_;
+  if (bucket.drained()) {
+    bucket.reset();  // clear() keeps capacity: buckets recycle allocations
+    words_[off / 64] &= ~(1ull << (off % 64));
+    if (words_[off / 64] == 0) summary_ &= ~(1ull << (off / 64));
+    cursor_ = off + 1;
+  } else {
+    cursor_ = off;
+  }
+  return out;
 }
 
 }  // namespace linbound

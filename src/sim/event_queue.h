@@ -1,19 +1,32 @@
 // The simulator's future-event list.
 //
-// A binary min-heap ordered by (time, priority, sequence number): events at
-// equal virtual times fire by priority class first (message deliveries
-// before timers -- the paper's model lets a receive step precede a timer
-// step at the same clock instant, and Lemma C.9's "added no later than the
-// respond time" relies on it), then in insertion order.  This makes every
-// run a pure function of its configuration (DESIGN.md "determinism
-// everywhere").
+// Ordered by (time, priority, sequence number): events at equal virtual
+// times fire by priority class first (message deliveries before timers --
+// the paper's model lets a receive step precede a timer step at the same
+// clock instant, and Lemma C.9's "added no later than the respond time"
+// relies on it), then in insertion order.  This total order is the
+// simulator's determinism contract: every run is a pure function of its
+// configuration (DESIGN.md "determinism everywhere"), and both queue
+// implementations below realize *exactly* the same pop order.
+//
+//   kCalendar (default)  -- a bucketed calendar queue keyed by tick: a
+//     window of per-tick buckets (two append-only lanes per bucket, one per
+//     priority class, drained via cursors), a two-level bitmap to find the
+//     next populated tick, a sorted-overflow rung (binary heap) for events
+//     beyond the window, and a small "early" rung for events pushed before
+//     the current window start (possible only through out-of-order push
+//     patterns in tests; the simulator always pushes at t >= now).  Push
+//     and pop are amortized O(1): an event is appended once, migrated from
+//     the overflow rung at most once, and popped once.  When the in-window
+//     events drain, the window rotates forward to the overflow minimum.
+//   kBinaryHeap          -- the seed binary min-heap, kept as a fallback
+//     and as the reference implementation for differential tests and the
+//     throughput-regression gate (bench/bench_throughput.cpp).
 //
 // Events are tagged PODs, not closures: the hot-path kinds (deliveries,
 // timers, invocations, crash/recover) carry their operands inline so
 // pushing them allocates nothing.  Only generic kCall events (scenario
-// glue via Simulator::call_at) still carry a std::function.  The ordering
-// key and sequence assignment are unchanged from the closure-based queue,
-// so traces are byte-identical.
+// glue via Simulator::call_at) still carry a std::function.
 #pragma once
 
 #include <cstdint>
@@ -61,8 +74,21 @@ struct SimEvent {
   void fire() { fn(); }
 };
 
+/// Which future-event-list implementation a queue (and hence a Simulator)
+/// uses.  Pop order is identical for both -- the calendar queue is a pure
+/// performance refactor; the heap is the seed implementation, kept for
+/// differential tests and throughput-regression baselines.
+enum class EventQueueImpl {
+  kCalendar,    ///< bucketed calendar queue (default)
+  kBinaryHeap,  ///< seed binary min-heap
+};
+
 class EventQueue {
  public:
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kCalendar);
+
+  EventQueueImpl impl() const { return impl_; }
+
   /// Insert a generic callback event at `time`.  Returns the sequence
   /// number assigned.
   std::uint64_t push(Tick time, std::function<void()> fire) {
@@ -74,28 +100,119 @@ class EventQueue {
   /// assigned here (callers fill only the kind and its operands).
   std::uint64_t push_typed(Tick time, EventPriority priority, SimEvent ev);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
-  /// Time of the earliest event; kTimeInfinity when empty.
+  /// Time of the earliest event; kTimeInfinity when empty.  Well-defined
+  /// after a drain (it does not inspect stale storage: rung rotation only
+  /// happens inside pop, and an empty queue reports kTimeInfinity).
   Tick next_time() const;
 
-  /// Remove and return the earliest event.  Precondition: !empty().
+  /// Remove and return the earliest event.  Precondition: !empty() --
+  /// asserted in debug builds; calling pop on an empty queue is a bug, not
+  /// a recoverable condition.
   SimEvent pop();
 
+  /// Pre-size internal storage for roughly `events` simultaneously pending
+  /// events (workload size hints; see Simulator::reserve).  Never shrinks.
+  void reserve(std::size_t events);
+
+  /// Optional push/pop log for queue-level replay (bench_throughput): when
+  /// set, every push appends (time << 1) | priority and every pop appends
+  /// kPopSentinel, so the exact interleaving of one run can be replayed
+  /// against either implementation.  Costs one predictable branch per
+  /// operation; null by default.  Entries beyond `log_cap` are dropped.
+  static constexpr std::int64_t kPopSentinel = -1;
+  void set_log(std::vector<std::int64_t>* log, std::size_t log_cap) {
+    log_ = log;
+    log_cap_ = log_cap;
+  }
+
  private:
-  /// Min-heap ordered by (time, priority, seq).
+  // --- shared ordering ---
+  /// Strict "a fires after b" on (time, priority, seq).
   static bool later(const SimEvent& a, const SimEvent& b) {
     if (a.time != b.time) return a.time > b.time;
     if (a.priority != b.priority) return a.priority > b.priority;
     return a.seq > b.seq;
   }
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
+  // --- binary-heap machinery (the kBinaryHeap impl, the calendar's
+  //     sorted-overflow rung, and the rarely-used early rung) ---
+  static void heap_push(std::vector<SimEvent>& heap, SimEvent ev);
+  static SimEvent heap_pop(std::vector<SimEvent>& heap);
+  static void sift_up(std::vector<SimEvent>& heap, std::size_t i);
+  static void sift_down(std::vector<SimEvent>& heap, std::size_t i);
 
-  std::vector<SimEvent> heap_;
+  // --- calendar machinery ---
+  /// Window size in ticks (one bucket per tick); power of two.  4096 ticks
+  /// covers several message-delay bounds (default d = 1000), so in steady
+  /// state nearly every delivery/timer lands in a bucket and only far-future
+  /// scheduling (open-loop invocation batches) touches the overflow rung.
+  static constexpr std::size_t kWindow = 4096;
+  static constexpr std::size_t kWords = kWindow / 64;
+
+  struct Bucket {
+    /// lane[0] = kDelivery, lane[1] = kNormal; append-only, drained via
+    /// pos[]. Within a lane events carry increasing seq, so lane order ==
+    /// (priority, seq) order and a bucket pops lane 0 before lane 1 --
+    /// exactly the heap's tie-break.
+    std::vector<SimEvent> lane[2];
+    std::size_t pos[2] = {0, 0};
+
+    bool drained() const {
+      return pos[0] >= lane[0].size() && pos[1] >= lane[1].size();
+    }
+    void reset() {
+      lane[0].clear();
+      lane[1].clear();
+      pos[0] = pos[1] = 0;
+    }
+  };
+
+  void calendar_push(SimEvent ev);
+  SimEvent calendar_pop();
+  /// Append into the bucket for `ev.time` (must lie in the current window).
+  void bucket_insert(SimEvent ev);
+  /// Offset (>= from) of the next populated bucket; kWindow when none.
+  std::size_t next_populated(std::size_t from) const;
+  /// Earliest in-window event time; kTimeInfinity when no bucket is live.
+  Tick calendar_next_time() const;
+  /// Move the window to the overflow minimum and migrate every overflow
+  /// event that now fits.  Precondition: no live bucketed event.
+  void rotate();
+
+  void log_push(Tick time, int priority) {
+    if (log_ && log_->size() < log_cap_) {
+      log_->push_back((time << 1) | static_cast<std::int64_t>(priority));
+    }
+  }
+  void log_pop() {
+    if (log_ && log_->size() < log_cap_) log_->push_back(kPopSentinel);
+  }
+
+  EventQueueImpl impl_;
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;  ///< total events across all structures
+
+  /// kBinaryHeap: the whole queue.  kCalendar: the sorted-overflow rung
+  /// (events at time >= window_start_ + kWindow).
+  std::vector<SimEvent> heap_;
+
+  // kCalendar state.
+  std::vector<Bucket> buckets_;          ///< index = time - window_start_
+  std::uint64_t words_[kWords] = {};     ///< bit b: bucket b populated
+  std::uint64_t summary_ = 0;            ///< bit w: words_[w] != 0
+  Tick window_start_ = 0;                ///< first tick covered by buckets_
+  std::size_t cursor_ = 0;               ///< scan hint: no live bucket below it
+  std::size_t calendar_live_ = 0;        ///< events currently in buckets
+  /// Events pushed at time < window_start_ (the window never moves back).
+  /// Empty in simulator runs -- the simulator pushes at t >= now -- but
+  /// out-of-order test patterns land here and stay totally ordered.
+  std::vector<SimEvent> early_;
+
+  std::vector<std::int64_t>* log_ = nullptr;
+  std::size_t log_cap_ = 0;
 };
 
 }  // namespace linbound

@@ -11,7 +11,6 @@
 #include <cassert>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
@@ -44,6 +43,11 @@ struct SimConfig {
   /// Hard cap on processed events (runaway protection for broken
   /// algorithms under test).
   std::size_t max_events = 10'000'000;
+  /// Future-event-list implementation (sim/event_queue.h).  Both produce
+  /// the identical (time, priority, seq) pop order, hence byte-identical
+  /// traces; kBinaryHeap is the seed structure kept for differential tests
+  /// and throughput-regression baselines.
+  EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
 };
 
 class Simulator {
@@ -128,7 +132,23 @@ class Simulator {
 
   std::size_t events_processed() const { return events_processed_; }
 
+  /// Pre-size trace and queue storage from workload size hints (expected
+  /// totals for the whole run), so the hot loop never reallocates.  Purely
+  /// an optimization: capacities only grow and behavior is unchanged.
+  /// Workload generators with known op counts (core/workload.h
+  /// HeavyTrafficWorkload, core/driver.h WorkloadDriver) call this.
+  void reserve(std::size_t ops, std::size_t messages, std::size_t events) {
+    if (trace_.ops.capacity() < ops) trace_.ops.reserve(ops);
+    if (trace_.messages.capacity() < messages) trace_.messages.reserve(messages);
+    queue_.reserve(events);
+  }
+
   const Trace& trace() const { return trace_; }
+
+  /// The future-event list (benches and tests: queue-level instrumentation
+  /// such as EventQueue::set_log; not for scheduling -- use invoke_at /
+  /// call_at, which maintain the trace invariants).
+  EventQueue& event_queue() { return queue_; }
 
   /// The run-scoped payload allocator (see sim/arena.h).  Processes reach
   /// it through Process::make_msg; benches may inspect its counters.
@@ -171,8 +191,28 @@ class Simulator {
   std::size_t events_processed_ = 0;
 
   MessageId next_message_id_ = 0;
-  TimerId next_timer_id_ = 0;
-  std::unordered_map<TimerId, bool> timer_armed_;
+
+  // --- O(1), garbage-free timer lifecycle ---
+  //
+  // A TimerId encodes (generation << kTimerSlotBits) | slot into the dense
+  // per-process slot table below (replacing the seed's global
+  // unordered_map<TimerId, bool>, whose rehash/erase churn sat on the hot
+  // path).  Arming pops a slot off the per-process free list; cancelling or
+  // firing bumps the slot's generation and returns it, so a queued timer
+  // event whose generation no longer matches is *purged* at dispatch in two
+  // loads -- no hashing, no tombstones, no allocation in steady state.
+  // Counters land in trace().stats.
+  static constexpr int kTimerSlotBits = 20;
+  static constexpr std::int64_t kTimerSlotMask = (std::int64_t{1} << kTimerSlotBits) - 1;
+  struct TimerSlot {
+    std::int64_t gen = 0;
+    bool armed = false;
+  };
+  /// Release `slot` on `pid`: disarm, retire the generation (stale queued
+  /// events stop matching) and recycle the slot.
+  void release_timer_slot(ProcessId pid, std::int32_t slot);
+  std::vector<std::vector<TimerSlot>> timer_slots_;    // indexed by process id
+  std::vector<std::vector<std::int32_t>> timer_free_;  // per-process free slots
 
   /// token -> true while the operation is pending (enforces the model's
   /// one-pending-operation-per-process constraint).

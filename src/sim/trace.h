@@ -90,6 +90,19 @@ struct AdmissibilityReport {
   }
 };
 
+/// Hot-path measurement counters filled in by the simulator.  These are
+/// ephemeral run statistics for benches and tests -- NOT part of the
+/// recorded run: trace_io neither serializes nor restores them, so adding
+/// counters never perturbs archived traces or byte-identity comparisons.
+struct TraceStats {
+  std::uint64_t timers_set = 0;        ///< set_timer calls
+  std::uint64_t timers_cancelled = 0;  ///< cancel_timer on a still-armed timer
+  /// Queued timer events skipped at dispatch because their slot generation
+  /// no longer matched (lazily cancelled, recycled, or killed by a crash
+  /// epoch) -- the events the seed simulator popped and discarded.
+  std::uint64_t timers_purged = 0;
+};
+
 struct Trace {
   SystemTiming timing;
   std::vector<Tick> clock_offsets;  ///< c_i: local = real + c_i
@@ -99,6 +112,8 @@ struct Trace {
   /// the paper's base model (no fault policy, no crashes).
   std::vector<FaultEvent> faults;
   Tick end_time = 0;  ///< real time at which the run ended
+  /// Simulator hot-path counters (timer lifecycle); ephemeral, see above.
+  TraceStats stats;
 
   /// Chapter III admissibility: every delivered delay in [d-u, d]; pairwise
   /// clock skew <= eps.  Undelivered messages are admissible only if the

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace linbound {
 namespace {
@@ -105,6 +108,222 @@ TEST(EventQueue, PushDuringDrainIsAllowed) {
   while (!q.empty()) q.pop().fire();
   EXPECT_EQ(fired, (std::vector<int>{1, 2}));
 }
+
+// ---------------------------------------------------------------------------
+// Calendar queue vs the seed binary heap: the two implementations must agree
+// on every pop -- (time, priority, seq) plus the payload operand -- for any
+// interleaving of pushes and pops.  The fuzzers below drive both through
+// identical streams chosen to hit every calendar path: dense tie-heavy
+// buckets, in-window spreads, the sorted-overflow rung and window rotation
+// (far-future times), and the early rung (pushes behind the window start).
+// ---------------------------------------------------------------------------
+
+/// Pop both queues once and compare the full ordering key.  Returns false
+/// (after flagging) on the first divergence so callers can stop early.
+bool same_pop(EventQueue& cal, EventQueue& heap, Tick* popped_time) {
+  EXPECT_EQ(cal.empty(), heap.empty());
+  if (cal.empty() || heap.empty()) return false;
+  const SimEvent a = cal.pop();
+  const SimEvent b = heap.pop();
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.a, b.a);
+  if (popped_time) *popped_time = a.time;
+  return a.time == b.time && a.priority == b.priority && a.seq == b.seq &&
+         a.a == b.a;
+}
+
+/// Random interleaved push/pop stream through both impls.  `spread` is the
+/// push horizon above the last popped time, `far_p`/`far_spread` sends that
+/// fraction of pushes into the overflow rung, and a fixed 10% slice pushes
+/// *behind* the last popped time (the early rung once the window rotated
+/// past it).  Every step also cross-checks next_time().
+void differential_fuzz(std::uint64_t seed, int steps, Tick spread,
+                       double far_p, Tick far_spread, double pop_p) {
+  EventQueue cal(EventQueueImpl::kCalendar);
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  ASSERT_EQ(cal.impl(), EventQueueImpl::kCalendar);
+  ASSERT_EQ(heap.impl(), EventQueueImpl::kBinaryHeap);
+  Rng rng(seed);
+  Tick horizon = 0;  // latest popped time
+  std::int64_t next_id = 0;
+  for (int i = 0; i < steps; ++i) {
+    ASSERT_EQ(cal.next_time(), heap.next_time());
+    ASSERT_EQ(cal.size(), heap.size());
+    if (!cal.empty() && rng.chance(pop_p)) {
+      Tick t = 0;
+      ASSERT_TRUE(same_pop(cal, heap, &t));
+      horizon = std::max(horizon, t);
+      continue;
+    }
+    Tick t;
+    const double r = rng.uniform01();
+    if (r < far_p) {
+      t = horizon + rng.uniform(0, far_spread);
+    } else if (r < far_p + 0.1) {
+      t = std::max<Tick>(0, horizon - rng.uniform(0, spread));
+    } else {
+      t = horizon + rng.uniform(0, spread);
+    }
+    SimEvent ev;
+    ev.kind = EventKind::kTimer;
+    ev.a = next_id++;
+    const EventPriority priority =
+        rng.chance(0.5) ? EventPriority::kDelivery : EventPriority::kNormal;
+    cal.push_typed(t, priority, ev);
+    heap.push_typed(t, priority, ev);
+  }
+  while (!cal.empty()) {
+    ASSERT_TRUE(same_pop(cal, heap, nullptr));
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(cal.next_time(), kTimeInfinity);
+  EXPECT_EQ(heap.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueueDifferential, FuzzTieHeavy) {
+  // Times land on ~8 distinct ticks: buckets fill with long two-lane runs,
+  // so the (priority, seq) tie-break carries all the ordering weight.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    differential_fuzz(seed, 20'000, /*spread=*/8, /*far_p=*/0.0,
+                      /*far_spread=*/0, /*pop_p=*/0.45);
+  }
+}
+
+TEST(EventQueueDifferential, FuzzInWindowSpread) {
+  // Spread just under the 4096-tick window: mostly bucket traffic with
+  // occasional spill into the overflow rung via the behind/ahead mix.
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    differential_fuzz(seed, 20'000, /*spread=*/3500, /*far_p=*/0.0,
+                      /*far_spread=*/0, /*pop_p=*/0.45);
+  }
+}
+
+TEST(EventQueueDifferential, FuzzOverflowAndRotation) {
+  // A third of the pushes land far beyond the window (up to ~30 windows
+  // out), forcing overflow migration and repeated rotation.
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    differential_fuzz(seed, 20'000, /*spread=*/2000, /*far_p=*/0.35,
+                      /*far_spread=*/120'000, /*pop_p=*/0.5);
+  }
+}
+
+TEST(EventQueueDifferential, FuzzPopHeavyDrains) {
+  // Pop-dominated: the queues run near-empty, so rotation fires on almost
+  // every overflow push and the drained/reused paths get constant traffic.
+  differential_fuzz(31, 20'000, /*spread=*/500, /*far_p=*/0.2,
+                    /*far_spread=*/50'000, /*pop_p=*/0.7);
+}
+
+TEST(EventQueueCalendar, SparseRotationAcrossManyWindows) {
+  // One event every ~2.4 windows: every pop after the first crosses empty
+  // window space and must rotate straight to the overflow minimum.
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int k = 9; k >= 0; --k) q.push(k * 10'000, [] {});
+  Tick last = -1;
+  int pops = 0;
+  while (!q.empty()) {
+    const SimEvent ev = q.pop();
+    EXPECT_EQ(ev.time, pops * 10'000);
+    EXPECT_GT(ev.time, last);
+    last = ev.time;
+    ++pops;
+  }
+  EXPECT_EQ(pops, 10);
+}
+
+TEST(EventQueueCalendar, EarlyRungFiresBeforeWindow) {
+  // Rotate the window forward, then push behind it: the early rung must
+  // order those events ahead of everything in the rotated window.
+  EventQueue q(EventQueueImpl::kCalendar);
+  q.push(10'000, [] {});  // beyond the initial window: overflow rung
+  q.push(1, [] {});
+  EXPECT_EQ(q.pop().time, 1);
+  EXPECT_EQ(q.pop().time, 10'000);  // rotation: window starts at 10'000 now
+  q.push(5, [] {});                 // behind the window: early rung
+  q.push(10'001, [] {});            // in the rotated window
+  EXPECT_EQ(q.next_time(), 5);
+  EXPECT_EQ(q.pop().time, 5);
+  EXPECT_EQ(q.pop().time, 10'001);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCalendar, DrainThenReuse) {
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.next_time(), kTimeInfinity);
+    // Reuse after a drain, including times *below* the previous round's
+    // (the early rung): ordering must hold within each round regardless.
+    const Tick base = 50'000 - round * 20'000;
+    q.push(base + 7, [] {});
+    q.push(base, [] {});
+    q.push(base + 9'999, [] {});
+    EXPECT_EQ(q.next_time(), base);
+    EXPECT_EQ(q.pop().time, base);
+    EXPECT_EQ(q.pop().time, base + 7);
+    EXPECT_EQ(q.pop().time, base + 9'999);
+  }
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, ReserveKeepsBehavior) {
+  for (const EventQueueImpl impl :
+       {EventQueueImpl::kCalendar, EventQueueImpl::kBinaryHeap}) {
+    EventQueue q(impl);
+    q.reserve(10'000);
+    q.push(2, [] {});
+    q.push(1, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop().time, 1);
+    EXPECT_EQ(q.pop().time, 2);
+  }
+}
+
+TEST(EventQueue, LogRecordsInterleaving) {
+  EventQueue q;
+  std::vector<std::int64_t> log;
+  q.set_log(&log, /*log_cap=*/8);
+  q.push(5, [] {});                            // (5 << 1) | kNormal
+  q.push(3, EventPriority::kDelivery, [] {});  // (3 << 1) | kDelivery
+  q.pop();
+  q.pop();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], (Tick{5} << 1) | 1);
+  EXPECT_EQ(log[1], (Tick{3} << 1) | 0);
+  EXPECT_EQ(log[2], EventQueue::kPopSentinel);
+  EXPECT_EQ(log[3], EventQueue::kPopSentinel);
+  // The cap drops further entries instead of growing without bound.
+  q.set_log(&log, /*log_cap=*/4);
+  q.push(9, [] {});
+  EXPECT_EQ(log.size(), 4u);
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(EventQueueDeathTest, PopOnEmptyAssertsInDebug) {
+  for (const EventQueueImpl impl :
+       {EventQueueImpl::kCalendar, EventQueueImpl::kBinaryHeap}) {
+    EXPECT_DEATH(
+        {
+          EventQueue q(impl);
+          q.pop();
+        },
+        "empty");
+  }
+}
+
+TEST(EventQueueDeathTest, PopAfterDrainAssertsInDebug) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.push(1, [] {});
+        q.pop();
+        q.pop();  // drained: popping again is a bug, not kTimeInfinity
+      },
+      "empty");
+}
+#endif
 
 }  // namespace
 }  // namespace linbound

@@ -1,0 +1,196 @@
+// The open-loop HeavyTrafficWorkload (core/workload.h) and the
+// calendar-vs-heap determinism contract at the system level: identical
+// configurations produce byte-identical serialized traces through either
+// EventQueueImpl, on clean runs, fault-injected hardened runs, and the
+// fault/churn sweep harnesses.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/system.h"
+#include "core/workload.h"
+#include "fault/fault_policy.h"
+#include "harness/churn_sweep.h"
+#include "harness/fault_sweep.h"
+#include "sim/trace_io.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+SystemTiming timing() { return SystemTiming{1000, 400, 300}; }
+
+SystemOptions base_options() {
+  SystemOptions o;
+  o.n = 4;
+  o.timing = timing();
+  o.x = 0;
+  return o;
+}
+
+HeavyTrafficOptions traffic(std::size_t ops) {
+  HeavyTrafficOptions w;
+  w.clients = 4;
+  w.total_ops = ops;
+  w.min_gap = 4 * timing().d;  // above Algorithm 1's d+eps response bound
+  w.jitter = 137;
+  w.batch = 256;  // several bursts even at test-sized op counts
+  return w;
+}
+
+/// One open-loop run through Algorithm 1; returns the serialized trace.
+std::string run_heavy(SystemOptions options, const HeavyTrafficOptions& w,
+                      EventQueueImpl impl) {
+  options.queue_impl = impl;
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, options);
+  HeavyTrafficWorkload workload(system.sim(), w);
+  system.sim().start();
+  workload.arm();
+  EXPECT_TRUE(system.sim().run());
+  EXPECT_EQ(workload.scheduled(), w.total_ops);
+  EXPECT_EQ(system.sim().trace().ops.size(), w.total_ops);
+  EXPECT_TRUE(system.sim().trace().complete());
+  return trace_to_string(system.sim().trace());
+}
+
+TEST(HeavyTraffic, DeterministicAcrossRuns) {
+  const std::string a =
+      run_heavy(base_options(), traffic(1000), EventQueueImpl::kCalendar);
+  const std::string b =
+      run_heavy(base_options(), traffic(1000), EventQueueImpl::kCalendar);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HeavyTraffic, HeapAndCalendarTracesByteIdentical) {
+  const std::string calendar =
+      run_heavy(base_options(), traffic(2000), EventQueueImpl::kCalendar);
+  const std::string heap =
+      run_heavy(base_options(), traffic(2000), EventQueueImpl::kBinaryHeap);
+  EXPECT_EQ(calendar, heap);
+}
+
+TEST(HeavyTraffic, FaultedHardenedTracesByteIdentical) {
+  // Duplicates and delay spikes through the hardened replica (no drops:
+  // open-loop arrivals cannot re-issue an operation a lost message would
+  // strand, so the mix keeps completion guaranteed while still exercising
+  // the fault layer through both queue implementations).  The fault policy
+  // is stateful (its RNG streams advance per send), so each run gets a
+  // freshly built policy from the same config.
+  HardenedParams hardened;
+  hardened.spike_margin = 300;
+  auto options = [&] {
+    SystemOptions o = base_options();
+    FaultConfig faults;
+    faults.dup_p = 0.08;
+    faults.spike_p = 0.08;
+    faults.spike_max = 300;
+    faults.seed = 0xfa17u;
+    o.faults = make_fault_policy(faults);
+    o.hardened = hardened;
+    return o;
+  };
+
+  // Worst-case hardened response stays under d_eff + eps; keep the
+  // open-loop gap above it.
+  HeavyTrafficOptions w = traffic(1000);
+  w.min_gap = hardened.effective_d(timing()) + timing().eps + 1000;
+
+  const std::string calendar =
+      run_heavy(options(), w, EventQueueImpl::kCalendar);
+  const std::string heap = run_heavy(options(), w, EventQueueImpl::kBinaryHeap);
+  EXPECT_EQ(calendar, heap);
+  EXPECT_NE(calendar.find("fault"), std::string::npos)
+      << "fault mix injected nothing; the differential run is vacuous";
+}
+
+TEST(HeavyTraffic, FaultSweepIdenticalAcrossImpls) {
+  auto model = std::make_shared<RegisterModel>();
+  const OpMix mix{2, 2, 2};
+  WorkloadFactory workload = [&](ProcessId, Rng& rng) {
+    return random_register_ops(rng, 8, mix);
+  };
+  FaultSweepOptions opts;
+  opts.n = 4;
+  opts.timing = timing();
+  opts.seeds = 2;
+  opts.queue_impl = EventQueueImpl::kCalendar;
+  const FaultSweepResult calendar = run_fault_sweep(model, workload, opts);
+  opts.queue_impl = EventQueueImpl::kBinaryHeap;
+  const FaultSweepResult heap = run_fault_sweep(model, workload, opts);
+  EXPECT_GT(calendar.cells.size(), 0u);
+  EXPECT_EQ(calendar.table(), heap.table());
+  EXPECT_EQ(calendar.ok(), heap.ok());
+  EXPECT_EQ(calendar.cells.size(), heap.cells.size());
+}
+
+TEST(HeavyTraffic, ChurnSweepIdenticalAcrossImpls) {
+  auto model = std::make_shared<RegisterModel>();
+  const OpMix mix{2, 2, 2};
+  WorkloadFactory workload = [&](ProcessId, Rng& rng) {
+    return random_register_ops(rng, 6, mix);
+  };
+  ChurnSweepOptions opts;
+  opts.n = 4;
+  opts.timing = timing();
+  opts.seeds = 2;
+  opts.ops_per_client = 6;
+  opts.recoverable.link.max_attempts = 3;
+  opts.queue_impl = EventQueueImpl::kCalendar;
+  const ChurnSweepResult calendar = run_churn_sweep(model, workload, opts);
+  opts.queue_impl = EventQueueImpl::kBinaryHeap;
+  const ChurnSweepResult heap = run_churn_sweep(model, workload, opts);
+  EXPECT_GT(calendar.cells.size(), 0u);
+  EXPECT_EQ(calendar.table(), heap.table());
+  EXPECT_EQ(calendar.ok(), heap.ok());
+  EXPECT_EQ(calendar.cells.size(), heap.cells.size());
+}
+
+TEST(HeavyTraffic, ArmReservesTraceStorage) {
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, base_options());
+  HeavyTrafficOptions w = traffic(5000);
+  HeavyTrafficWorkload workload(system.sim(), w);
+  system.sim().start();
+  workload.arm();
+  // The size hints must have landed: ops for the whole run, messages for
+  // one broadcast per op (messages_per_op = 0 -> clients).
+  EXPECT_GE(system.sim().trace().ops.capacity(), w.total_ops);
+  EXPECT_GE(system.sim().trace().messages.capacity(),
+            w.total_ops * static_cast<std::size_t>(w.clients));
+  EXPECT_TRUE(system.sim().run());
+}
+
+TEST(HeavyTraffic, GapBelowResponseBoundThrows) {
+  // Open-loop scheduling with a gap under the worst-case response violates
+  // the model's one-pending-operation-per-process constraint; the
+  // simulator rejects the overlapping invocation loudly.
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, base_options());
+  HeavyTrafficOptions w = traffic(100);
+  w.min_gap = 100;  // far below d + eps = 1300
+  w.jitter = 0;
+  HeavyTrafficWorkload workload(system.sim(), w);
+  system.sim().start();
+  workload.arm();
+  EXPECT_THROW(system.sim().run(), std::logic_error);
+}
+
+TEST(HeavyTraffic, RejectsBadOptions) {
+  auto model = std::make_shared<RegisterModel>();
+  ReplicaSystem system(model, base_options());
+  HeavyTrafficOptions w = traffic(10);
+  w.clients = 0;
+  EXPECT_THROW(HeavyTrafficWorkload(system.sim(), w), std::invalid_argument);
+  w = traffic(10);
+  w.min_gap = 0;
+  EXPECT_THROW(HeavyTrafficWorkload(system.sim(), w), std::invalid_argument);
+  w = traffic(10);
+  w.accessors = 0;
+  w.mutators = 0;
+  EXPECT_THROW(HeavyTrafficWorkload(system.sim(), w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace linbound

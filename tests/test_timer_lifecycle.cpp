@@ -1,0 +1,211 @@
+// Timer lifecycle under the O(1) slot/generation table
+// (sim/simulator.h): cancel / re-arm / crash-epoch stress asserting that
+// no stale or cancelled timer ever fires, that recycled slots hand out
+// fresh TimerIds, and that the trace().stats counters stay consistent
+// with what actually happened.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace linbound {
+namespace {
+
+/// Records every firing; exposes the protected timer API.  `live`, when
+/// set, is the test's ground truth of armed-and-not-cancelled ids: firing
+/// an id not in it is the exact bug the generation check prevents.
+class TimerProbe final : public Process {
+ public:
+  void on_message(ProcessId, const MessagePayload&) override {}
+  void on_invoke(std::int64_t token, const Operation&) override {
+    respond(token, Value::unit());
+  }
+  void on_timer(TimerId id, const TimerTag& tag) override {
+    fires.push_back({id, tag.kind});
+    if (live) {
+      EXPECT_EQ(live->erase(id), 1u)
+          << "timer " << id << " fired while not armed";
+    }
+  }
+
+  TimerId do_set_timer(Tick delta, int kind) {
+    return set_timer(delta, TimerTag{kind, {}});
+  }
+  void do_cancel(TimerId id) { cancel_timer(id); }
+
+  struct Fire {
+    TimerId id;
+    int kind;
+  };
+  std::vector<Fire> fires;
+  std::set<TimerId>* live = nullptr;
+};
+
+SimConfig base_config() {
+  SimConfig config;
+  config.timing = SystemTiming{1000, 400, 100};
+  return config;
+}
+
+TEST(TimerLifecycle, CountersTrackSetCancelPurge) {
+  Simulator sim(base_config());
+  auto* p = new TimerProbe;
+  sim.add_process(std::unique_ptr<Process>(p));
+  sim.start();
+  sim.call_at(10, [&] {
+    std::vector<TimerId> ids;
+    for (int i = 0; i < 100; ++i) ids.push_back(p->do_set_timer(50 + i, i));
+    for (int i = 0; i < 100; i += 2) p->do_cancel(ids[i]);  // cancel half
+  });
+  EXPECT_TRUE(sim.run());
+  EXPECT_EQ(p->fires.size(), 50u);
+  const TraceStats& stats = sim.trace().stats;
+  EXPECT_EQ(stats.timers_set, 100u);
+  EXPECT_EQ(stats.timers_cancelled, 50u);
+  // Every cancelled timer left one queued event behind; each was purged at
+  // dispatch (two loads), never delivered.
+  EXPECT_EQ(stats.timers_purged, 50u);
+}
+
+TEST(TimerLifecycle, RecycledSlotsYieldFreshIds) {
+  // Cancel-then-rearm reuses the same dense slot over and over; the
+  // generation stamp must make every TimerId distinct anyway.
+  Simulator sim(base_config());
+  auto* p = new TimerProbe;
+  sim.add_process(std::unique_ptr<Process>(p));
+  sim.start();
+  std::set<TimerId> ids_seen;
+  sim.call_at(10, [&] {
+    for (int i = 0; i < 1000; ++i) {
+      const TimerId id = p->do_set_timer(100, i);
+      EXPECT_TRUE(ids_seen.insert(id).second) << "TimerId reused: " << id;
+      p->do_cancel(id);
+    }
+  });
+  EXPECT_TRUE(sim.run());
+  EXPECT_TRUE(p->fires.empty());
+  EXPECT_EQ(ids_seen.size(), 1000u);
+  EXPECT_EQ(sim.trace().stats.timers_cancelled, 1000u);
+  EXPECT_EQ(sim.trace().stats.timers_purged, 1000u);
+}
+
+TEST(TimerLifecycle, DoubleCancelAndCancelAfterFireAreNoOps) {
+  Simulator sim(base_config());
+  auto* p = new TimerProbe;
+  sim.add_process(std::unique_ptr<Process>(p));
+  sim.start();
+  TimerId first = 0;
+  sim.call_at(10, [&] {
+    first = p->do_set_timer(20, 1);
+    p->do_cancel(first);
+    p->do_cancel(first);  // second cancel: the generation no longer matches
+    p->do_cancel(TimerId{-1});  // sentinel id (never armed): out of range
+  });
+  sim.call_at(100, [&] { p->do_set_timer(10, 2); });
+  sim.call_at(200, [&] {
+    ASSERT_EQ(p->fires.size(), 1u);
+    p->do_cancel(p->fires[0].id);  // fired already: slot retired, no-op
+  });
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(p->fires.size(), 1u);
+  EXPECT_EQ(p->fires[0].kind, 2);
+  EXPECT_EQ(sim.trace().stats.timers_set, 2u);
+  EXPECT_EQ(sim.trace().stats.timers_cancelled, 1u);
+  EXPECT_EQ(sim.trace().stats.timers_purged, 1u);
+}
+
+TEST(TimerLifecycle, CrashEpochKillsPendingTimers) {
+  // Timers armed before a crash must not fire after recovery (the process
+  // lost its volatile state); the queued events are purged, and timers
+  // armed by the recovered incarnation work normally.
+  Simulator sim(base_config());
+  auto* p = new TimerProbe;
+  sim.add_process(std::unique_ptr<Process>(p));
+  sim.start();
+  sim.call_at(10, [&] {
+    for (int i = 0; i < 5; ++i) p->do_set_timer(500, 100 + i);
+  });
+  sim.crash_at(100, 0);
+  sim.recover_at(200, 0);
+  sim.call_at(300, [&] { p->do_set_timer(50, 7); });
+  EXPECT_TRUE(sim.run());
+  ASSERT_EQ(p->fires.size(), 1u);
+  EXPECT_EQ(p->fires[0].kind, 7);
+  EXPECT_EQ(sim.trace().stats.timers_set, 6u);
+  EXPECT_EQ(sim.trace().stats.timers_purged, 5u);
+}
+
+TEST(TimerLifecycle, RandomizedCancelRearmStress) {
+  // Rng-driven arm/cancel storm.  Ground truth (`live`) is maintained by
+  // the test; the invariants checked:
+  //   * every firing's id is in `live` (no stale / cancelled / recycled
+  //     timer ever fires) -- asserted inside on_timer;
+  //   * ids never repeat across 3000 arms;
+  //   * at quiescence: fires == set - cancelled, purged == cancelled
+  //     (every cancelled timer left exactly one queued event to purge).
+  for (const std::uint64_t seed : {0xabcull, 0xdefull, 0x123ull}) {
+    Simulator sim(base_config());
+    auto* p = new TimerProbe;
+    sim.add_process(std::unique_ptr<Process>(p));
+    std::set<TimerId> live;
+    p->live = &live;
+    sim.start();
+    auto rng = std::make_shared<Rng>(seed);
+    std::set<TimerId> ever;
+    std::vector<TimerId> cancellable;
+    for (int i = 0; i < 3000; ++i) {
+      sim.call_at(10 * i, [&, i] {
+        // Cancel a (possibly already-fired) known id about a third of the
+        // time; otherwise arm a fresh timer up to 2.5 steps out so fires,
+        // arms and cancels interleave densely.
+        if (!cancellable.empty() && rng->chance(0.35)) {
+          const std::size_t pick = static_cast<std::size_t>(rng->uniform(
+              0, static_cast<std::int64_t>(cancellable.size()) - 1));
+          const TimerId id = cancellable[pick];
+          if (live.count(id)) {
+            p->do_cancel(id);
+            live.erase(id);
+          } else {
+            p->do_cancel(id);  // already fired: must be a no-op
+          }
+        } else {
+          const TimerId id = p->do_set_timer(rng->uniform(1, 25), i);
+          EXPECT_TRUE(ever.insert(id).second);
+          live.insert(id);
+          cancellable.push_back(id);
+        }
+      });
+    }
+    EXPECT_TRUE(sim.run());
+    EXPECT_TRUE(live.empty()) << live.size() << " armed timers never fired";
+    const TraceStats& stats = sim.trace().stats;
+    EXPECT_EQ(stats.timers_set, ever.size());
+    EXPECT_EQ(p->fires.size(), stats.timers_set - stats.timers_cancelled);
+    EXPECT_EQ(stats.timers_purged, stats.timers_cancelled);
+  }
+}
+
+TEST(TimerLifecycle, StatsAreNotSerialized) {
+  // TraceStats is ephemeral by design: archived traces stay byte-identical
+  // no matter what the timer counters did.  (trace_io round-trip equality
+  // is covered in test_trace_io; here we just pin the contract that the
+  // counters live outside the serialized record.)
+  Simulator sim(base_config());
+  auto* p = new TimerProbe;
+  sim.add_process(std::unique_ptr<Process>(p));
+  sim.start();
+  sim.call_at(10, [&] { p->do_cancel(p->do_set_timer(100, 1)); });
+  EXPECT_TRUE(sim.run());
+  EXPECT_GT(sim.trace().stats.timers_set, 0u);
+  Trace copy = sim.trace();
+  copy.stats = TraceStats{};  // zeroing the stats changes nothing recorded
+  EXPECT_EQ(copy.ops.size(), sim.trace().ops.size());
+  EXPECT_EQ(copy.end_time, sim.trace().end_time);
+}
+
+}  // namespace
+}  // namespace linbound
