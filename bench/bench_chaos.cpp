@@ -1,0 +1,193 @@
+// Chaos-search driver: hunt for violations over the covered adversary grid,
+// shrink anything found to a minimal fault script, and emit self-contained
+// repro bundles.
+//
+//   bench_chaos [--seconds S] [--jobs N] [--seed X] [--out DIR]
+//       Search the full grid (all three variants, no mutant).  Any
+//       reproducible violation is shrunk and written as a chaosrepro bundle
+//       under DIR (default chaos_repros/).  Exit 1 when violations exist --
+//       CI uploads DIR as an artifact on that path.
+//
+//   bench_chaos --plant MUTANT [--jobs N] [--seed X] [--out DIR]
+//       Validation mode: plant a known bug (eager-mop / eager-aop /
+//       narrow-waits), require the search to find it, shrink the script to
+//       a handful of decisions, write the bundle, and verify the bundle
+//       replays to the identical verdict and trace hash.  Exit 0 only when
+//       the whole pipeline held.
+//
+//   bench_chaos --repro FILE
+//       Replay a bundle and check it against its recorded expectations.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "chaos/chaos.h"
+#include "chaos/search.h"
+#include "chaos/shrink.h"
+
+using namespace linbound;
+using namespace linbound::bench;
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) return argv[i + 1];
+    const std::string prefixed = flag + "=";
+    if (std::string(argv[i]).rfind(prefixed, 0) == 0) {
+      return std::string(argv[i]).substr(prefixed.size());
+    }
+  }
+  return fallback;
+}
+
+/// Shrink a finding, wrap it in a bundle, write it, and verify the written
+/// file replays byte-identically.  Returns the bundle path ("" on failure).
+std::string bundle_finding(const ChaosFinding& finding,
+                           const std::string& out_dir, int index) {
+  ShrinkStats stats;
+  const FaultScript minimal = shrink_fault_script(
+      finding.spec, finding.result.script, finding.result.verdict, &stats);
+
+  // The bundle's expectations come from a replay of the *minimal* script
+  // (its trace differs from the original run's once decisions are gone).
+  const ChaosRunResult replayed = replay_chaos(finding.spec, minimal);
+  ReproBundle bundle;
+  bundle.spec = finding.spec;
+  bundle.script = minimal;
+  bundle.expected_verdict = replayed.verdict;
+  bundle.expected_hash = replayed.trace_hash;
+
+  std::filesystem::create_directories(out_dir);
+  std::ostringstream name;
+  name << out_dir << "/repro_" << index << "_"
+       << chaos_verdict_name(replayed.verdict) << ".txt";
+  {
+    std::ofstream out(name.str());
+    write_repro_bundle(out, bundle);
+    if (!out) {
+      std::printf("  FAILED to write %s\n", name.str().c_str());
+      return "";
+    }
+  }
+
+  // Round-trip gate: the file we just wrote must parse and replay to the
+  // identical verdict and hash.
+  std::ifstream in(name.str());
+  std::string error;
+  const auto loaded = read_repro_bundle(in, &error);
+  if (!loaded) {
+    std::printf("  FAILED to re-read %s: %s\n", name.str().c_str(),
+                error.c_str());
+    return "";
+  }
+  const ReplayOutcome check = replay_bundle(*loaded);
+  std::printf("  %s: %zu -> %zu decisions (%d probes), replay %s\n",
+              name.str().c_str(), stats.initial_decisions,
+              stats.final_decisions, stats.probes,
+              check.ok() ? "identical" : "MISMATCH");
+  return check.ok() ? name.str() : "";
+}
+
+int run_search(ChaosSearchOptions options, const std::string& out_dir,
+               bool expect_violation, int max_script) {
+  const ChaosSearchResult result = run_chaos_search(options);
+  std::printf("%s", result.summary().c_str());
+
+  bool pipeline_ok = true;
+  int bundles = 0;
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const std::string path =
+        bundle_finding(result.findings[i], out_dir, static_cast<int>(i));
+    if (path.empty()) {
+      pipeline_ok = false;
+      continue;
+    }
+    ++bundles;
+    if (max_script >= 0) {
+      std::ifstream in(path);
+      const auto bundle = read_repro_bundle(in);
+      if (bundle && static_cast<int>(bundle->script.size()) > max_script) {
+        std::printf("  script larger than the %d-decision budget\n",
+                    max_script);
+        pipeline_ok = false;
+      }
+    }
+  }
+
+  if (expect_violation) {
+    // Validation mode: the planted bug must be found, shrunk and bundled.
+    return finish(pipeline_ok && result.reproducible > 0 && bundles > 0);
+  }
+  // Hunt mode: the exit code says "violations found" so CI can upload the
+  // bundle directory; the run itself only fails if bundling broke.
+  if (!pipeline_ok) return finish(false);
+  if (result.found_violation()) {
+    std::printf("\nviolations found; bundles in %s\n", out_dir.c_str());
+    return 1;
+  }
+  return finish(true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string repro = arg_value(argc, argv, "--repro", "");
+  if (!repro.empty()) {
+    std::ifstream in(repro);
+    if (!in) {
+      std::printf("cannot open %s\n", repro.c_str());
+      return 1;
+    }
+    std::string error;
+    const auto bundle = read_repro_bundle(in, &error);
+    if (!bundle) {
+      std::printf("cannot parse %s: %s\n", repro.c_str(), error.c_str());
+      return 1;
+    }
+    const ReplayOutcome outcome = replay_bundle(*bundle);
+    std::printf("replay of %s: verdict=%s (expected %s), hash %s\n",
+                repro.c_str(), chaos_verdict_name(outcome.result.verdict),
+                chaos_verdict_name(bundle->expected_verdict),
+                outcome.hash_matches ? "identical" : "MISMATCH");
+    return finish(outcome.ok());
+  }
+
+  print_header("Chaos search: partition/link/stall/churn adversaries, "
+               "layered oracles, minimized repros");
+
+  ChaosSearchOptions options;
+  options.n = 3;
+  options.timing = default_timing();
+  options.jobs = parse_jobs(argc, argv);
+  options.base_seed = static_cast<std::uint64_t>(
+      std::strtoull(arg_value(argc, argv, "--seed", "3405691582").c_str(),
+                    nullptr, 10));
+  options.time_budget_s =
+      std::atof(arg_value(argc, argv, "--seconds", "0").c_str());
+  options.wall_budget_ms = 30'000;  // per-run CI safety net
+  const std::string out_dir = arg_value(argc, argv, "--out", "chaos_repros");
+
+  const std::string plant = arg_value(argc, argv, "--plant", "");
+  if (!plant.empty()) {
+    const auto mutant = parse_chaos_mutant(plant);
+    if (!mutant || *mutant == ChaosMutant::kNone) {
+      std::printf("unknown mutant '%s' (eager-mop / eager-aop / "
+                  "narrow-waits)\n", plant.c_str());
+      return 1;
+    }
+    options.mutant = *mutant;
+    options.seeds = 12;  // a planted bug must not slip through
+    std::printf("planted mutant: %s\n", chaos_mutant_name(*mutant));
+    return run_search(options, out_dir, /*expect_violation=*/true,
+                      /*max_script=*/10);
+  }
+
+  return run_search(options, out_dir, /*expect_violation=*/false,
+                    /*max_script=*/-1);
+}

@@ -307,6 +307,8 @@ int main(int argc, char** argv) {
   json.set("checker_scaling_segmented_serial_s", wide_serial_s);
   json.set("checker_scaling_parallel_s", wide_par_s);
   json.set("checker_parallel_speedup", checker_speedup);
+  json.set("checker_parallel_speedup_threads",
+           std::thread::hardware_concurrency());
   json.set("checker_parallel_tasks", wide_par.parallel_tasks);
   json.set("checker_scaling_identical", wide_identical && multi_identical);
   json.set("checker_multi_segment_segments", multi_serial.segments);
@@ -317,12 +319,20 @@ int main(int argc, char** argv) {
   json.set("fault_sweep_serial_s", fault.serial_s);
   json.set("fault_sweep_parallel_s", fault.parallel_s);
   json.set("fault_sweep_speedup", fault.speedup());
+  json.set("fault_sweep_speedup_threads",
+           std::thread::hardware_concurrency());
   json.set("fault_sweep_identical", fault.identical);
   json.set("churn_sweep_serial_s", churn.serial_s);
   json.set("churn_sweep_parallel_s", churn.parallel_s);
   json.set("churn_sweep_speedup", churn.speedup());
+  json.set("churn_sweep_speedup_threads",
+           std::thread::hardware_concurrency());
   json.set("churn_sweep_identical", churn.identical);
   json.set("best_sweep_speedup", best_speedup);
+  // A speedup number is meaningless without the worker count it was
+  // measured with: ~1.0 on a 1-thread box is expected, not a regression.
+  json.set("best_sweep_speedup_threads",
+           std::thread::hardware_concurrency());
   std::printf(json.write() ? "wrote %s\n" : "FAILED writing %s\n",
               json.path().c_str());
 

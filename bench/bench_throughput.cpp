@@ -52,38 +52,6 @@ using namespace linbound::bench;
 
 namespace {
 
-/// FNV-1a over everything written, so a ~100MB serialized trace can be
-/// compared without materializing it.
-class HashStreambuf final : public std::streambuf {
- public:
-  std::uint64_t hash() const { return hash_; }
-
- protected:
-  int overflow(int ch) override {
-    if (ch != traits_type::eof()) absorb(static_cast<unsigned char>(ch));
-    return ch;
-  }
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    for (std::streamsize i = 0; i < n; ++i) {
-      absorb(static_cast<unsigned char>(s[i]));
-    }
-    return n;
-  }
-
- private:
-  void absorb(unsigned char c) {
-    hash_ = (hash_ ^ c) * 1099511628211ull;
-  }
-  std::uint64_t hash_ = 14695981039346656037ull;
-};
-
-std::uint64_t hash_trace(const Trace& trace) {
-  HashStreambuf buf;
-  std::ostream os(&buf);
-  write_trace(os, trace);
-  return buf.hash();
-}
-
 struct RunResult {
   bool complete = false;
   double seconds = 0;

@@ -1,0 +1,40 @@
+// Delta-debugging minimization of violating fault scripts.
+//
+// A violation surfaced by the search typically rides on a script with
+// dozens of recorded decisions, most of them irrelevant.  shrink_fault_script
+// runs Zeller's ddmin over the decision list: repeatedly replay the spec
+// with a subset of the decisions (removed decisions revert to "deliver
+// normally") and keep any subset that still produces the expected verdict.
+// The result is 1-minimal -- removing any single remaining decision makes
+// the violation disappear -- which is what makes the final repro bundle
+// readable: every line of the script is load-bearing.
+//
+// Soundness: the predicate is a full deterministic replay (chaos/chaos.h),
+// so a shrunk script is by construction a genuine reproduction, not an
+// extrapolation.  The spec itself (timing, seeds, workload, stall/churn
+// config) is held fixed: only per-send message decisions are minimized.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/chaos.h"
+#include "chaos/fault_script.h"
+
+namespace linbound {
+
+struct ShrinkStats {
+  std::size_t initial_decisions = 0;
+  std::size_t final_decisions = 0;
+  int probes = 0;  ///< replays executed
+};
+
+/// Minimize `script` while replay_chaos(spec, script).verdict == expected.
+/// Requires that the full script reproduces the expected verdict (throws
+/// std::invalid_argument otherwise -- a non-reproducible violation must not
+/// reach the shrinker).
+FaultScript shrink_fault_script(const ChaosRunSpec& spec,
+                                const FaultScript& script,
+                                ChaosVerdict expected,
+                                ShrinkStats* stats = nullptr);
+
+}  // namespace linbound

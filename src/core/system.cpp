@@ -12,6 +12,8 @@ const char* run_status_name(RunStatus status) {
       return "stalled";
     case RunStatus::kEventCapExceeded:
       return "event-cap-exceeded";
+    case RunStatus::kAborted:
+      return "aborted";
   }
   return "?";
 }

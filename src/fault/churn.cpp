@@ -107,8 +107,10 @@ std::string ChurnSchedule::to_string() const {
 }
 
 ChurnSchedule make_churn_schedule(const FaultConfig& config, int n) {
-  // Salt 4: splits 1-3 feed drop/dup/spike in make_fault_policy; churn gets
-  // the next stream so enabling it never reshuffles message faults.
+  config.validate();
+  // Salt 4: splits 1-3 feed drop/dup/spike and 5 feeds per-link faults in
+  // make_fault_policy; churn gets its own stream so enabling it never
+  // reshuffles message faults.
   const std::uint64_t churn_seed = Rng(config.seed).split(4).next_u64();
   return ChurnSchedule::generate(config.churn, n, churn_seed);
 }

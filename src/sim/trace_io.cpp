@@ -1,6 +1,8 @@
 #include "sim/trace_io.h"
 
+#include <ostream>
 #include <sstream>
+#include <streambuf>
 #include <vector>
 
 namespace linbound {
@@ -62,6 +64,39 @@ std::string trace_to_string(const Trace& trace) {
   std::ostringstream os;
   write_trace(os, trace);
   return os.str();
+}
+
+namespace {
+
+/// FNV-1a over everything written through it.
+class HashStreambuf final : public std::streambuf {
+ public:
+  std::uint64_t hash() const { return hash_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) absorb(static_cast<unsigned char>(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) {
+      absorb(static_cast<unsigned char>(s[i]));
+    }
+    return n;
+  }
+
+ private:
+  void absorb(unsigned char c) { hash_ = (hash_ ^ c) * 1099511628211ull; }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace
+
+std::uint64_t hash_trace(const Trace& trace) {
+  HashStreambuf buf;
+  std::ostream os(&buf);
+  write_trace(os, trace);
+  return buf.hash();
 }
 
 std::optional<Trace> read_trace(std::istream& is, std::string* error) {

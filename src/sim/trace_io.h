@@ -16,6 +16,7 @@
 // a clean run's serialization is byte-identical to the pre-fault format.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -33,5 +34,12 @@ std::string trace_to_string(const Trace& trace);
 std::optional<Trace> read_trace(std::istream& is, std::string* error = nullptr);
 std::optional<Trace> trace_from_string(const std::string& text,
                                        std::string* error = nullptr);
+
+/// FNV-1a fingerprint of write_trace's output, streamed (a ~100MB
+/// serialized trace is hashed without materializing it).  Two traces hash
+/// equal iff their serializations are byte-identical -- the determinism
+/// oracle of bench_throughput, the chaos engine's double-run check
+/// (src/chaos) and the repro-bundle replay gate all compare this.
+std::uint64_t hash_trace(const Trace& trace);
 
 }  // namespace linbound

@@ -304,6 +304,139 @@ TEST(AssumptionMonitor, ClassifiesCrashes) {
   EXPECT_TRUE(report.violated(Assumption::kFailureFree)) << report.summary();
 }
 
+TEST(FaultInjection, PartitionDropsOnlyCrossComponentMessages) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(700);
+  PartitionWindow window;
+  window.from = 0;
+  window.until = 2000;
+  window.component_of = {1, 0, 0};  // p0 alone vs {p1, p2}
+  config.faults = std::make_shared<PartitionFaultPolicy>(
+      std::vector<PartitionWindow>{window});
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  auto* p2 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.add_process(std::unique_ptr<Process>(p2));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 1); });   // crosses the cut: eaten
+  sim.call_at(100, [&] { p1->do_send(2, 2); });   // same side: delivered
+  sim.call_at(2500, [&] { p0->do_send(1, 3); });  // after healing: delivered
+  EXPECT_TRUE(sim.run());
+
+  ASSERT_EQ(p1->received.size(), 1u);
+  EXPECT_EQ(p1->received[0].value, 3);
+  ASSERT_EQ(p2->received.size(), 1u);
+  EXPECT_EQ(p2->received[0].value, 2);
+  ASSERT_EQ(sim.trace().faults.size(), 1u);
+  EXPECT_EQ(sim.trace().faults[0].kind, FaultKind::kMessageDropped);
+}
+
+TEST(FaultInjection, LinkFaultIsDirectional) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(700);
+  config.faults = std::make_shared<LinkFaultPolicy>(
+      std::vector<LinkFault>{{0, 1, /*drop_p=*/1.0, 0.0, 0}}, /*seed=*/5);
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 1); });  // 0 -> 1: configured, eaten
+  sim.call_at(100, [&] { p1->do_send(0, 2); });  // 1 -> 0: untouched
+  EXPECT_TRUE(sim.run());
+
+  EXPECT_TRUE(p1->received.empty());
+  ASSERT_EQ(p0->received.size(), 1u);
+  EXPECT_EQ(p0->received[0].value, 2);
+}
+
+TEST(FaultInjection, LinkDelayBoostIsBoundedAndRecorded) {
+  SimConfig config = base_config();
+  config.delays = std::make_shared<FixedDelayPolicy>(700);
+  config.faults = std::make_shared<LinkFaultPolicy>(
+      std::vector<LinkFault>{{0, 1, 0.0, /*delay_p=*/1.0, /*delay_max=*/400}},
+      /*seed=*/5);
+  Simulator sim(std::move(config));
+  auto* p0 = new ProbeProcess;
+  auto* p1 = new ProbeProcess;
+  sim.add_process(std::unique_ptr<Process>(p0));
+  sim.add_process(std::unique_ptr<Process>(p1));
+  sim.start();
+  sim.call_at(100, [&] { p0->do_send(1, 1); });
+  EXPECT_TRUE(sim.run());
+
+  ASSERT_EQ(p1->received.size(), 1u);
+  EXPECT_GT(p1->received[0].local_time, 800);          // boosted past 100+700
+  EXPECT_LE(p1->received[0].local_time, 800 + 400);    // within delay_max
+  ASSERT_EQ(sim.trace().faults.size(), 1u);
+  EXPECT_EQ(sim.trace().faults[0].kind, FaultKind::kDelaySpike);
+}
+
+/// Construction-time validation: a typo'd config fails loudly with a message
+/// naming the offending field, instead of silently always (or never) firing.
+TEST(FaultValidation, PoliciesRejectOutOfRangeParametersAtConstruction) {
+  EXPECT_THROW(DropFaultPolicy(1.5, 1), std::invalid_argument);
+  EXPECT_THROW(DropFaultPolicy(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(DuplicateFaultPolicy(0.5, 1, -1), std::invalid_argument);
+  EXPECT_THROW(DelaySpikeFaultPolicy(0.5, -100, 1), std::invalid_argument);
+  EXPECT_THROW(StallFaultPolicy({{0, 500, 100}}), std::invalid_argument);
+  EXPECT_THROW(StallFaultPolicy({{kNoProcess, 100, 500}}),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionFaultPolicy({{100, 50, {0, 1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionFaultPolicy({{50, 100, {0, -1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(LinkFaultPolicy({{0, 1, 2.0, 0.0, 0}}, 1),
+               std::invalid_argument);
+  // Positive delay probability with a zero bound is a config that can never
+  // fire -- almost certainly a mistake, so it is rejected too.
+  EXPECT_THROW(LinkFaultPolicy({{0, 1, 0.0, 0.5, 0}}, 1),
+               std::invalid_argument);
+}
+
+TEST(FaultValidation, ErrorsNameTheOffendingField) {
+  FaultConfig config;
+  config.spike_p = 3.0;
+  try {
+    config.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spike_p"), std::string::npos)
+        << e.what();
+  }
+
+  FaultConfig churny;
+  churny.churn.mean_uptime = -5;
+  try {
+    churny.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mean_uptime"), std::string::npos)
+        << e.what();
+  }
+
+  try {
+    StallWindow{2, 900, 400}.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("inverted"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultValidation, MakeFaultPolicyValidatesTheWholeConfig) {
+  FaultConfig config;
+  config.dup_copies = -2;
+  EXPECT_THROW(make_fault_policy(config), std::invalid_argument);
+  FaultConfig churny;
+  churny.churn.max_down = 0;
+  EXPECT_THROW(churny.validate(), std::invalid_argument);
+}
+
 TEST(AssumptionMonitor, AttributionSentenceNamesTheAssumption) {
   auto model = std::make_shared<RegisterModel>();
   SystemOptions o = system_options();

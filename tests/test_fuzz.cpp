@@ -8,8 +8,10 @@
 
 #include <memory>
 
+#include "chaos/chaos.h"
 #include "checker/brute_checker.h"
 #include "checker/lin_checker.h"
+#include "common/parallel.h"
 #include "core/driver.h"
 #include "fault/assumption_monitor.h"
 #include "core/system.h"
@@ -207,6 +209,53 @@ TEST_P(FuzzTest, RandomCrashRecoverSchedulesStayLinearizable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 10));
+
+TEST(FuzzDeterminism, FaultAndChurnSweepsHashIdenticallyAtAnyJobCount) {
+  // Double-run determinism across the fault+churn adversary space: every
+  // spec is executed twice inside run_chaos (hash compared bit-for-bit),
+  // and the whole sweep, aggregated in canonical order, must produce the
+  // identical hash sequence at --jobs 1, 2 and 4.
+  std::vector<ChaosRunSpec> specs;
+  Rng rng(0xf022);
+  for (int i = 0; i < 12; ++i) {
+    ChaosRunSpec spec;
+    spec.n = 3;
+    spec.timing = SystemTiming{1000, 400, 300};
+    spec.ops_per_client = 4;
+    spec.delay_seed = rng.next_u64();
+    spec.workload_seed = rng.next_u64();
+    spec.workload = static_cast<ChaosWorkload>(i % 3);
+    spec.faults.seed = rng.next_u64();
+    spec.faults.drop_p = 0.1;
+    spec.faults.dup_p = 0.1;
+    spec.faults.spike_p = 0.1;
+    spec.faults.spike_max = 300;
+    if (i % 2 == 0) {
+      spec.variant = ChaosVariant::kRecoverable;
+      spec.faults.churn.mean_uptime = 8000;
+      spec.faults.churn.mean_downtime = 2000;
+      spec.faults.churn.start = 1000;
+      spec.faults.churn.horizon = 12000;
+      spec.faults.churn.max_down = 1;
+    } else {
+      spec.variant = ChaosVariant::kHardened;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  auto sweep_hashes = [&](int jobs) {
+    const ParallelSweepExecutor executor(jobs);
+    return executor.map<std::uint64_t>(specs.size(), [&](std::size_t i) {
+      const ChaosRunResult r = run_chaos(specs[i]);
+      EXPECT_NE(r.verdict, ChaosVerdict::kNonDeterministic) << r.detail;
+      return r.trace_hash;
+    });
+  };
+
+  const auto serial = sweep_hashes(1);
+  EXPECT_EQ(sweep_hashes(2), serial);
+  EXPECT_EQ(sweep_hashes(4), serial);
+}
 
 }  // namespace
 }  // namespace linbound
