@@ -3,10 +3,11 @@
 // repro bundles.
 //
 //   bench_chaos [--seconds S] [--jobs N] [--seed X] [--out DIR]
-//       Search the full grid (all three variants, no mutant).  Any
-//       reproducible violation is shrunk and written as a chaosrepro bundle
-//       under DIR (default chaos_repros/).  Exit 1 when violations exist --
-//       CI uploads DIR as an artifact on that path.
+//               [--variants a,b,...]
+//       Search the grid (every variant unless --variants narrows it, no
+//       mutant).  Any reproducible violation is shrunk and written as a
+//       chaosrepro bundle under DIR (default chaos_repros/).  Exit 1 when
+//       violations exist -- CI uploads DIR as an artifact on that path.
 //
 //   bench_chaos --plant MUTANT [--jobs N] [--seed X] [--out DIR]
 //       Validation mode: plant a known bug (eager-mop / eager-aop /
@@ -172,6 +173,21 @@ int main(int argc, char** argv) {
       std::atof(arg_value(argc, argv, "--seconds", "0").c_str());
   options.wall_budget_ms = 30'000;  // per-run CI safety net
   const std::string out_dir = arg_value(argc, argv, "--out", "chaos_repros");
+
+  // --variants mode-switching,quorum restricts the grid (default: all).
+  const std::string variants = arg_value(argc, argv, "--variants", "");
+  if (!variants.empty()) {
+    std::istringstream list(variants);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      const auto v = parse_chaos_variant(name);
+      if (!v) {
+        std::printf("unknown variant '%s'\n", name.c_str());
+        return 1;
+      }
+      options.variants.push_back(*v);
+    }
+  }
 
   const std::string plant = arg_value(argc, argv, "--plant", "");
   if (!plant.empty()) {

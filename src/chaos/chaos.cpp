@@ -9,6 +9,7 @@
 
 #include "core/driver.h"
 #include "core/workload.h"
+#include "degrade/degrade_system.h"
 #include "fault/assumption_monitor.h"
 #include "fault/churn.h"
 #include "harness/latency.h"
@@ -37,6 +38,8 @@ const char* chaos_variant_name(ChaosVariant v) {
     case ChaosVariant::kStock: return "stock";
     case ChaosVariant::kHardened: return "hardened";
     case ChaosVariant::kRecoverable: return "recoverable";
+    case ChaosVariant::kModeSwitching: return "mode-switching";
+    case ChaosVariant::kQuorum: return "quorum";
   }
   return "?";
 }
@@ -72,8 +75,10 @@ const char* chaos_verdict_name(ChaosVerdict v) {
 }
 
 std::optional<ChaosVariant> parse_chaos_variant(const std::string& name) {
-  for (ChaosVariant v : {ChaosVariant::kStock, ChaosVariant::kHardened,
-                         ChaosVariant::kRecoverable}) {
+  for (ChaosVariant v :
+       {ChaosVariant::kStock, ChaosVariant::kHardened,
+        ChaosVariant::kRecoverable, ChaosVariant::kModeSwitching,
+        ChaosVariant::kQuorum}) {
     if (name == chaos_variant_name(v)) return v;
   }
   return std::nullopt;
@@ -138,6 +143,13 @@ void ChaosRunSpec::validate() const {
       variant != ChaosVariant::kStock) {
     throw std::invalid_argument(
         "ChaosRunSpec eager mutants require the stock variant");
+  }
+  if ((variant == ChaosVariant::kModeSwitching ||
+       variant == ChaosVariant::kQuorum) &&
+      mutant != ChaosMutant::kNone) {
+    throw std::invalid_argument(
+        "ChaosRunSpec mutants are Algorithm 1 delay bugs; the degradation "
+        "variants take none");
   }
   faults.validate();
 }
@@ -207,7 +219,81 @@ struct Execution {
   std::uint64_t trace_hash = 0;
   bool wall_clock_tripped = false;
   FaultScript recorded;
+  // Degradation accounting (from the trace's fault events).
+  int downgrades = 0;
+  int upgrades = 0;
+  int max_concurrent_down = 0;
+  int crashed_at_end = 0;
+  /// Crashes that struck in synchronous mode with no downgrade afterwards:
+  /// the one crash shape mode switching does not promise to absorb
+  /// (pause-resume; see mode_switching_replica.h).
+  int crashes_outside_degraded = 0;
 };
+
+bool degradation_variant(ChaosVariant v) {
+  return v == ChaosVariant::kModeSwitching || v == ChaosVariant::kQuorum;
+}
+
+/// Fill Execution's degradation counters from the recorded fault events.
+void absorb_degradation_events(const Trace& trace, Execution* out) {
+  std::vector<Tick> downgrade_times;
+  for (const FaultEvent& f : trace.faults) {
+    if (f.kind == FaultKind::kModeDowngrade) downgrade_times.push_back(f.time);
+  }
+  int down = 0;
+  bool degraded = false;
+  for (const FaultEvent& f : trace.faults) {
+    switch (f.kind) {
+      case FaultKind::kModeDowngrade:
+        ++out->downgrades;
+        degraded = true;
+        break;
+      case FaultKind::kModeUpgrade:
+        ++out->upgrades;
+        degraded = false;
+        break;
+      case FaultKind::kProcessCrashed: {
+        ++down;
+        out->max_concurrent_down = std::max(out->max_concurrent_down, down);
+        const bool covered =
+            degraded || std::any_of(downgrade_times.begin(),
+                                    downgrade_times.end(),
+                                    [&](Tick t) { return t >= f.time; });
+        if (!covered) ++out->crashes_outside_degraded;
+        break;
+      }
+      case FaultKind::kProcessRecovered:
+        --down;
+        break;
+      default:
+        break;
+    }
+  }
+  out->crashed_at_end = down;
+}
+
+/// Does the spec's storm heal on its own?  The degraded-mode oracle only
+/// demands liveness when it does: total loss, an unhealed partition, an
+/// endless stall or a process still down at the end excuse a stalled run.
+bool storm_heals(const ChaosRunSpec& spec, const Execution& exec) {
+  if (spec.faults.drop_p >= 1.0) return false;
+  for (const LinkFault& link : spec.faults.links) {
+    if (link.drop_p >= 1.0) return false;
+  }
+  for (const PartitionWindow& w : spec.faults.partitions) {
+    if (w.until == kTimeInfinity) return false;
+  }
+  for (const StallWindow& w : spec.faults.stalls) {
+    if (w.until == kTimeInfinity) return false;
+  }
+  if (exec.crashed_at_end != 0) return false;
+  if (2 * exec.max_concurrent_down >= spec.n) return false;
+  if (spec.variant == ChaosVariant::kModeSwitching &&
+      exec.crashes_outside_degraded != 0) {
+    return false;  // pause-resume crash: outside the switching promise
+  }
+  return true;
+}
 
 /// One deterministic simulation of the spec under the given fault policy.
 Execution execute_once(const ChaosRunSpec& spec,
@@ -225,8 +311,14 @@ Execution execute_once(const ChaosRunSpec& spec,
   sys.max_events = spec.event_budget;
   switch (spec.variant) {
     case ChaosVariant::kStock:
+    case ChaosVariant::kQuorum:
       break;
-    case ChaosVariant::kHardened: {
+    case ChaosVariant::kHardened:
+    case ChaosVariant::kModeSwitching: {
+      // The switching variant rides the same reliable link in its sync
+      // eras; the margin keeps pre-downgrade responses inside the widened
+      // model while the supervisor gathers its evidence (spiked deliveries
+      // still land past the raw d, so they count as violations).
       HardenedParams hp;
       hp.spike_margin = boost_margin(spec.faults);
       sys.hardened = hp;
@@ -262,7 +354,19 @@ Execution execute_once(const ChaosRunSpec& spec,
       break;
   }
 
-  ReplicaSystem system(model, sys);
+  const bool degrade = degradation_variant(spec.variant);
+  std::unique_ptr<ObjectSystem> system;
+  const AlgorithmDelays* judged_delays = nullptr;
+  if (degrade) {
+    DegradeOptions dopt;
+    dopt.base = sys;
+    dopt.switching = spec.variant == ChaosVariant::kModeSwitching;
+    system = std::make_unique<DegradeSystem>(model, dopt);
+  } else {
+    auto rs = std::make_unique<ReplicaSystem>(model, sys);
+    judged_delays = &rs->algorithm_delays();
+    system = std::move(rs);
+  }
 
   Rng wl_rng(spec.workload_seed);
   std::vector<ClientScript> scripts;
@@ -274,18 +378,21 @@ Execution execute_once(const ChaosRunSpec& spec,
                                              spec.ops_per_client),
                                    /*start_time=*/1000, spec.think_time});
   }
-  WorkloadDriver driver(system.sim(), std::move(scripts));
+  // Degradation systems answer crash-cut operations themselves from the
+  // durable quorum log; a client retry would race that late response.
+  WorkloadDriver driver(system->sim(), std::move(scripts), {}, {},
+                        /*reissue_cut_ops=*/!degrade);
   driver.arm();
 
   if (spec.faults.churn.any()) {
-    make_churn_schedule(spec.faults, spec.n).apply(system.sim());
+    make_churn_schedule(spec.faults, spec.n).apply(system->sim());
   }
 
   // The watchdog loop: advance in fixed virtual-time slices, checking the
   // wall clock between slices.  The event budget is the simulator's own
   // max_events, so a budget abort lands after *exactly* event_budget events
   // -- deterministic, hence shrinkable; a wall-clock trip is not.
-  Simulator& sim = system.sim();
+  Simulator& sim = system->sim();
   sim.start();
   Execution out;
   bool drained = false;
@@ -323,9 +430,11 @@ Execution execute_once(const ChaosRunSpec& spec,
   out.report = audit_assumptions(trace);
 
   if (spec.variant != ChaosVariant::kStock) {
+    // Covers the mode-switching replica too (it *is* a hardened replica in
+    // its synchronous eras); the quorum variant has no reliable link.
     for (int pid = 0; pid < spec.n; ++pid) {
       if (const auto* h = dynamic_cast<const HardenedReplicaProcess*>(
-              &system.replica(pid))) {
+              &sim.process(pid))) {
         out.link_give_ups += h->link_give_ups();
       }
     }
@@ -333,18 +442,23 @@ Execution execute_once(const ChaosRunSpec& spec,
 
   // Per-class latency excess against the delays the run actually used
   // (mutants are judged against their own, shorter bounds -- the eager
-  // variants fail linearizability, not their self-declared latency).
-  LatencyReport latency;
-  latency.absorb(*model, trace);
-  const AlgorithmDelays& delays = system.algorithm_delays();
-  const auto excess = [&](OpClass cls, Tick bound) {
-    const Tick worst = latency.worst_for_class(cls);
-    if (worst == kNoTime) return;
-    out.worst_excess = std::max(out.worst_excess, worst - bound);
-  };
-  excess(OpClass::kPureMutator, delays.mop_ack);
-  excess(OpClass::kPureAccessor, delays.aop_respond);
-  excess(OpClass::kOther, delays.self_add + delays.holdback);
+  // variants fail linearizability, not their self-declared latency).  The
+  // degradation variants trade latency for availability by design and carry
+  // no fixed per-class bound, so they keep worst_excess at 0.
+  if (judged_delays) {
+    LatencyReport latency;
+    latency.absorb(*model, trace);
+    const AlgorithmDelays& delays = *judged_delays;
+    const auto excess = [&](OpClass cls, Tick bound) {
+      const Tick worst = latency.worst_for_class(cls);
+      if (worst == kNoTime) return;
+      out.worst_excess = std::max(out.worst_excess, worst - bound);
+    };
+    excess(OpClass::kPureMutator, delays.mop_ack);
+    excess(OpClass::kPureAccessor, delays.aop_respond);
+    excess(OpClass::kOther, delays.self_add + delays.holdback);
+  }
+  absorb_degradation_events(trace, &out);
 
   out.trace_hash = hash_trace(trace);
   if (recorder) out.recorded = recorder->script();
@@ -362,6 +476,9 @@ ChaosRunResult judge(const ChaosRunSpec& spec, const Execution& exec) {
   r.trace_hash = exec.trace_hash;
   r.wall_clock_tripped = exec.wall_clock_tripped;
   r.script = exec.recorded;
+  r.downgrades = exec.downgrades;
+  r.upgrades = exec.upgrades;
+  r.max_concurrent_down = exec.max_concurrent_down;
 
   // The variant's guarantee: stock Algorithm 1 promises nothing once any
   // model assumption broke; the hardened/recoverable variants promise
@@ -383,6 +500,15 @@ ChaosRunResult judge(const ChaosRunSpec& spec, const Execution& exec) {
       r.guarantee_applies = exec.link_give_ups == 0 &&
                             !exec.report.violated(Assumption::kNoStalls);
       break;
+    case ChaosVariant::kModeSwitching:
+      // Safety holds through any delay behaviour; only a crashed *majority*
+      // (which could split the quorum log) voids the promise.
+      r.guarantee_applies = 2 * exec.max_concurrent_down < spec.n;
+      break;
+    case ChaosVariant::kQuorum:
+      // Paxos safety needs no timing assumptions at all.
+      r.guarantee_applies = true;
+      break;
   }
 
   std::ostringstream detail;
@@ -396,7 +522,17 @@ ChaosRunResult judge(const ChaosRunSpec& spec, const Execution& exec) {
     detail << "non-linearizable while the "
            << chaos_variant_name(spec.variant)
            << " guarantee applied: " << exec.explanation;
-  } else if (exec.status == RunStatus::kStalled && r.assumptions_clean) {
+  } else if (exec.status == RunStatus::kStalled &&
+             degradation_variant(spec.variant) && storm_heals(spec, exec)) {
+    // The degraded-mode liveness oracle: the whole point of the fallback is
+    // availability, so pending operations after a storm that healed -- and
+    // left a live majority -- are a violation, not an excuse.
+    r.verdict = ChaosVerdict::kAborted;
+    detail << "degraded-mode oracle: operations left pending although the "
+              "storm healed and a majority stayed up (downgrades="
+           << exec.downgrades << ", upgrades=" << exec.upgrades << ")";
+  } else if (exec.status == RunStatus::kStalled && r.assumptions_clean &&
+             !degradation_variant(spec.variant)) {
     // Operations left unanswered although the model held end to end.
     r.verdict = ChaosVerdict::kAborted;
     detail << "operations left pending in a clean run";

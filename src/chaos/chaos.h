@@ -49,6 +49,15 @@ enum class ChaosVariant {
   kStock,        ///< plain Algorithm 1 (guarantee: fault-free model)
   kHardened,     ///< reliable-link variant (guarantee: link never gives up)
   kRecoverable,  ///< crash-recovery variant (guarantee: ditto, plus churn)
+  /// Synchrony supervisor + live mode switching (src/degrade).  Guarantee:
+  /// linearizable whenever concurrent crashes stay a minority; the
+  /// degraded-mode oracle additionally demands *liveness* -- no stalls and
+  /// no aborts -- whenever the storm heals (see judge in chaos.cpp).
+  kModeSwitching,
+  /// The asynchronous quorum backend alone (src/degrade/quorum_replica.h).
+  /// Guarantee: unconditional linearizability (Paxos safety needs no
+  /// timing), liveness whenever a majority stays up and crashes heal.
+  kQuorum,
 };
 
 /// Deliberately planted bugs the engine must find (validation of the whole
@@ -121,8 +130,16 @@ struct ChaosRunResult {
   /// Hardened/recoverable link give-ups summed over replicas (0 for stock).
   std::int64_t link_give_ups = 0;
   /// Worst observed latency minus its per-class bound, over all classes;
-  /// <= 0 when every class stayed in bound.
+  /// <= 0 when every class stayed in bound.  Fixed-mode variants only: a
+  /// degraded run trades latency for availability by design.
   Tick worst_excess = 0;
+  /// Mode switches the supervisor recorded (mode-switching variant; 0
+  /// elsewhere) -- counted from the trace's kModeDowngrade/kModeUpgrade
+  /// events, so replay reproduces them too.
+  int downgrades = 0;
+  int upgrades = 0;
+  /// Most processes crashed at once at any point of the run.
+  int max_concurrent_down = 0;
   std::uint64_t trace_hash = 0;
   /// The wall-clock guard (not the event budget) caused the abort: the
   /// result is machine-dependent and must not be shrunk or bundled.

@@ -85,6 +85,28 @@ FaultConfig churn_cell(const SystemTiming& t, double drop_p) {
   return f;
 }
 
+/// The degradation storm: a delay-spike barrage plus an early partition plus
+/// minority churn, heavy enough to drive the fixed-mode variants to give up
+/// yet guaranteed to heal -- exactly the weather the degraded-mode liveness
+/// oracle demands survival of.
+FaultConfig degraded_storm_cell(const SystemTiming& t, int n) {
+  FaultConfig f;
+  f.spike_p = 0.25;
+  f.spike_max = 4 * t.d;
+  PartitionWindow w;
+  w.from = 1500;
+  w.until = w.from + 6 * t.d;
+  w.component_of.assign(static_cast<std::size_t>(n), 0);
+  w.component_of[0] = 1;
+  f.partitions.push_back(std::move(w));
+  f.churn.mean_uptime = 10 * t.d;
+  f.churn.mean_downtime = 2 * t.d;
+  f.churn.start = 2000;
+  f.churn.horizon = 20 * t.d;
+  f.churn.max_down = (n - 1) / 2;
+  return f;
+}
+
 std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
@@ -100,7 +122,8 @@ std::vector<ChaosRunSpec> chaos_search_grid(const ChaosSearchOptions& options) {
   std::vector<ChaosVariant> variants = options.variants;
   if (variants.empty()) {
     variants = {ChaosVariant::kStock, ChaosVariant::kHardened,
-                ChaosVariant::kRecoverable};
+                ChaosVariant::kRecoverable, ChaosVariant::kModeSwitching,
+                ChaosVariant::kQuorum};
   }
   // A planted mutant pins the variant it lives in.
   switch (options.mutant) {
@@ -142,6 +165,19 @@ std::vector<ChaosRunSpec> chaos_search_grid(const ChaosSearchOptions& options) {
         cells = {churn_cell(t, 0.0), churn_cell(t, 0.05)};
         workloads = {ChaosWorkload::kRegister, ChaosWorkload::kQueue};
         break;
+      case ChaosVariant::kModeSwitching:
+        // Weather bad enough to trip the supervisor, tame enough to heal:
+        // the liveness oracle then demands completion through the switch.
+        cells = {spike_cell(0.25, 4 * t.d), partition_cell(t, options.n),
+                 degraded_storm_cell(t, options.n)};
+        workloads = {ChaosWorkload::kRegister, ChaosWorkload::kQueue};
+        break;
+      case ChaosVariant::kQuorum:
+        // Safety is unconditional, so the heaviest cells go here.
+        cells = {drop_cell(0.15), spike_cell(0.25, 4 * t.d),
+                 partition_cell(t, options.n), churn_cell(t, 0.05)};
+        workloads = {ChaosWorkload::kRegister, ChaosWorkload::kQueue};
+        break;
     }
     for (std::size_t ci = 0; ci < cells.size(); ++ci) {
       for (const ChaosWorkload workload : workloads) {
@@ -156,6 +192,15 @@ std::vector<ChaosRunSpec> chaos_search_grid(const ChaosSearchOptions& options) {
           spec.ops_per_client = options.ops_per_client;
           spec.think_time = options.think_time;
           spec.event_budget = options.event_budget;
+          // A covered cell must size its watchdog to the variant too: under
+          // a persistent spike barrage the supervisor legitimately cycles
+          // the era machinery thousands of times before the run drains
+          // (~600k events at an unlucky seed), so the fixed-mode budget
+          // would turn weather into a spurious kAborted finding -- whose
+          // ~70k-decision script the shrinker then chews on for minutes.
+          if (variant == ChaosVariant::kModeSwitching) {
+            spec.event_budget *= 10;
+          }
           spec.wall_budget_ms = options.wall_budget_ms;
           spec.faults = cells[ci];
           // Every random ingredient gets its own stream, derived from the

@@ -13,6 +13,13 @@
 //                spike margins configured in);
 //   recoverable  churn cells with max_down=1 and downtime within budget,
 //                optionally mixed with light message loss.
+//   mode-switching  spike barrages / partitions / the combined degradation
+//                storm -- weather that must trip the supervisor yet heal, so
+//                the liveness oracle can demand completion through the
+//                switches; the watchdog budget is scaled up because the era
+//                machinery legitimately runs long under persistent spikes;
+//   quorum       the heaviest cells (loss, spikes, partition, churn):
+//                Paxos safety is unconditional.
 //
 // Every run doubles as its own determinism check (run_chaos executes each
 // spec twice).  Findings come back with their recorded FaultScript, ready
@@ -32,7 +39,7 @@
 namespace linbound {
 
 struct ChaosSearchOptions {
-  /// Variants to sweep; empty means all three.
+  /// Variants to sweep; empty means every variant.
   std::vector<ChaosVariant> variants;
   /// Planted bug; forces the matching variant (eager -> stock,
   /// narrow-waits -> hardened) and is stamped into every spec.

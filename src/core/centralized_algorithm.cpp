@@ -17,7 +17,8 @@ void CentralizedProcess::on_invoke(std::int64_t token, const Operation& op) {
   }
   send(coordinator_, make_msg<CentralRequestPayload>(op, token));
   if (give_up_after_ > 0) {
-    give_up_timers_[token] =
+    give_up_token_ = token;
+    give_up_timer_ =
         set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
   }
 }
@@ -30,10 +31,9 @@ void CentralizedProcess::on_message(ProcessId from, const MessagePayload& payloa
     return;
   }
   if (const auto* reply = dynamic_cast<const CentralReplyPayload*>(&payload)) {
-    auto it = give_up_timers_.find(reply->token);
-    if (it != give_up_timers_.end()) {
-      cancel_timer(it->second);
-      give_up_timers_.erase(it);
+    if (give_up_token_ == reply->token) {
+      cancel_timer(give_up_timer_);
+      give_up_token_ = -1;
     }
     respond(reply->token, reply->ret);
     return;
@@ -43,7 +43,8 @@ void CentralizedProcess::on_message(ProcessId from, const MessagePayload& payloa
 void CentralizedProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
   if (tag.kind != kGiveUp) return;
   const std::int64_t token = tag.ts.clock_time;
-  if (give_up_timers_.erase(token) == 0) return;  // already answered
+  if (give_up_token_ != token) return;  // already answered
+  give_up_token_ = -1;
   give_up(token);
 }
 

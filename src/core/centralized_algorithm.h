@@ -5,7 +5,6 @@
 // Algorithm 1 is measured against in bench_baseline_2d.
 #pragma once
 
-#include <map>
 #include <memory>
 
 #include "sim/process.h"
@@ -48,7 +47,11 @@ class CentralizedProcess final : public Process {
   ProcessId coordinator_;
   Tick give_up_after_;
   std::unique_ptr<ObjectState> obj_;  ///< live only on the coordinator
-  std::map<std::int64_t, TimerId> give_up_timers_;  ///< by pending token
+  /// The pending give-up timer, if any.  The model allows one pending
+  /// operation per process, so a scalar slot replaces the seed's per-token
+  /// std::map: -1 means no operation is being timed.
+  std::int64_t give_up_token_ = -1;
+  TimerId give_up_timer_ = 0;
 };
 
 }  // namespace linbound

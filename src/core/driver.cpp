@@ -6,9 +6,11 @@ namespace linbound {
 
 WorkloadDriver::WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
                                std::function<void(const OperationRecord&)> on_response,
-                               std::function<void(ProcessId, Tick)> on_recovery)
+                               std::function<void(ProcessId, Tick)> on_recovery,
+                               bool reissue_cut_ops)
     : sim_(sim),
       scripts_(std::move(scripts)),
+      reissue_cut_ops_(reissue_cut_ops),
       on_response_(std::move(on_response)),
       on_recovery_(std::move(on_recovery)) {
   next_op_.assign(scripts_.size(), 0);
@@ -62,6 +64,10 @@ void WorkloadDriver::handle_response(const OperationRecord& rec) {
   const ProcessId script_idx = script_of_proc_.at(static_cast<std::size_t>(rec.proc));
   if (script_idx < 0) return;
   const auto s = static_cast<std::size_t>(script_idx);
+  // A response to a token we are no longer waiting on (a pre-crash attempt
+  // answered late from durable state after reissue_cut already retried it)
+  // must not advance the script: the retry is the in-flight operation.
+  if (rec.token != inflight_token_[s]) return;
   inflight_token_[s] = -1;
   if (next_op_[s] >= scripts_[s].ops.size()) return;
   const Operation& op = scripts_[s].ops[next_op_[s]];
@@ -72,6 +78,7 @@ void WorkloadDriver::handle_response(const OperationRecord& rec) {
 }
 
 void WorkloadDriver::reissue_cut(ProcessId pid, Tick now) {
+  if (!reissue_cut_ops_) return;
   const ProcessId script_idx = script_of_proc_.at(static_cast<std::size_t>(pid));
   if (script_idx < 0) return;
   const auto s = static_cast<std::size_t>(script_idx);

@@ -25,9 +25,16 @@ class WorkloadDriver {
   /// Installs the simulator's response and recovery hooks; at most one
   /// driver per simulator.  `on_response` / `on_recovery` (optional) are
   /// forwarded so callers can still observe completions and rejoins.
+  /// `reissue_cut_ops` controls the retry-on-recovery behavior: leave it on
+  /// for the synchronous algorithms (whose volatile state forgets a cut
+  /// operation forever), turn it off for systems that answer cut operations
+  /// themselves from durable state (the degraded-mode quorum backend) --
+  /// there a client retry would race the late response and overlap two
+  /// invocations on one process.
   WorkloadDriver(Simulator& sim, std::vector<ClientScript> scripts,
                  std::function<void(const OperationRecord&)> on_response = {},
-                 std::function<void(ProcessId, Tick)> on_recovery = {});
+                 std::function<void(ProcessId, Tick)> on_recovery = {},
+                 bool reissue_cut_ops = true);
 
   /// Schedule the first invocation of every script.  Call after
   /// Simulator::start() is not required -- events are queued either way.
@@ -59,6 +66,7 @@ class WorkloadDriver {
   std::vector<std::int64_t> inflight_token_;
   std::vector<Tick> inflight_sched_;
   int reissued_ = 0;
+  bool reissue_cut_ops_ = true;
   std::function<void(const OperationRecord&)> on_response_;
   std::function<void(ProcessId, Tick)> on_recovery_;
 };

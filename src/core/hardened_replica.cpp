@@ -22,7 +22,8 @@ Tick HardenedParams::effective_d(const SystemTiming& timing) const {
   Tick step = std::min(first_timeout_for(timing), cap);
   Tick total = timing.d + spike_margin;  // last attempt's one-way flight
   for (int k = 0; k + 1 < max_attempts; ++k) {
-    total += step;
+    // Each retransmission wait may be stretched by up to retrans_jitter.
+    total += step + retrans_jitter;
     step = (step >= cap / backoff) ? cap : step * backoff;
     step = std::min(step, cap);
   }
@@ -109,7 +110,17 @@ void HardenedReplicaProcess::on_timer(TimerId id, const TimerTag& tag) {
                              ? cap
                              : pending.next_timeout * params_.backoff;
   pending.next_timeout = std::min(pending.next_timeout, cap);
-  set_timer(pending.next_timeout, tag);
+  // Deterministic desynchronization: stretch this wait by a per-process
+  // draw so concurrent losers do not retransmit in lockstep.  The stored
+  // next_timeout stays unjittered -- the backoff ladder (and effective_d's
+  // accounting of it) is unchanged; jitter only shifts firing times.
+  Tick jitter = 0;
+  if (params_.retrans_jitter > 0) {
+    if (!jitter_rng_) jitter_rng_ = Rng(params_.jitter_seed).split(
+        static_cast<std::uint64_t>(this->id()));
+    jitter = jitter_rng_->uniform_tick(0, params_.retrans_jitter);
+  }
+  set_timer(pending.next_timeout + jitter, tag);
 }
 
 void HardenedReplicaProcess::reset_link_state(Tick new_incarnation) {

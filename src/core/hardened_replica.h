@@ -28,9 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/replica_algorithm.h"
 
 namespace linbound {
@@ -50,6 +52,17 @@ struct HardenedParams {
   /// Extra one-way delay the link must absorb (set to the fault policy's
   /// spike_max when delay spikes are injected).
   Tick spike_margin = 0;
+  /// Deterministic jitter added to every *retransmission* wait: each backoff
+  /// step is stretched by a uniform draw in [0, retrans_jitter] from this
+  /// process's split RNG stream (seed below, split by process id), breaking
+  /// the lockstep retransmission bursts a shared timeout produces.  The draw
+  /// happens only when a retransmission actually fires -- the first-attempt
+  /// timer is never jittered -- so fault-free runs consume no randomness and
+  /// stay byte-identical to jitter-free ones.  0 disables jitter.
+  Tick retrans_jitter = 0;
+  /// Root seed of the jitter streams; process `pid` draws from
+  /// Rng(jitter_seed).split(pid).
+  std::uint64_t jitter_seed = 0x6a17'7e12'0b5eULL;
 
   Tick first_timeout_for(const SystemTiming& timing) const;
   Tick step_cap_for(const SystemTiming& timing) const;
@@ -65,7 +78,7 @@ struct HardenedParams {
 
   bool valid() const {
     return max_attempts >= 1 && backoff >= 1 && retrans_timeout >= 0 &&
-           timeout_cap >= 0 && spike_margin >= 0;
+           timeout_cap >= 0 && spike_margin >= 0 && retrans_jitter >= 0;
   }
 };
 
@@ -152,6 +165,11 @@ class HardenedReplicaProcess : public ReplicaProcess {
   std::int64_t retransmissions_ = 0;
   std::int64_t duplicates_suppressed_ = 0;
   std::int64_t link_give_ups_ = 0;
+
+  /// Per-process jitter stream, created on the first retransmission (needs
+  /// id(), which is unknown at construction; and a run with no
+  /// retransmissions must not draw from it at all).
+  std::optional<Rng> jitter_rng_;
 };
 
 }  // namespace linbound

@@ -152,6 +152,61 @@ void ReplicaProcess::execute_up_to(const Timestamp& ts, bool inclusive) {
   }
 }
 
+std::vector<DrainedOwnOp> ReplicaProcess::drain_own_unresponded() const {
+  std::map<Timestamp, DrainedOwnOp> merged;
+  for (const auto& [ts, own] : awaiting_self_add_) {
+    DrainedOwnOp d;
+    d.ts = ts;
+    d.op = own.op;
+    // A MOP's token is attached below from its ack record; an OOP responds
+    // with the execution result.
+    d.token = own.respond_on_execute ? own.token : -1;
+    merged[ts] = std::move(d);
+  }
+  for (const PendingOp& entry : queue_.entries()) {
+    if (entry.own_token < 0) continue;  // a peer's op: nothing owed here
+    DrainedOwnOp d;
+    d.ts = entry.ts;
+    d.op = entry.op;
+    d.token = entry.own_token;
+    merged[entry.ts] = std::move(d);
+  }
+  for (const auto& [ts, token] : awaiting_mop_ack_) {
+    auto it = merged.find(ts);
+    if (it != merged.end()) {
+      // Still awaiting self-add: the op is known, only the ack shape
+      // changes.
+      it->second.token = token;
+      it->second.ack_only = true;
+      continue;
+    }
+    DrainedOwnOp d;
+    d.ts = ts;
+    // Self-added already: the op sits in To_Execute (own_token -1 for
+    // mutators) or has executed -- recover it if still queued.
+    for (const PendingOp& entry : queue_.entries()) {
+      if (entry.ts == ts) {
+        d.op = entry.op;
+        break;
+      }
+    }
+    d.token = token;
+    d.ack_only = true;
+    merged[ts] = std::move(d);
+  }
+  for (const auto& [ts, acc] : awaiting_aop_) {
+    DrainedOwnOp d;
+    d.ts = ts;
+    d.op = acc.op;
+    d.token = acc.token;
+    merged[ts] = std::move(d);
+  }
+  std::vector<DrainedOwnOp> out;
+  out.reserve(merged.size());
+  for (auto& [ts, d] : merged) out.push_back(std::move(d));
+  return out;
+}
+
 void ReplicaProcess::reset_volatile_state() {
   local_obj_ = model_->initial_state();
   queue_.clear();

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/timestamp.h"
 #include "core/to_execute.h"
@@ -80,6 +81,20 @@ struct AlgorithmDelays {
   static AlgorithmDelays drift_compensated(const SystemTiming& timing, Tick x,
                                            std::int64_t max_abs_ppm,
                                            Tick horizon);
+};
+
+/// One of a replica's own operations that has not produced its response yet
+/// -- what a mode switch must carry over to the degraded backend
+/// (src/degrade/mode_switching_replica.h) so the client is still answered.
+struct DrainedOwnOp {
+  Timestamp ts{};
+  /// The operation itself; nullopt only for a pure mutator whose broadcast
+  /// copy already executed locally and whose early ack alone is still owed.
+  std::optional<Operation> op;
+  std::int64_t token = -1;
+  /// True when the response is the unit ack (pure mutators), false when it
+  /// is the operation's application result (OOPs and accessors).
+  bool ack_only = false;
 };
 
 class ReplicaProcess : public Process {
@@ -136,6 +151,14 @@ class ReplicaProcess : public Process {
   const ObjectModel& object_model() const { return *model_; }
   const AlgorithmDelays& algo_delays() const { return delays_; }
   const ToExecuteQueue& to_execute() const { return queue_; }
+
+  /// Snapshot every own operation still awaiting its response, in timestamp
+  /// order: broadcast ops awaiting self-add, own entries still in
+  /// To_Execute, pure mutators awaiting their early ack, accessors awaiting
+  /// their respond timer.  Read-only -- the caller (a degraded-mode switch)
+  /// decides what to do with the tokens and typically follows up with
+  /// reset_volatile_state().
+  std::vector<DrainedOwnOp> drain_own_unresponded() const;
 
  private:
   enum TimerKind : int { kSelfAdd = 1, kExecute = 2, kMopAck = 3, kAopRespond = 4 };

@@ -43,7 +43,9 @@ struct SystemOptions {
   /// Centralized/TOB only: clients abandon an operation (Process::give_up)
   /// this long after invoking it without an answer, so a dead coordinator
   /// or sequencer degrades to a Stalled outcome instead of hanging the
-  /// operation forever.  0 = wait forever (the historical behavior).
+  /// operation forever.  0 = wait forever (the historical behavior and the
+  /// default); negative values are rejected at system construction
+  /// (std::invalid_argument).
   Tick give_up_after = 0;
   std::size_t max_events = 10'000'000;
   /// Future-event-list implementation (sim/event_queue.h); both produce

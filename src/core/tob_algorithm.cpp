@@ -16,7 +16,8 @@ void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
   }
   send(sequencer_, make_msg<TobSubmitPayload>(op, token, id()));
   if (give_up_after_ > 0) {
-    give_up_timers_[token] =
+    give_up_token_ = token;
+    give_up_timer_ =
         set_timer(give_up_after_, TimerTag{kGiveUp, Timestamp{token, id()}});
   }
 }
@@ -24,7 +25,8 @@ void TobProcess::on_invoke(std::int64_t token, const Operation& op) {
 void TobProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
   if (tag.kind != kGiveUp) return;
   const std::int64_t token = tag.ts.clock_time;
-  if (give_up_timers_.erase(token) == 0) return;  // already answered
+  if (give_up_token_ != token) return;  // already answered
+  give_up_token_ = -1;
   give_up(token);
 }
 
@@ -60,10 +62,9 @@ void TobProcess::apply_in_order() {
     const Buffered& entry = it->second;
     const Value ret = obj_->apply(entry.op);
     if (entry.origin == id()) {
-      auto timer = give_up_timers_.find(entry.token);
-      if (timer != give_up_timers_.end()) {
-        cancel_timer(timer->second);
-        give_up_timers_.erase(timer);
+      if (give_up_token_ == entry.token) {
+        cancel_timer(give_up_timer_);
+        give_up_token_ = -1;
       }
       respond(entry.token, ret);
     }

@@ -83,7 +83,11 @@ class TobProcess final : public Process {
     ProcessId origin = kNoProcess;
   };
   std::map<std::int64_t, Buffered> buffer_;  // out-of-order deliveries
-  std::map<std::int64_t, TimerId> give_up_timers_;  // by pending token
+  /// The pending give-up timer, if any.  One pending operation per process
+  /// means at most one timed token, so a scalar slot replaces the seed's
+  /// per-token std::map: -1 means no operation is being timed.
+  std::int64_t give_up_token_ = -1;
+  TimerId give_up_timer_ = 0;
 };
 
 }  // namespace linbound

@@ -155,6 +155,12 @@ AssumptionReport audit_assumptions(const Trace& trace) {
         // Degradation behavior, not an assumption: the cause (crash, loss)
         // is reported by its own event.
         break;
+      case FaultKind::kModeDowngrade:
+      case FaultKind::kModeUpgrade:
+        // The synchrony supervisor's reaction to a violation, not a
+        // violation itself; the triggering drops/spikes are attributed by
+        // their own events above.
+        break;
       case FaultKind::kFaultKindCount:
         break;
     }

@@ -1,0 +1,357 @@
+#include "harness/mode_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/parallel.h"
+#include "core/driver.h"
+#include "fault/churn.h"
+
+namespace linbound {
+namespace {
+
+/// Worst injected one-way delay boost the hardened link must absorb.
+Tick boost_margin(const FaultConfig& faults) {
+  Tick margin = faults.spike_max;
+  for (const LinkFault& link : faults.links) {
+    margin = std::max(margin, link.delay_max);
+  }
+  return margin;
+}
+
+struct OneRun {
+  RunStatus status = RunStatus::kComplete;
+  bool linearizable = false;
+  std::string explanation;
+  int downgrades = 0;
+  int upgrades = 0;
+  std::int64_t ops_invoked = 0;
+  std::int64_t ops_answered = 0;
+  std::vector<Tick> switch_latencies;
+
+  bool complete() const { return status == RunStatus::kComplete; }
+};
+
+/// Pull the degradation metrics out of a finished run's trace.
+void absorb_trace(const Trace& trace, OneRun* out) {
+  std::vector<Tick> response_times;
+  for (const OperationRecord& rec : trace.ops) {
+    ++out->ops_invoked;
+    if (rec.response_time != kNoTime) {
+      ++out->ops_answered;
+      response_times.push_back(rec.response_time);
+    }
+  }
+  std::sort(response_times.begin(), response_times.end());
+  for (const FaultEvent& f : trace.faults) {
+    if (f.kind != FaultKind::kModeDowngrade &&
+        f.kind != FaultKind::kModeUpgrade) {
+      continue;
+    }
+    if (f.kind == FaultKind::kModeDowngrade) ++out->downgrades;
+    if (f.kind == FaultKind::kModeUpgrade) ++out->upgrades;
+    // Handoff pause: signal time to the next answered operation.  A switch
+    // after the last response contributes no sample (nobody was waiting).
+    const auto it = std::lower_bound(response_times.begin(),
+                                     response_times.end(), f.time);
+    if (it != response_times.end()) {
+      out->switch_latencies.push_back(*it - f.time);
+    }
+  }
+}
+
+SystemOptions base_options(const ModeSweepOptions& options,
+                           const FaultConfig& faults,
+                           std::uint64_t delay_seed) {
+  SystemOptions sys;
+  sys.n = options.n;
+  sys.timing = options.timing;
+  sys.x = options.x;
+  sys.delays = std::make_shared<UniformDelayPolicy>(options.timing, delay_seed);
+  if (faults.any()) sys.faults = make_fault_policy(faults);
+  return sys;
+}
+
+std::vector<ClientScript> make_scripts(const WorkloadFactory& workload,
+                                       const ModeSweepOptions& options,
+                                       std::uint64_t workload_seed) {
+  Rng wl_rng(workload_seed);
+  std::vector<ClientScript> scripts;
+  scripts.reserve(static_cast<std::size_t>(options.n));
+  for (int pid = 0; pid < options.n; ++pid) {
+    Rng client_rng = wl_rng.split(static_cast<std::uint64_t>(pid));
+    scripts.push_back(ClientScript{static_cast<ProcessId>(pid),
+                                   workload(pid, client_rng),
+                                   /*start_time=*/1000, options.think_time});
+  }
+  return scripts;
+}
+
+OneRun finish(ObjectSystem& system, const std::shared_ptr<const ObjectModel>& model,
+              const CheckOptions& check_options) {
+  const RunOutcome outcome = system.run_with_outcome();
+  const CheckResult check = check_linearizable_with_pending(
+      *model, outcome.history, outcome.pending, check_options);
+  OneRun out;
+  out.status = outcome.status;
+  out.linearizable = check.ok;
+  out.explanation = check.explanation;
+  absorb_trace(system.sim().trace(), &out);
+  return out;
+}
+
+OneRun run_switching(const std::shared_ptr<const ObjectModel>& model,
+                     const WorkloadFactory& workload,
+                     const ModeSweepOptions& options, const FaultConfig& faults,
+                     std::uint64_t delay_seed, std::uint64_t workload_seed) {
+  DegradeOptions dopt;
+  dopt.base = base_options(options, faults, delay_seed);
+  HardenedParams link;
+  link.spike_margin = boost_margin(faults);
+  dopt.base.hardened = link;
+  dopt.switching = true;
+  dopt.monitor = options.monitor;
+  dopt.params = options.params;
+  DegradeSystem system(model, dopt);
+
+  // The switching system answers crash-cut operations itself from the
+  // durable quorum log; a client retry would race that late response.
+  WorkloadDriver driver(system.sim(), make_scripts(workload, options, workload_seed),
+                        {}, {}, /*reissue_cut_ops=*/false);
+  driver.arm();
+  if (faults.churn.any()) {
+    make_churn_schedule(faults, options.n).apply(system.sim());
+  }
+  return finish(system, model, options.check);
+}
+
+OneRun run_fixed(const std::shared_ptr<const ObjectModel>& model,
+                 const WorkloadFactory& workload, const ModeSweepOptions& options,
+                 const FaultConfig& faults, bool hardened,
+                 std::uint64_t delay_seed, std::uint64_t workload_seed) {
+  SystemOptions sys = base_options(options, faults, delay_seed);
+  if (hardened) {
+    HardenedParams link;
+    link.spike_margin = boost_margin(faults);
+    sys.hardened = link;
+  }
+  ReplicaSystem system(model, sys);
+  // No client reissue, matching the switching runs: a crash-cut operation
+  // stays pending -- the stall this sweep measures.  (Reissue could also
+  // answer the old token late from durable state, and the two completions
+  // would overlap within the process, which the checker rejects.)
+  WorkloadDriver driver(system.sim(),
+                        make_scripts(workload, options, workload_seed), {}, {},
+                        /*reissue_cut_ops=*/false);
+  driver.arm();
+  if (faults.churn.any()) {
+    make_churn_schedule(faults, options.n).apply(system.sim());
+  }
+  return finish(system, model, options.check);
+}
+
+}  // namespace
+
+std::vector<ModeStormCell> default_mode_storm_cells(const SystemTiming& timing,
+                                                    int n) {
+  const Tick d = timing.d;
+  std::vector<ModeStormCell> cells;
+
+  // A barrage of delay spikes far past the envelope: enough violations to
+  // trip the supervisor quickly, healing on its own once the workload ends.
+  {
+    ModeStormCell cell;
+    cell.name = "spike-barrage";
+    cell.faults.spike_p = 0.25;
+    cell.faults.spike_max = 4 * d;
+    cells.push_back(std::move(cell));
+  }
+
+  // A healed partition with spikes on top: messages both late and lost.
+  {
+    ModeStormCell cell;
+    cell.name = "partition+spikes";
+    cell.faults.spike_p = 0.15;
+    cell.faults.spike_max = 4 * d;
+    PartitionWindow w;
+    w.from = 1500;
+    w.until = w.from + 6 * d;
+    w.component_of.assign(static_cast<std::size_t>(n), 0);
+    w.component_of[0] = 1;
+    cell.faults.partitions.push_back(std::move(w));
+    cells.push_back(std::move(cell));
+  }
+
+  // The full cocktail: spikes, a partition, and minority crash churn.
+  {
+    ModeStormCell cell;
+    cell.name = "full-storm";
+    cell.faults.spike_p = 0.25;
+    cell.faults.spike_max = 4 * d;
+    PartitionWindow w;
+    w.from = 1500;
+    w.until = w.from + 6 * d;
+    w.component_of.assign(static_cast<std::size_t>(n), 0);
+    w.component_of[0] = 1;
+    cell.faults.partitions.push_back(std::move(w));
+    cell.faults.churn.mean_uptime = 10 * d;
+    cell.faults.churn.mean_downtime = 2 * d;
+    cell.faults.churn.start = 2000;
+    cell.faults.churn.horizon = 20 * d;
+    cell.faults.churn.max_down = (n - 1) / 2;
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+bool ModeSweepResult::switching_always_available() const {
+  for (const ModeCellResult& cell : cells) {
+    if (cell.ops_answered != cell.ops_invoked) return false;
+    if (cell.switching_complete != cell.runs) return false;
+  }
+  return !cells.empty();
+}
+
+bool ModeSweepResult::switching_always_linearizable() const {
+  for (const ModeCellResult& cell : cells) {
+    if (cell.switching_linearizable != cell.runs) return false;
+  }
+  return !cells.empty();
+}
+
+bool ModeSweepResult::fixed_mode_stalled_somewhere() const {
+  for (const ModeCellResult& cell : cells) {
+    if (cell.stock_complete < cell.runs || cell.hardened_complete < cell.runs) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ModeSweepResult::degraded_availability() const {
+  std::int64_t invoked = 0, answered = 0;
+  for (const ModeCellResult& cell : cells) {
+    invoked += cell.ops_invoked;
+    answered += cell.ops_answered;
+  }
+  return invoked == 0 ? 1.0
+                      : static_cast<double>(answered) /
+                            static_cast<double>(invoked);
+}
+
+Tick ModeSweepResult::switch_latency_percentile(double pct) const {
+  std::vector<Tick> samples;
+  for (const ModeCellResult& cell : cells) {
+    samples.insert(samples.end(), cell.switch_latencies.begin(),
+                   cell.switch_latencies.end());
+  }
+  if (samples.empty() || pct <= 0.0 || pct > 100.0) return kNoTime;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+std::string ModeSweepResult::table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(20) << "storm" << std::right << std::setw(12)
+     << "switch-ok" << std::setw(10) << "answered" << std::setw(8) << "down"
+     << std::setw(6) << "up" << std::setw(10) << "stock-ok" << std::setw(12)
+     << "hardened-ok" << "\n";
+  for (const ModeCellResult& cell : cells) {
+    os << std::left << std::setw(20) << cell.cell.name << std::right
+       << std::setw(9) << cell.switching_linearizable << "/" << cell.runs
+       << std::setw(6) << cell.ops_answered << "/" << cell.ops_invoked
+       << std::setw(6) << cell.downgrades << std::setw(6) << cell.upgrades
+       << std::setw(7) << cell.stock_complete << "/" << cell.runs
+       << std::setw(9) << cell.hardened_complete << "/" << cell.runs << "\n";
+  }
+  const Tick p99 = switch_latency_percentile(99.0);
+  os << "availability=" << std::fixed << std::setprecision(4)
+     << degraded_availability() << " switch-latency-p99="
+     << (p99 == kNoTime ? std::string("-") : std::to_string(p99)) << "\n";
+  return os.str();
+}
+
+ModeSweepResult run_mode_sweep(const std::shared_ptr<const ObjectModel>& model,
+                               const WorkloadFactory& workload,
+                               const ModeSweepOptions& options) {
+  ModeSweepResult result;
+  const std::vector<ModeStormCell> cells =
+      options.cells.empty() ? default_mode_storm_cells(options.timing, options.n)
+                            : options.cells;
+
+  const auto delay_seed = [&](int seed) {
+    return options.base_seed +
+           0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(seed);
+  };
+  const auto workload_seed = [&](int seed) {
+    return options.base_seed ^
+           (0xd1b54a32d192ed03ULL +
+            0x2545f4914f6cdd1dULL * static_cast<std::uint64_t>(seed));
+  };
+
+  struct CellRuns {
+    OneRun switching;
+    OneRun stock;
+    OneRun hardened;
+  };
+  const std::size_t seeds = static_cast<std::size_t>(options.seeds);
+  const ParallelSweepExecutor executor(options.jobs);
+  const std::vector<CellRuns> grid = executor.map<CellRuns>(
+      cells.size() * seeds, [&](std::size_t i) {
+        const std::size_t ci = i / seeds;
+        const int seed = static_cast<int>(i % seeds);
+        FaultConfig faults = cells[ci].faults;
+        faults.seed = options.base_seed + 0xbf58476d1ce4e5b9ULL * (ci + 1) +
+                      static_cast<std::uint64_t>(seed);
+        CellRuns runs;
+        runs.switching = run_switching(model, workload, options, faults,
+                                       delay_seed(seed), workload_seed(seed));
+        if (options.also_fixed) {
+          runs.stock = run_fixed(model, workload, options, faults,
+                                 /*hardened=*/false, delay_seed(seed),
+                                 workload_seed(seed));
+          runs.hardened = run_fixed(model, workload, options, faults,
+                                    /*hardened=*/true, delay_seed(seed),
+                                    workload_seed(seed));
+        }
+        return runs;
+      });
+
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    ModeCellResult cell_result;
+    cell_result.cell = cells[ci];
+    for (int seed = 0; seed < options.seeds; ++seed) {
+      const CellRuns& runs = grid[ci * seeds + static_cast<std::size_t>(seed)];
+      const OneRun& sw = runs.switching;
+      ++cell_result.runs;
+      if (sw.complete()) ++cell_result.switching_complete;
+      if (sw.linearizable) ++cell_result.switching_linearizable;
+      cell_result.downgrades += sw.downgrades;
+      cell_result.upgrades += sw.upgrades;
+      cell_result.ops_invoked += sw.ops_invoked;
+      cell_result.ops_answered += sw.ops_answered;
+      cell_result.switch_latencies.insert(cell_result.switch_latencies.end(),
+                                          sw.switch_latencies.begin(),
+                                          sw.switch_latencies.end());
+      if (options.also_fixed) {
+        if (runs.stock.complete()) ++cell_result.stock_complete;
+        if (runs.hardened.complete()) ++cell_result.hardened_complete;
+      }
+      if (!sw.complete() || !sw.linearizable) {
+        std::ostringstream note;
+        note << "switching seed=" << seed << " [" << cells[ci].name
+             << "] status=" << run_status_name(sw.status)
+             << (sw.linearizable ? "" : " NON-LINEARIZABLE: " + sw.explanation);
+        cell_result.notes.push_back(note.str());
+      }
+    }
+    result.cells.push_back(std::move(cell_result));
+  }
+  return result;
+}
+
+}  // namespace linbound

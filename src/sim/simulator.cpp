@@ -130,7 +130,11 @@ bool Simulator::run_until(Tick t) {
     if (events_processed_ >= config_.max_events) return false;
     SimEvent ev = queue_.pop();
     now_ = ev.time;
-    if (now_ > trace_.end_time) trace_.end_time = now_;
+    // kCall events are unrecorded instrumentation (call_at); the trace
+    // horizon tracks observable activity only, so they must not extend it.
+    if (ev.kind != EventKind::kCall && now_ > trace_.end_time) {
+      trace_.end_time = now_;
+    }
     ++events_processed_;
     dispatch(ev);
   }

@@ -145,6 +145,13 @@ class Simulator {
 
   const Trace& trace() const { return trace_; }
 
+  /// Append a fault event to the trace on behalf of a harness-side
+  /// supervisor (src/degrade/synchrony_monitor.h records kModeDowngrade /
+  /// kModeUpgrade through this).  Internal simulator faults (drops, spikes,
+  /// crashes, ...) are recorded directly; this hook exists so trace-visible
+  /// events can also originate outside the message layer.
+  void record_fault(const FaultEvent& event) { trace_.faults.push_back(event); }
+
   /// The future-event list (benches and tests: queue-level instrumentation
   /// such as EventQueue::set_log; not for scheduling -- use invoke_at /
   /// call_at, which maintain the trace invariants).

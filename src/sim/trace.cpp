@@ -21,6 +21,10 @@ const char* fault_kind_name(FaultKind kind) {
       return "operation-given-up";
     case FaultKind::kProcessRecovered:
       return "process-recovered";
+    case FaultKind::kModeDowngrade:
+      return "mode-downgrade";
+    case FaultKind::kModeUpgrade:
+      return "mode-upgrade";
     case FaultKind::kFaultKindCount:
       break;
   }

@@ -59,6 +59,15 @@ enum class FaultKind {
   kProcessCrashed,    ///< crash_at took effect
   kOperationGivenUp,  ///< an implementation abandoned a pending operation
   kProcessRecovered,  ///< recover_at restarted a crashed process
+  /// The synchrony supervisor switched the system into degraded
+  /// (asynchronous-quorum) mode after observing the [d-u, d]/eps envelope
+  /// violated (src/degrade/synchrony_monitor.h).  magnitude carries the
+  /// target era.  Not an assumption violation: it is the system's reaction
+  /// to one, recorded so mode changes are trace-visible and replayable.
+  kModeDowngrade,
+  /// The supervisor switched back to the synchronous algorithm after a
+  /// clean observation window.  magnitude carries the target era.
+  kModeUpgrade,
   kFaultKindCount,    ///< sentinel; keep last (exhaustiveness tests)
 };
 

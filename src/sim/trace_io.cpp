@@ -210,6 +210,19 @@ std::optional<Trace> read_trace(std::istream& is, std::string* error) {
       return std::nullopt;
     }
   }
+  // gave_up / give_up_time are not serialized as op fields: they are fully
+  // determined by the kOperationGivenUp fault events (magnitude = token),
+  // so they are reconstructed here and the v1 grammar -- and every archived
+  // trace hash -- stays unchanged.
+  for (const FaultEvent& f : trace.faults) {
+    if (f.kind != FaultKind::kOperationGivenUp) continue;
+    for (OperationRecord& rec : trace.ops) {
+      if (rec.token != f.magnitude) continue;
+      rec.gave_up = true;
+      rec.give_up_time = f.time;
+      break;
+    }
+  }
   return trace;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/assumption_monitor.h"
+#include "fault/churn.h"
 #include "fault/fault_policy.h"
 #include "core/system.h"
 #include "sim/trace_io.h"
@@ -435,6 +436,55 @@ TEST(FaultValidation, MakeFaultPolicyValidatesTheWholeConfig) {
   FaultConfig churny;
   churny.churn.max_down = 0;
   EXPECT_THROW(churny.validate(), std::invalid_argument);
+}
+
+TEST(AssumptionMonitor, AttributesCombinedPartitionChurnSpikeStorm) {
+  // The full storm at once -- a healed partition, crash/recovery churn, and
+  // delay spikes -- with every ingredient attributed to its own assumption:
+  // the streams stay separable even when stacked.
+  auto model = std::make_shared<RegisterModel>();
+  SystemOptions o = system_options();
+  FaultConfig faults;
+  faults.seed = 77;
+  faults.spike_p = 0.5;
+  faults.spike_max = 2500;  // far past d = 1000
+  PartitionWindow window;
+  window.from = 1000;
+  window.until = 3500;
+  window.component_of = {1, 0, 0};  // process 0 alone vs {1, 2}
+  faults.partitions.push_back(window);
+  faults.churn.mean_uptime = 4000;
+  faults.churn.mean_downtime = 1500;
+  faults.churn.start = 1500;
+  faults.churn.horizon = 9000;
+  faults.churn.max_down = 1;
+  o.faults = make_fault_policy(faults);
+  ReplicaSystem system(model, o);
+  arm_workload(system.sim());
+  const ChurnSchedule churn = make_churn_schedule(faults, o.n);
+  ASSERT_FALSE(churn.empty());
+  churn.apply(system.sim());
+  system.sim().start();
+  EXPECT_TRUE(system.sim().run());
+
+  const AssumptionReport report = audit_assumptions(system.sim().trace());
+  EXPECT_TRUE(report.violated(Assumption::kDelayBounds)) << report.summary();
+  EXPECT_TRUE(report.violated(Assumption::kReliableDelivery))
+      << report.summary();
+  // Every churn crash recovered, so the failures attribute to the
+  // crash-recovery assumption, not to a permanent-failure one.
+  EXPECT_TRUE(report.violated(Assumption::kRecovering)) << report.summary();
+
+  // Same config, same seed: the stacked storm is still deterministic.
+  // (A fresh policy -- the first run consumed the shared one's streams.)
+  o.faults = make_fault_policy(faults);
+  ReplicaSystem again(model, o);
+  arm_workload(again.sim());
+  churn.apply(again.sim());
+  again.sim().start();
+  EXPECT_TRUE(again.sim().run());
+  EXPECT_EQ(trace_to_string(system.sim().trace()),
+            trace_to_string(again.sim().trace()));
 }
 
 TEST(AssumptionMonitor, AttributionSentenceNamesTheAssumption) {

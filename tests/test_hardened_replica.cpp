@@ -8,6 +8,7 @@
 
 #include "checker/lin_checker.h"
 #include "core/system.h"
+#include "sim/trace_io.h"
 #include "types/register_type.h"
 
 namespace linbound {
@@ -162,6 +163,76 @@ TEST(HardenedReplica, XParameterRangeIsUnchangedByWidening) {
   const SystemTiming base = timing();
   const SystemTiming eff = params.effective_timing(base);
   EXPECT_EQ(eff.d + eff.eps - eff.u, base.d + base.eps - base.u);
+}
+
+TEST(HardenedParams, RetransJitterAccountedInEffectiveD) {
+  // Every retransmission wait may be stretched by up to retrans_jitter, so
+  // d_eff must budget (max_attempts - 1) full jitters on top of the ladder.
+  HardenedParams plain = test_params();
+  HardenedParams jittered = test_params();
+  jittered.retrans_jitter = 250;
+  EXPECT_EQ(jittered.effective_d(timing()),
+            plain.effective_d(timing()) +
+                (jittered.max_attempts - 1) * jittered.retrans_jitter);
+}
+
+TEST(HardenedReplica, JitterFreeOfRetransmissionsIsByteIdentical) {
+  // The jitter draw happens only when a retransmission fires: a fault-free
+  // run consumes no randomness and must be byte-identical with jitter on or
+  // off.  (Same AlgorithmDelays both sides -- the point is the link layer,
+  // not the widened waits.)
+  const AlgorithmDelays delays =
+      AlgorithmDelays::standard(test_params().effective_timing(timing()), 0);
+  auto run = [&](Tick jitter) {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o;
+    o.n = 3;
+    o.timing = timing();
+    o.algorithm_delays = delays;
+    HardenedParams p = test_params();
+    p.retrans_jitter = jitter;
+    o.hardened = p;
+    ReplicaSystem system(model, o);
+    system.sim().invoke_at(1000, 0, reg::write(4));
+    system.sim().invoke_at(1100, 1, reg::rmw(6));
+    system.sim().invoke_at(20000, 2, reg::read());
+    const RunOutcome outcome = system.run_with_outcome();
+    EXPECT_TRUE(outcome.complete());
+    std::int64_t retrans = 0;
+    for (int pid = 0; pid < o.n; ++pid) {
+      if (auto* h =
+              dynamic_cast<HardenedReplicaProcess*>(&system.replica(pid))) {
+        retrans += h->retransmissions();
+      }
+    }
+    EXPECT_EQ(retrans, 0);
+    return hash_trace(system.sim().trace());
+  };
+  EXPECT_EQ(run(0), run(500));
+}
+
+TEST(HardenedReplica, JitteredRetransmissionsStayDeterministic) {
+  // With loss forcing retransmissions, jitter changes the schedule but two
+  // identically-seeded runs still replay byte-identically.
+  auto run = [&] {
+    auto model = std::make_shared<RegisterModel>();
+    SystemOptions o;
+    o.n = 2;
+    o.timing = timing();
+    o.faults = std::make_shared<DropFirstFromZeroToOne>();
+    HardenedParams p = test_params();
+    p.retrans_jitter = 500;
+    o.hardened = p;
+    ReplicaSystem system(model, o);
+    system.sim().invoke_at(1000, 0, reg::write(7));
+    system.sim().invoke_at(20000, 1, reg::read());
+    const RunOutcome outcome = system.run_with_outcome();
+    EXPECT_TRUE(outcome.complete());
+    return hash_trace(system.sim().trace());
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_EQ(a, b);
 }
 
 TEST(GracefulDegradation, CentralizedClientGivesUpOnDeadCoordinator) {

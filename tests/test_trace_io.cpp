@@ -106,6 +106,49 @@ TEST(TraceIo, RoundTripsARealRun) {
             History::from_trace(original).size());
 }
 
+TEST(TraceIo, ReconstructsGiveUpFromFaultEvents) {
+  // gave_up / give_up_time are not op fields on the wire; the reader
+  // rebuilds them from kOperationGivenUp fault events (magnitude = token),
+  // keeping the v1 grammar and archived trace hashes unchanged.
+  Trace trace;
+  trace.timing = SystemTiming{1000, 400, 300};
+  trace.end_time = 6000;
+  OperationRecord rec;
+  rec.token = 0;
+  rec.proc = 0;
+  rec.op = reg::write(1);
+  rec.invoke_time = 200;
+  rec.response_time = 900;
+  rec.ret = Value::unit();
+  trace.ops.push_back(rec);
+  rec.token = 1;
+  rec.proc = 1;
+  rec.op = reg::read();
+  rec.invoke_time = 600;
+  rec.response_time = kNoTime;
+  rec.ret = Value();
+  rec.gave_up = true;
+  rec.give_up_time = 4200;
+  trace.ops.push_back(rec);
+  FaultEvent f;
+  f.kind = FaultKind::kOperationGivenUp;
+  f.time = 4200;
+  f.proc = 1;
+  f.magnitude = 1;  // the abandoned token
+  trace.faults.push_back(f);
+
+  std::string error;
+  auto parsed = trace_from_string(trace_to_string(trace), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_FALSE(parsed->ops[0].gave_up);
+  EXPECT_TRUE(parsed->ops[1].gave_up);
+  EXPECT_EQ(parsed->ops[1].give_up_time, 4200);
+  EXPECT_FALSE(parsed->ops[1].completed());
+  EXPECT_EQ(trace_to_string(*parsed), trace_to_string(trace));
+  EXPECT_EQ(hash_trace(*parsed), hash_trace(trace));
+}
+
 TEST(TraceIo, RejectsGarbage) {
   std::string error;
   EXPECT_FALSE(trace_from_string("not a trace", &error).has_value());
