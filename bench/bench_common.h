@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,26 @@
 #include "common/parallel.h"
 
 namespace linbound::bench {
+
+/// Hardware threads visible to this process; never 0 (unknown reports as 1).
+inline unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+/// Are wall-clock speedup assertions meaningful on this box?  A host with
+/// fewer than 4 hardware threads cannot demonstrate parallel scaling, and
+/// its timing is noisy enough that even structural (calendar-vs-heap)
+/// ratios misfire -- a 1-thread CI box would keep recording ~1.0 "speedups"
+/// as passing baselines.  Every perf binary (bench_perf, bench_throughput,
+/// bench_shard) funnels its speedup gate through this, softening to
+/// identity/bounds-only checks when it returns false; the measured
+/// *_speedup values are still reported, with *_speedup_threads siblings so
+/// a reader can tell a genuine ~1.0 regression from a thread-starved
+/// measurement.  `jobs` is the worker count the gated phase actually used.
+inline bool speedup_gates_enforced(int jobs = kMaxJobs) {
+  return jobs >= 4 && hardware_threads() >= 4;
+}
 
 /// Monotonic wall-clock for every bench timing: steady_clock only (never
 /// system_clock, which can jump under NTP and corrupt a measurement).

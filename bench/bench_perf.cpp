@@ -276,8 +276,7 @@ int main(int argc, char** argv) {
 
   // --- Verdict + JSON ------------------------------------------------------
   const double best_speedup = std::max(fault.speedup(), churn.speedup());
-  const bool speedup_applicable =
-      jobs >= 4 && std::thread::hardware_concurrency() >= 4;
+  const bool speedup_applicable = bench::speedup_gates_enforced(jobs);
   const bool speedup_ok = !speedup_applicable || best_speedup >= 2.0;
   const bool checker_speedup_ok = !speedup_applicable || checker_speedup >= 2.0;
   const bool ok = all_ok && fault.identical && churn.identical &&
@@ -297,7 +296,7 @@ int main(int argc, char** argv) {
   // keys of the same file; see bench_common.h JsonReport).
   JsonReport json("BENCH_perf.json");
   json.set("jobs", jobs);
-  json.set("hardware_threads", std::thread::hardware_concurrency());
+  json.set("hardware_threads", bench::hardware_threads());
   json.set("checker_histories_per_s", checks_per_s);
   json.set("checker_ops_per_s", ops_per_s);
   json.set("checker_memo_hit_rate", memo_rate);
@@ -307,8 +306,7 @@ int main(int argc, char** argv) {
   json.set("checker_scaling_segmented_serial_s", wide_serial_s);
   json.set("checker_scaling_parallel_s", wide_par_s);
   json.set("checker_parallel_speedup", checker_speedup);
-  json.set("checker_parallel_speedup_threads",
-           std::thread::hardware_concurrency());
+  json.set("checker_parallel_speedup_threads", bench::hardware_threads());
   json.set("checker_parallel_tasks", wide_par.parallel_tasks);
   json.set("checker_scaling_identical", wide_identical && multi_identical);
   json.set("checker_multi_segment_segments", multi_serial.segments);
@@ -319,20 +317,17 @@ int main(int argc, char** argv) {
   json.set("fault_sweep_serial_s", fault.serial_s);
   json.set("fault_sweep_parallel_s", fault.parallel_s);
   json.set("fault_sweep_speedup", fault.speedup());
-  json.set("fault_sweep_speedup_threads",
-           std::thread::hardware_concurrency());
+  json.set("fault_sweep_speedup_threads", bench::hardware_threads());
   json.set("fault_sweep_identical", fault.identical);
   json.set("churn_sweep_serial_s", churn.serial_s);
   json.set("churn_sweep_parallel_s", churn.parallel_s);
   json.set("churn_sweep_speedup", churn.speedup());
-  json.set("churn_sweep_speedup_threads",
-           std::thread::hardware_concurrency());
+  json.set("churn_sweep_speedup_threads", bench::hardware_threads());
   json.set("churn_sweep_identical", churn.identical);
   json.set("best_sweep_speedup", best_speedup);
   // A speedup number is meaningless without the worker count it was
   // measured with: ~1.0 on a 1-thread box is expected, not a regression.
-  json.set("best_sweep_speedup_threads",
-           std::thread::hardware_concurrency());
+  json.set("best_sweep_speedup_threads", bench::hardware_threads());
   std::printf(json.write() ? "wrote %s\n" : "FAILED writing %s\n",
               json.path().c_str());
 

@@ -290,10 +290,19 @@ int main(int argc, char** argv) {
   // The structural win lives at the queue level; end-to-end also counts
   // when process logic is cheap enough for the queue to dominate.
   const double gate_speedup = std::max(replay_speedup, e2e_speedup);
-  const bool speedup_ok = gate_speedup >= 1.5;
-  std::printf("\nregression gate: max(replay %.2fx, end-to-end %.2fx) = "
-              "%.2fx (need >= 1.5x vs seed heap)\n",
-              replay_speedup, e2e_speedup, gate_speedup);
+  // Identity and latency bounds always gate; the wall-clock ratio only
+  // does on a box that can measure one (bench_common.h).
+  const bool speedup_enforced = bench::speedup_gates_enforced();
+  const bool speedup_ok = !speedup_enforced || gate_speedup >= 1.5;
+  if (speedup_enforced) {
+    std::printf("\nregression gate: max(replay %.2fx, end-to-end %.2fx) = "
+                "%.2fx (need >= 1.5x vs seed heap)\n",
+                replay_speedup, e2e_speedup, gate_speedup);
+  } else {
+    std::printf("\nregression gate waived (%u hardware threads < 4): "
+                "max(replay %.2fx, end-to-end %.2fx) recorded, not asserted\n",
+                bench::hardware_threads(), replay_speedup, e2e_speedup);
+  }
   const bool ok = calendar.complete && heap.complete && central.complete &&
                   tob.complete && traces_identical && replay_identical &&
                   bounds_met && speedup_ok;
@@ -313,6 +322,8 @@ int main(int argc, char** argv) {
   json.set("throughput_replay_heap_s", replay_heap_s);
   json.set("throughput_replay_speedup", replay_speedup);
   json.set("throughput_gate_speedup", gate_speedup);
+  json.set("throughput_speedup_threads", bench::hardware_threads());
+  json.set("throughput_speedup_gate_enforced", speedup_enforced);
   json.set("throughput_traces_identical", traces_identical);
   json.set("throughput_replay_identical", replay_identical);
   json.set("throughput_timers_set",

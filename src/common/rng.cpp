@@ -55,4 +55,15 @@ Rng Rng::split(std::uint64_t salt) {
   return Rng(mix);
 }
 
+SplitRng::SplitRng(std::uint64_t root_seed) {
+  diffused_root_ = SplitMix64(root_seed).next();
+}
+
+std::uint64_t SplitRng::stream_seed(std::uint64_t stream_id) const {
+  // One more SplitMix64 step over (diffused root XOR golden-ratio-spread
+  // stream id).  Each step of SplitMix64 is a bijection on 64-bit words, so
+  // two streams of the same family collide only if their ids do.
+  return SplitMix64(diffused_root_ ^ (stream_id * 0x9e3779b97f4a7c15ull + 0x1d8e4e27c47d124full)).next();
+}
+
 }  // namespace linbound

@@ -47,10 +47,48 @@ class Rng {
 
   /// Split off an independent stream (hash of the current stream + salt);
   /// used to give each process / pair its own generator deterministically.
+  ///
+  /// NOTE: split() consumes one draw from *this*, so the derived stream
+  /// depends on how many draws (and splits) preceded it -- two call sites
+  /// splitting the same salt in different orders get different streams.
+  /// When streams must be a pure function of (root seed, stream id) --
+  /// per-shard seeding, per-client arrival schedules, per-process churn --
+  /// use SplitRng below instead.
   Rng split(std::uint64_t salt);
 
  private:
   std::uint64_t s_[4];
+};
+
+/// A family of disjoint deterministic streams keyed by a 64-bit stream id.
+///
+/// This promotes the disjoint-RNG-stream idiom used ad hoc since the churn
+/// schedules (per-process streams) and the open-loop workload (per-client
+/// arrival streams) into one utility with the property those call sites
+/// actually rely on: `stream(id)` is a *pure function* of (root seed, id) --
+/// independent of call order, of other ids drawn, and of how much of any
+/// other stream has been consumed.  Adding a shard/client/process never
+/// reshuffles the streams of the others.
+///
+/// Derivation: the root seed is diffused once through SplitMix64, then each
+/// stream id is mixed in with a second SplitMix64 pass whose output seeds a
+/// fresh xoshiro256++ generator.  Distinct ids give distinct seeds unless
+/// SplitMix64 collides (a bijection per step, so collisions would require
+/// identical mixed inputs); the determinism/collision tests in
+/// tests/test_rng.cpp pin both properties.
+class SplitRng {
+ public:
+  explicit SplitRng(std::uint64_t root_seed);
+
+  /// The 64-bit seed of stream `stream_id` (for call sites that need to
+  /// forward a plain seed, e.g. policy constructors).
+  std::uint64_t stream_seed(std::uint64_t stream_id) const;
+
+  /// An independent generator for `stream_id`.
+  Rng stream(std::uint64_t stream_id) const { return Rng(stream_seed(stream_id)); }
+
+ private:
+  std::uint64_t diffused_root_;
 };
 
 }  // namespace linbound

@@ -1,5 +1,7 @@
 #include "core/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -151,11 +153,14 @@ HeavyTrafficWorkload::HeavyTrafficWorkload(Simulator& sim,
       opt_.accessors + opt_.mutators <= 0) {
     throw std::invalid_argument("HeavyTraffic: bad accessor/mutator weights");
   }
-  Rng root(opt_.seed);
+  if (opt_.first_client < 0) {
+    throw std::invalid_argument("HeavyTraffic: negative first_client");
+  }
+  const SplitRng root(opt_.seed);
   rngs_.reserve(static_cast<std::size_t>(opt_.clients));
   next_time_.reserve(static_cast<std::size_t>(opt_.clients));
   for (int c = 0; c < opt_.clients; ++c) {
-    rngs_.push_back(root.split(static_cast<std::uint64_t>(c)));
+    rngs_.push_back(root.stream(static_cast<std::uint64_t>(c)));
     // Stagger the first arrivals across one mean gap so the clients do not
     // start in lockstep.
     next_time_.push_back(opt_.start_time +
@@ -193,7 +198,7 @@ void HeavyTrafficWorkload::schedule_batch() {
     Rng& rng = rngs_[ci];
     const Tick t = next_time_[ci];
     const bool accessor = rng.uniform(0, total_weight - 1) < opt_.accessors;
-    sim_.invoke_at(t, static_cast<ProcessId>(client),
+    sim_.invoke_at(t, static_cast<ProcessId>(opt_.first_client + client),
                    accessor ? reg::read() : reg::write(small_value(rng)));
     next_time_[ci] = t + opt_.min_gap +
                      (opt_.jitter > 0 ? rng.uniform(0, opt_.jitter) : 0);
@@ -206,6 +211,53 @@ void HeavyTrafficWorkload::schedule_batch() {
     // is at t >= last_time_, so nothing is ever scheduled into the past.
     sim_.call_at(last_time_, [this] { schedule_batch(); });
   }
+}
+
+std::vector<std::size_t> zipfian_shard_loads(int shards, std::size_t total_ops,
+                                             double s, std::uint64_t seed) {
+  if (shards < 1) throw std::invalid_argument("zipfian_shard_loads: no shards");
+  if (s < 0) throw std::invalid_argument("zipfian_shard_loads: negative exponent");
+  const auto n = static_cast<std::size_t>(shards);
+  // Seed-shuffled rank permutation: rank r (popularity 1/(r+1)^s) is
+  // assigned to shard perm[r], so the hot shards land at seed-dependent
+  // positions.  Fisher-Yates with a dedicated stream keeps the permutation
+  // a pure function of (shards, seed).
+  std::vector<int> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<int>(i);
+  Rng shuffle = SplitRng(seed).stream(0x5a1f);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        shuffle.uniform(0, static_cast<std::int64_t>(i)));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<double> weight(n);
+  double mass = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    weight[r] = 1.0 / std::pow(static_cast<double>(r + 1), s);
+    mass += weight[r];
+  }
+  // Largest-remainder apportionment: floors first, then the leftover ops go
+  // to the largest fractional parts (ties to the lower rank, so the result
+  // is deterministic), guaranteeing the loads sum to exactly total_ops.
+  std::vector<std::size_t> loads(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainder(n);
+  std::size_t assigned = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double share = static_cast<double>(total_ops) * weight[r] / mass;
+    const auto floor_share = static_cast<std::size_t>(share);
+    loads[static_cast<std::size_t>(perm[r])] = floor_share;
+    assigned += floor_share;
+    remainder[r] = {share - static_cast<double>(floor_share), r};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t k = 0; assigned < total_ops; ++k, ++assigned) {
+    loads[static_cast<std::size_t>(perm[remainder[k % n].second])] += 1;
+  }
+  return loads;
 }
 
 std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,

@@ -34,7 +34,12 @@ std::vector<Operation> random_array_ops(Rng& rng, int count, const OpMix& mix,
 /// per-client arrival rate is 1 / (min_gap + jitter/2) operations per tick,
 /// i.e. clients / (min_gap + jitter/2) system-wide.
 struct HeavyTrafficOptions {
-  int clients = 4;                 ///< invoking processes 0..clients-1
+  int clients = 4;                 ///< number of invoking processes
+  /// Process id of the first client; arrivals target processes
+  /// first_client .. first_client + clients - 1.  The sharded runtime
+  /// (src/shard/shard.h) points this past the replica group so a shard's
+  /// clients are dedicated invoker processes.
+  int first_client = 0;
   std::size_t total_ops = 1'000'000;
   Tick start_time = 1000;          ///< earliest possible arrival
   /// Per-client inter-arrival floor.  Open-loop scheduling does not wait
@@ -46,6 +51,9 @@ struct HeavyTrafficOptions {
   Tick jitter = 0;                 ///< extra uniform spacing in [0, jitter]
   int accessors = 1;               ///< weight of register reads
   int mutators = 1;                ///< weight of register writes
+  /// Root seed; each client draws from SplitRng(seed).stream(client_index),
+  /// so client c's schedule is a pure function of (seed, c) -- independent
+  /// of how many clients run beside it.
   std::uint64_t seed = 0x7ea4f'f1cULL;
   /// Arrivals scheduled per scheduling burst: the generator issues this
   /// many invoke_at calls, then chains one callback at the burst's last
@@ -57,6 +65,15 @@ struct HeavyTrafficOptions {
   /// for Algorithm 1's broadcast per operation).
   std::size_t messages_per_op = 0;
 };
+
+/// Apportion `total_ops` operations across `shards` shards with a zipfian
+/// popularity profile of exponent `s` (s = 0 gives a uniform split): shard
+/// popularity ranks are a seed-shuffled permutation of the shard ids (so the
+/// hot shard is not always shard 0) and fractional shares are resolved by
+/// largest remainder, so the result always sums to exactly `total_ops`.
+/// Deterministic in (shards, total_ops, s, seed).
+std::vector<std::size_t> zipfian_shard_loads(int shards, std::size_t total_ops,
+                                             double s, std::uint64_t seed);
 
 /// Open-loop traffic at a configurable arrival rate: every arrival time is
 /// fixed up front from the seed (never response-driven, unlike the

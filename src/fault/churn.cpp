@@ -30,13 +30,13 @@ ChurnSchedule::ChurnSchedule(std::vector<ChurnWindow> windows)
 ChurnSchedule ChurnSchedule::generate(const ChurnConfig& config, int n,
                                       std::uint64_t seed) {
   if (!config.any() || n <= 0) return ChurnSchedule{};
-  Rng base(seed);
+  const SplitRng base(seed);
   std::vector<ChurnWindow> candidates;
   for (ProcessId pid = 0; pid < n; ++pid) {
-    // A split stream per process: adding or removing a process leaves the
-    // others' windows untouched.  Salt offset keeps these streams disjoint
-    // from any future whole-schedule draws on `base`.
-    Rng rng = base.split(static_cast<std::uint64_t>(pid) + 10);
+    // A stream per process: adding or removing a process leaves the others'
+    // windows untouched.  Stream-id offset keeps these disjoint from any
+    // future whole-schedule streams of the same family.
+    Rng rng = base.stream(static_cast<std::uint64_t>(pid) + 10);
     Tick t = config.start + draw_duration(rng, config.mean_uptime);
     while (t < config.horizon) {
       const Tick down = draw_duration(rng, config.mean_downtime);

@@ -142,6 +142,21 @@ bool Simulator::run_until(Tick t) {
   return queue_.empty();
 }
 
+WindowOutcome Simulator::run_window(Tick horizon) {
+  if (!started_) throw std::logic_error("run before start()");
+  while (!queue_.empty() && queue_.next_time() < horizon) {
+    if (events_processed_ >= config_.max_events) return WindowOutcome::kBudget;
+    SimEvent ev = queue_.pop();
+    now_ = ev.time;
+    if (ev.kind != EventKind::kCall && now_ > trace_.end_time) {
+      trace_.end_time = now_;
+    }
+    ++events_processed_;
+    dispatch(ev);
+  }
+  return queue_.empty() ? WindowOutcome::kDrained : WindowOutcome::kHorizon;
+}
+
 void Simulator::dispatch(SimEvent& ev) {
   switch (ev.kind) {
     case EventKind::kCall:

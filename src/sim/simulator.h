@@ -50,6 +50,13 @@ struct SimConfig {
   EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
 };
 
+/// Result of one bounded stepping call (Simulator::run_window).
+enum class WindowOutcome {
+  kDrained,  ///< queue empty: the shard is quiescent (no more local events)
+  kHorizon,  ///< next event lies at or past the horizon; window complete
+  kBudget,   ///< the per-simulator event budget tripped mid-window
+};
+
 class Simulator {
  public:
   explicit Simulator(SimConfig config);
@@ -130,7 +137,28 @@ class Simulator {
   /// Process all events with time <= t.  Returns true if the queue drained.
   bool run_until(Tick t);
 
+  /// Conservative-PDES stepping: process all events with time strictly
+  /// below `horizon` (windows are half-open [T, T + lookahead); an event at
+  /// exactly the horizon belongs to the next window).  Unlike run_until,
+  /// the horizon is NOT stamped into trace().end_time -- a trace produced
+  /// by a sequence of windows is byte-identical to one produced by a single
+  /// run() over the same schedule, which is the sharded determinism
+  /// contract (src/shard/shard.h).
+  WindowOutcome run_window(Tick horizon);
+
+  /// Timestamp of the earliest queued event, or kTimeInfinity when the
+  /// queue is empty (the shard scheduler's idle test).
+  Tick next_event_time() const {
+    return queue_.empty() ? kTimeInfinity : queue_.next_time();
+  }
+
   std::size_t events_processed() const { return events_processed_; }
+
+  /// Per-simulator event budget (SimConfig.max_events).  The sharded
+  /// runtime gives every shard its own budget so one runaway shard aborts
+  /// alone instead of draining a global cap shared with healthy shards.
+  std::size_t max_events() const { return config_.max_events; }
+  void set_max_events(std::size_t cap) { config_.max_events = cap; }
 
   /// Pre-size trace and queue storage from workload size hints (expected
   /// totals for the whole run), so the hot loop never reallocates.  Purely

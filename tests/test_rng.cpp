@@ -77,5 +77,50 @@ TEST(SplitMix64, KnownSequenceIsStable) {
   EXPECT_NE(sm.next(), first);
 }
 
+TEST(SplitRng, StreamsAreDeterministic) {
+  const SplitRng a(0xabcdef), b(0xabcdef);
+  for (std::uint64_t id : {0ull, 1ull, 7ull, 1024ull, ~0ull}) {
+    EXPECT_EQ(a.stream_seed(id), b.stream_seed(id));
+    Rng ra = a.stream(id), rb = b.stream(id);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
+  }
+}
+
+TEST(SplitRng, StreamsAreOrderIndependent) {
+  // Unlike Rng::split, which consumes a draw from the parent, querying
+  // streams in any order (or not at all) never changes any stream.
+  const SplitRng family(99);
+  const std::uint64_t late = family.stream_seed(5);
+  const SplitRng fresh(99);
+  for (std::uint64_t id = 0; id < 5; ++id) fresh.stream_seed(id);
+  EXPECT_EQ(fresh.stream_seed(5), late);
+}
+
+TEST(SplitRng, NoCollisionsAcrossManyStreams) {
+  // Per-shard/per-client stream ids are dense small integers plus sparse
+  // salted bases (src/shard/shard.cpp); none may collide.
+  const SplitRng family(0x5eed);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 4096; ++id) {
+    seeds.insert(family.stream_seed(id));
+  }
+  for (std::uint64_t base : {0xbea0'0000ull, 0x51a2'd000'0000ull}) {
+    for (std::uint64_t id = 0; id < 1024; ++id) {
+      seeds.insert(family.stream_seed(base + id));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4096u + 2 * 1024u);
+}
+
+TEST(SplitRng, DistinctRootsGiveDistinctFamilies) {
+  int same = 0;
+  for (std::uint64_t root = 0; root < 128; ++root) {
+    if (SplitRng(root).stream_seed(3) == SplitRng(root + 1).stream_seed(3)) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
 }  // namespace
 }  // namespace linbound
