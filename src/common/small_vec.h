@@ -1,0 +1,185 @@
+// A vector with inline storage for its first N elements.
+//
+// Operation argument lists and register-history values are almost always
+// 0..2 elements long (reg::write carries one, reg::cas two), yet every
+// std::vector copy of one pays a heap round-trip.  SmallVec keeps up to N
+// elements in the object itself -- copying a small list allocates nothing
+// -- and spills to a heap buffer only past N, with std::vector semantics
+// for everything the call sites use (push_back/emplace_back, at/[],
+// begin/end, ==, lexicographic <, initializer lists).
+//
+// The inline buffer is raw storage, so SmallVec<T, N> may name an
+// incomplete T (e.g. `using List = SmallVec<Value, 2>` inside Value);
+// sizeof(T) is only needed where the template is actually instantiated,
+// which is always a point where T is complete.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace linbound {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = std::size_t;
+
+  SmallVec() noexcept {}
+
+  SmallVec(std::initializer_list<T> xs) {
+    reserve(xs.size());
+    for (const T& x : xs) unchecked_emplace(x);
+  }
+
+  SmallVec(const SmallVec& o) {
+    reserve(o.size_);
+    for (const T& x : o) unchecked_emplace(x);
+  }
+
+  SmallVec(SmallVec&& o) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    take(o);
+  }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this == &o) return *this;
+    clear();
+    reserve(o.size_);
+    for (const T& x : o) unchecked_emplace(x);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& o) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this == &o) return *this;
+    clear();
+    if (on_heap()) {
+      ::operator delete(static_cast<void*>(data_));
+      data_ = inline_ptr();
+      cap_ = N;
+    }
+    take(o);
+    return *this;
+  }
+
+  ~SmallVec() {
+    clear();
+    if (on_heap()) ::operator delete(static_cast<void*>(data_));
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("SmallVec::at");
+    return data_[i];
+  }
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SmallVec::at");
+    return data_[i];
+  }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() noexcept {
+    for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow_to(n);
+  }
+
+  void push_back(const T& x) { emplace_back(x); }
+  void push_back(T&& x) { emplace_back(std::move(x)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    return unchecked_emplace(std::forward<Args>(args)...);
+  }
+
+  void pop_back() { data_[--size_].~T(); }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  T* inline_ptr() noexcept { return reinterpret_cast<T*>(inline_); }
+  bool on_heap() const noexcept {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+
+  template <typename... Args>
+  T& unchecked_emplace(Args&&... args) {
+    return *::new (static_cast<void*>(data_ + size_++))
+        T(std::forward<Args>(args)...);
+  }
+
+  void grow_to(std::size_t n) {
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned T needs aligned operator new");
+    T* fresh = static_cast<T*>(::operator new(n * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (on_heap()) ::operator delete(static_cast<void*>(data_));
+    data_ = fresh;
+    cap_ = n;
+  }
+
+  /// Steal `o`'s contents into *this.  Precondition: *this is empty and
+  /// inline-backed (fresh, or just reset by the move-assign path).
+  void take(SmallVec& o) noexcept(std::is_nothrow_move_constructible_v<T>) {
+    if (o.on_heap()) {
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = o.inline_ptr();
+      o.size_ = 0;
+      o.cap_ = N;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+        o.data_[i].~T();
+      }
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  T* data_ = inline_ptr();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace linbound

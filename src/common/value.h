@@ -8,7 +8,8 @@
 #include <string>
 #include <string_view>
 #include <variant>
-#include <vector>
+
+#include "common/small_vec.h"
 
 namespace linbound {
 
@@ -36,7 +37,12 @@ class Value {
     friend bool operator==(const Unit&, const Unit&) { return true; }
     friend auto operator<=>(const Unit&, const Unit&) = default;
   };
-  using List = std::vector<Value>;
+  // Inline storage for two elements covers the dominant shapes (pair
+  // results, register histories of depth <= 2): building or copying such a
+  // list touches the heap only for the shared_ptr control block.  SmallVec
+  // is instantiable with the still-incomplete Value because its inline
+  // buffer is raw storage.
+  using List = SmallVec<Value, 2>;
 
   Value() : v_(Unit{}) {}
   Value(std::int64_t x) : v_(x) {}        // NOLINT(google-explicit-constructor)

@@ -45,7 +45,9 @@ HardenedReplicaProcess::HardenedReplicaProcess(
 }
 
 void HardenedReplicaProcess::send(ProcessId to, const MessagePayload* payload) {
-  const std::int64_t seq = next_link_seq_++;
+  const auto dest = static_cast<std::size_t>(to);
+  if (dest >= next_link_seq_.size()) next_link_seq_.resize(dest + 1, 0);
+  const std::int64_t seq = next_link_seq_[dest]++;
   const LinkDataPayload* frame =
       make_msg<LinkDataPayload>(seq, payload, my_incarnation_);
   PendingSend pending;
@@ -55,10 +57,10 @@ void HardenedReplicaProcess::send(ProcessId to, const MessagePayload* payload) {
   pending.next_timeout =
       std::min(params_.first_timeout_for(timing()), params_.step_cap_for(timing()));
   raw_send(to, frame);
-  pending_sends_[seq] = std::move(pending);
+  const Tick first_timeout = pending.next_timeout;
+  pending_sends_.insert_or_assign(link_key(to, seq), std::move(pending));
   // Timer keyed by <seq, destination> through the standard tag.
-  set_timer(pending_sends_[seq].next_timeout,
-            TimerTag{kLinkRetransmit, Timestamp{seq, to}});
+  set_timer(first_timeout, TimerTag{kLinkRetransmit, Timestamp{seq, to}});
 }
 
 void HardenedReplicaProcess::on_message(ProcessId from,
@@ -67,14 +69,16 @@ void HardenedReplicaProcess::on_message(ProcessId from,
     // Acks addressed to a previous life are stale: this incarnation may be
     // reusing the acked sequence number for a different message.
     if (ack->incarnation != my_incarnation_) return;
-    pending_sends_.erase(ack->seq);  // duplicate acks fall through harmlessly
+    // Sequence numbers are per destination, so the acked send is keyed by
+    // the acking peer; duplicate acks fall through harmlessly.
+    pending_sends_.erase(link_key(from, ack->seq));
     return;
   }
   if (const auto* frame = dynamic_cast<const LinkDataPayload*>(&payload)) {
     // Always (re-)ack: the sender may be retransmitting because our
     // previous ack was lost.  Acks go out raw -- acking an ack would loop.
     raw_send(from, make_msg<LinkAckPayload>(frame->seq, frame->incarnation));
-    if (!delivered_[from][frame->incarnation].insert(frame->seq).second) {
+    if (!delivered_.insert(from, frame->incarnation, frame->seq)) {
       ++duplicates_suppressed_;
       return;
     }
@@ -91,15 +95,16 @@ void HardenedReplicaProcess::on_timer(TimerId id, const TimerTag& tag) {
     return;
   }
   const std::int64_t seq = tag.ts.clock_time;
-  auto it = pending_sends_.find(seq);
-  if (it == pending_sends_.end()) return;  // acked in the meantime
-  PendingSend& pending = it->second;
+  const std::int64_t key = link_key(tag.ts.pid, seq);
+  PendingSend* found = pending_sends_.find(key);
+  if (found == nullptr) return;  // acked in the meantime
+  PendingSend& pending = *found;
   if (pending.attempts >= params_.max_attempts) {
     // Attempt budget exhausted: the destination is unreachable (crashed, or
     // the network lost every copy).  Degrade gracefully -- stop resending
     // so the run quiesces; the assumption monitor attributes the fallout.
     ++link_give_ups_;
-    pending_sends_.erase(it);
+    pending_sends_.erase(key);
     return;
   }
   ++pending.attempts;
@@ -130,7 +135,7 @@ void HardenedReplicaProcess::reset_link_state(Tick new_incarnation) {
   }
   pending_sends_.clear();
   delivered_.clear();
-  next_link_seq_ = 0;
+  next_link_seq_.assign(next_link_seq_.size(), 0);
   my_incarnation_ = new_incarnation;
 }
 

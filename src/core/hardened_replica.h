@@ -26,13 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/pending_tables.h"
 #include "core/replica_algorithm.h"
 
 namespace linbound {
@@ -153,14 +152,30 @@ class HardenedReplicaProcess : public ReplicaProcess {
     Tick next_timeout = 0;
   };
 
+  /// pending_sends_ key for the (destination, per-destination seq) pair.
+  /// seq stays far below 2^48 (every send costs at least one simulator
+  /// event, and event budgets are orders of magnitude smaller).
+  static std::int64_t link_key(ProcessId to, std::int64_t seq) {
+    return (static_cast<std::int64_t>(to) << 48) | seq;
+  }
+
   HardenedParams params_;
-  std::int64_t next_link_seq_ = 0;
+  /// Next frame sequence number, PER DESTINATION (indexed by pid, grown on
+  /// demand).  Per-link numbering keeps each receiver's dedup SeqSet
+  /// gap-free -- its frontier advances and the sparse overflow stays empty,
+  /// so dedup memory is O(1) per link instead of growing with every send
+  /// the receiver never saw (a global counter leaves permanent holes in
+  /// every link's sequence space).
+  std::vector<std::int64_t> next_link_seq_;
   /// This process's current life; stamped into every frame.
   Tick my_incarnation_ = 0;
-  std::map<std::int64_t, PendingSend> pending_sends_;  ///< unacked, by seq
+  /// Unacked sends, by link_key.  Per-destination sequence numbers count up
+  /// and acks overwhelmingly arrive in order, so the flat table's
+  /// append/head-pop fast path applies (core/pending_tables.h).
+  FlatMap<std::int64_t, PendingSend> pending_sends_;
   /// Sequence numbers already delivered up the stack, per sender and per
   /// sender incarnation (a restarted sender reuses sequence numbers).
-  std::map<ProcessId, std::map<Tick, std::set<std::int64_t>>> delivered_;
+  LinkDedup delivered_;
 
   std::int64_t retransmissions_ = 0;
   std::int64_t duplicates_suppressed_ = 0;

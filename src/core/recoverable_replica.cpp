@@ -51,9 +51,10 @@ const JoinSnapshotPayload* RecoverableReplicaProcess::make_snapshot(
   snap->state = local_copy().snapshot();
   snap->frontier = executed_frontier();
   snap->executed = executed_count();
-  for (const PendingOp& entry : to_execute().entries()) {
-    snap->pending.emplace_back(entry.ts, entry.op);
-  }
+  to_execute().for_each([&](const Timestamp& ts, const Operation& op,
+                            std::int64_t /*own_token*/) {
+    snap->pending.emplace_back(ts, op);
+  });
   std::sort(snap->pending.begin(), snap->pending.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   snap->incarnation = incarnation;
@@ -66,7 +67,7 @@ void RecoverableReplicaProcess::feed_if_new(const Timestamp& ts,
     ++rejoin_dedup_dropped_;
     return;
   }
-  if (!seen_ts_.insert(ts).second) {
+  if (!seen_ts_.insert(ts)) {
     ++rejoin_dedup_dropped_;
     return;
   }

@@ -48,11 +48,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "core/hardened_replica.h"
+#include "core/pending_tables.h"
 #include "spec/snapshot.h"
 
 namespace linbound {
@@ -151,7 +151,7 @@ class RecoverableReplicaProcess final : public HardenedReplicaProcess {
   std::optional<Timestamp> snapshot_frontier_;
   /// Timestamps queued since the last recovery (dedup across the snapshot
   /// pending set, the rejoin buffer, and post-join retransmissions).
-  std::set<Timestamp> seen_ts_;
+  FlatSet<Timestamp> seen_ts_;
   TimerId join_timer_ = -1;
 
   std::int64_t snapshots_served_ = 0;

@@ -1,6 +1,7 @@
 #include "core/replica_algorithm.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace linbound {
@@ -81,7 +82,7 @@ void ReplicaProcess::on_invoke(std::int64_t token, const Operation& op) {
     // (Back-dating bypasses the monotonic guard on purpose: accessor
     // timestamps may legitimately precede earlier mutators' stamps.)
     const Timestamp ts{algo_clock() - delays_.aop_backdate, id()};
-    awaiting_aop_[ts] = PendingAccessor{op, token};
+    awaiting_aop_.insert_or_assign(ts, PendingAccessor{op, token});
     set_timer(delays_.aop_respond, TimerTag{kAopRespond, ts});
     return;
   }
@@ -89,11 +90,11 @@ void ReplicaProcess::on_invoke(std::int64_t token, const Operation& op) {
   // MOP and OOP share the broadcast / To_Execute path.
   const Timestamp ts{next_stamp_clock(), id()};
   broadcast(make_msg<OpBroadcastPayload>(op, ts));
-  awaiting_self_add_[ts] =
-      StoredOwnOp{op, token, /*respond_on_execute=*/cls == OpClass::kOther};
+  awaiting_self_add_.insert_or_assign(
+      ts, StoredOwnOp{op, token, /*respond_on_execute=*/cls == OpClass::kOther});
   set_timer(delays_.self_add, TimerTag{kSelfAdd, ts});
   if (cls == OpClass::kPureMutator) {
-    awaiting_mop_ack_[ts] = token;
+    awaiting_mop_ack_.insert_or_assign(ts, token);
     set_timer(delays_.mop_ack, TimerTag{kMopAck, ts});
   }
 }
@@ -106,11 +107,10 @@ void ReplicaProcess::on_message(ProcessId /*from*/, const MessagePayload& payloa
 void ReplicaProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
   switch (tag.kind) {
     case kSelfAdd: {
-      auto node = awaiting_self_add_.extract(tag.ts);
-      if (node.empty()) return;
-      StoredOwnOp& own = node.mapped();
-      queue_.add(PendingOp{tag.ts, std::move(own.op),
-                           own.respond_on_execute ? own.token : -1});
+      auto own = awaiting_self_add_.extract(tag.ts);
+      if (!own) return;
+      queue_.add(PendingOp{tag.ts, std::move(own->op),
+                           own->respond_on_execute ? own->token : -1});
       set_timer(delays_.holdback, TimerTag{kExecute, tag.ts});
       return;
     }
@@ -118,21 +118,19 @@ void ReplicaProcess::on_timer(TimerId /*id*/, const TimerTag& tag) {
       execute_up_to(tag.ts, /*inclusive=*/true);
       return;
     case kMopAck: {
-      auto it = awaiting_mop_ack_.find(tag.ts);
-      if (it == awaiting_mop_ack_.end()) return;
-      const std::int64_t token = it->second;
-      awaiting_mop_ack_.erase(it);
-      respond(token, Value::unit());
+      auto token = awaiting_mop_ack_.extract(tag.ts);
+      if (!token) return;
+      respond(*token, Value::unit());
       return;
     }
     case kAopRespond: {
-      auto node = awaiting_aop_.extract(tag.ts);
-      if (node.empty()) return;
+      auto acc = awaiting_aop_.extract(tag.ts);
+      if (!acc) return;
       // Execute everything with a strictly smaller timestamp, then the
       // accessor itself on the local copy.
       execute_up_to(tag.ts, /*inclusive=*/false);
-      const Value ret = local_obj_->apply(node.mapped().op);
-      respond(node.mapped().token, ret);
+      const Value ret = local_obj_->apply(acc->op);
+      respond(acc->token, ret);
       return;
     }
     default:
@@ -154,7 +152,7 @@ void ReplicaProcess::execute_up_to(const Timestamp& ts, bool inclusive) {
 
 std::vector<DrainedOwnOp> ReplicaProcess::drain_own_unresponded() const {
   std::map<Timestamp, DrainedOwnOp> merged;
-  for (const auto& [ts, own] : awaiting_self_add_) {
+  awaiting_self_add_.for_each([&](const Timestamp& ts, const StoredOwnOp& own) {
     DrainedOwnOp d;
     d.ts = ts;
     d.op = own.op;
@@ -162,45 +160,42 @@ std::vector<DrainedOwnOp> ReplicaProcess::drain_own_unresponded() const {
     // with the execution result.
     d.token = own.respond_on_execute ? own.token : -1;
     merged[ts] = std::move(d);
-  }
-  for (const PendingOp& entry : queue_.entries()) {
-    if (entry.own_token < 0) continue;  // a peer's op: nothing owed here
+  });
+  queue_.for_each([&](const Timestamp& ts, const Operation& op,
+                      std::int64_t own_token) {
+    if (own_token < 0) return;  // a peer's op: nothing owed here
     DrainedOwnOp d;
-    d.ts = entry.ts;
-    d.op = entry.op;
-    d.token = entry.own_token;
-    merged[entry.ts] = std::move(d);
-  }
-  for (const auto& [ts, token] : awaiting_mop_ack_) {
+    d.ts = ts;
+    d.op = op;
+    d.token = own_token;
+    merged[ts] = std::move(d);
+  });
+  awaiting_mop_ack_.for_each([&](const Timestamp& ts,
+                                 const std::int64_t& token) {
     auto it = merged.find(ts);
     if (it != merged.end()) {
       // Still awaiting self-add: the op is known, only the ack shape
       // changes.
       it->second.token = token;
       it->second.ack_only = true;
-      continue;
+      return;
     }
     DrainedOwnOp d;
     d.ts = ts;
     // Self-added already: the op sits in To_Execute (own_token -1 for
     // mutators) or has executed -- recover it if still queued.
-    for (const PendingOp& entry : queue_.entries()) {
-      if (entry.ts == ts) {
-        d.op = entry.op;
-        break;
-      }
-    }
+    if (const Operation* queued = queue_.find(ts)) d.op = *queued;
     d.token = token;
     d.ack_only = true;
     merged[ts] = std::move(d);
-  }
-  for (const auto& [ts, acc] : awaiting_aop_) {
+  });
+  awaiting_aop_.for_each([&](const Timestamp& ts, const PendingAccessor& acc) {
     DrainedOwnOp d;
     d.ts = ts;
     d.op = acc.op;
     d.token = acc.token;
     merged[ts] = std::move(d);
-  }
+  });
   std::vector<DrainedOwnOp> out;
   out.reserve(merged.size());
   for (auto& [ts, d] : merged) out.push_back(std::move(d));

@@ -34,12 +34,12 @@
 // step of the proofs.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/timestamp.h"
+#include "core/pending_tables.h"
 #include "core/to_execute.h"
 #include "sim/process.h"
 #include "spec/object_model.h"
@@ -118,6 +118,27 @@ class ReplicaProcess : public Process {
     return executed_frontier_;
   }
 
+  /// Choose the pending-table backing (core/pending_tables.h).  Flat tables
+  /// (the default) are the allocation-free hot path; kReference restores
+  /// the seed's std::map nodes for the bench_throughput baseline.  Only
+  /// legal before any operation is pending -- ReplicaSystem calls it right
+  /// after construction.  Both modes produce byte-identical traces.
+  void set_table_mode(TableMode mode) {
+    awaiting_self_add_.set_mode(mode);
+    awaiting_mop_ack_.set_mode(mode);
+    awaiting_aop_.set_mode(mode);
+  }
+
+  /// Pre-size the pending tables and the To_Execute pools for `n`
+  /// concurrently pending operations (the workload's per-replica high-water
+  /// bound).  Capacity-only: behavior is unchanged.
+  void reserve_pending(std::size_t n) {
+    awaiting_self_add_.reserve(n);
+    awaiting_mop_ack_.reserve(n);
+    awaiting_aop_.reserve(n);
+    queue_.reserve(n);
+  }
+
  protected:
   /// The clock that timestamps operations.  The base algorithm reads the
   /// process's local clock; the drift-managed subclass adds its running
@@ -181,17 +202,19 @@ class ReplicaProcess : public Process {
     bool respond_on_execute = false;  // true for OOP
   };
   /// Own broadcast operations awaiting their self-add timer, keyed by ts.
-  std::map<Timestamp, StoredOwnOp> awaiting_self_add_;
+  /// Per-process timestamps are strictly increasing (next_stamp_clock), so
+  /// every insert is an append and every timer-driven removal a head pop.
+  FlatMap<Timestamp, StoredOwnOp> awaiting_self_add_;
 
   /// Pure-mutator tokens awaiting their ack timer, keyed by ts.
-  std::map<Timestamp, std::int64_t> awaiting_mop_ack_;
+  FlatMap<Timestamp, std::int64_t> awaiting_mop_ack_;
 
   struct PendingAccessor {
     Operation op;
     std::int64_t token = -1;
   };
   /// Pure accessors awaiting their respond timer, keyed by (back-dated) ts.
-  std::map<Timestamp, PendingAccessor> awaiting_aop_;
+  FlatMap<Timestamp, PendingAccessor> awaiting_aop_;
 };
 
 /// The broadcast payload <op, arg, ts> of Algorithm 1.

@@ -52,6 +52,15 @@ struct SystemOptions {
   /// byte-identical traces.  kBinaryHeap is the seed structure, used by the
   /// differential tests and the bench_throughput regression baseline.
   EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
+  /// Pending-table backing for Algorithm 1 replicas
+  /// (core/pending_tables.h); both produce byte-identical traces.
+  /// kReference restores the seed's std::map nodes for the
+  /// bench_throughput regression baseline.
+  TableMode table_mode = TableMode::kFlat;
+  /// Delivery batching (sim/simulator.h DeliveryMode); both modes produce
+  /// byte-identical traces.  kPerMessage is the seed loop, used by the
+  /// differential tests and the bench_throughput regression baseline.
+  DeliveryMode delivery_mode = DeliveryMode::kBatched;
 };
 
 /// How a run ended.

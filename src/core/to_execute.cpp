@@ -6,43 +6,75 @@
 namespace linbound {
 
 void ToExecuteQueue::add(PendingOp entry) {
-  heap_.push_back(std::move(entry));
-  sift_up(heap_.size() - 1);
+  std::int32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[static_cast<std::size_t>(slot)] =
+        Slot{std::move(entry.op), entry.own_token};
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.push_back(Slot{std::move(entry.op), entry.own_token});
+  }
+  keys_.push_back(Key{entry.ts, slot});
+  sift_up(keys_.size() - 1);
+}
+
+void ToExecuteQueue::reserve(std::size_t n) {
+  keys_.reserve(n);
+  slots_.reserve(n);
+  free_.reserve(n);
 }
 
 std::optional<Timestamp> ToExecuteQueue::min() const {
-  if (heap_.empty()) return std::nullopt;
-  return heap_.front().ts;
+  if (keys_.empty()) return std::nullopt;
+  return keys_.front().ts;
 }
 
 PendingOp ToExecuteQueue::extract_min() {
-  assert(!heap_.empty());
-  PendingOp out = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  assert(!keys_.empty());
+  const Key k = keys_.front();
+  Slot& s = slots_[static_cast<std::size_t>(k.slot)];
+  PendingOp out{k.ts, std::move(s.op), s.own_token};
+  free_.push_back(k.slot);
+  keys_.front() = keys_.back();
+  keys_.pop_back();
+  if (!keys_.empty()) sift_down(0);
   return out;
+}
+
+const Operation* ToExecuteQueue::find(const Timestamp& ts) const {
+  for (const Key& k : keys_) {
+    if (k.ts == ts) return &slots_[static_cast<std::size_t>(k.slot)].op;
+  }
+  return nullptr;
+}
+
+void ToExecuteQueue::clear() {
+  keys_.clear();
+  slots_.clear();
+  free_.clear();  // capacities kept: the steady-state pools
 }
 
 void ToExecuteQueue::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (heap_[parent].ts <= heap_[i].ts) break;
-    std::swap(heap_[parent], heap_[i]);
+    if (keys_[parent].ts <= keys_[i].ts) break;
+    std::swap(keys_[parent], keys_[i]);
     i = parent;
   }
 }
 
 void ToExecuteQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
+  const std::size_t n = keys_.size();
   while (true) {
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
     std::size_t best = i;
-    if (l < n && heap_[l].ts < heap_[best].ts) best = l;
-    if (r < n && heap_[r].ts < heap_[best].ts) best = r;
+    if (l < n && keys_[l].ts < keys_[best].ts) best = l;
+    if (r < n && keys_[r].ts < keys_[best].ts) best = r;
     if (best == i) return;
-    std::swap(heap_[i], heap_[best]);
+    std::swap(keys_[i], keys_[best]);
     i = best;
   }
 }

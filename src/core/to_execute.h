@@ -5,6 +5,12 @@
 // operations add / min / extract_min; we implement a binary min-heap from
 // scratch (timestamps are unique among queued entries -- a process invokes
 // at most one operation per clock instant -- so the ordering is strict).
+//
+// Layout (DESIGN.md section 15): the heap orders small {timestamp, slot}
+// keys over a separate slot pool holding the Operation payloads.  Sift
+// swaps move keys only, min() reads one contiguous array, and extracted
+// slots return to a free list -- so a warmed queue reaches a steady state
+// where add/extract_min never allocate.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +34,12 @@ class ToExecuteQueue {
  public:
   void add(PendingOp entry);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return keys_.empty(); }
+  std::size_t size() const { return keys_.size(); }
+
+  /// Pre-size the key heap and slot pool for `n` concurrently queued
+  /// entries (the workload's high-water bound).
+  void reserve(std::size_t n);
 
   /// Smallest queued timestamp; nullopt when empty.
   std::optional<Timestamp> min() const;
@@ -38,18 +48,38 @@ class ToExecuteQueue {
   /// Precondition: !empty().
   PendingOp extract_min();
 
-  /// The queued entries in heap order (deterministic, not sorted) -- state
-  /// transfer (core/recoverable_replica.h) snapshots the pending set from
-  /// here; callers that need timestamp order sort a copy.
-  const std::vector<PendingOp>& entries() const { return heap_; }
+  /// Visit every queued entry in heap-key order (deterministic, not
+  /// sorted) -- state transfer (core/recoverable_replica.h) snapshots the
+  /// pending set from here; callers that need timestamp order sort a copy.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Key& k : keys_) {
+      const Slot& s = slots_[static_cast<std::size_t>(k.slot)];
+      fn(k.ts, s.op, s.own_token);
+    }
+  }
 
-  void clear() { heap_.clear(); }
+  /// The queued operation with timestamp `ts`, if any.
+  const Operation* find(const Timestamp& ts) const;
+
+  void clear();
 
  private:
+  struct Key {
+    Timestamp ts{};
+    std::int32_t slot = -1;
+  };
+  struct Slot {
+    Operation op;
+    std::int64_t own_token = -1;
+  };
+
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
-  std::vector<PendingOp> heap_;
+  std::vector<Key> keys_;           ///< binary min-heap by ts
+  std::vector<Slot> slots_;         ///< payload pool, indexed by Key::slot
+  std::vector<std::int32_t> free_;  ///< recycled slot indices
 };
 
 }  // namespace linbound

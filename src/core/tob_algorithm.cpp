@@ -46,29 +46,28 @@ void TobProcess::sequence(const Operation& op, std::int64_t token,
   const std::int64_t seq = next_seq_to_assign_++;
   broadcast(make_msg<TobDeliverPayload>(op, token, origin, seq));
   // The sequencer delivers to itself immediately (it defines the order).
-  buffer_[seq] = Buffered{op, token, origin};
+  buffer_.insert_or_assign(seq, Buffered{op, token, origin});
   apply_in_order();
 }
 
 void TobProcess::deliver(const TobDeliverPayload& msg) {
-  buffer_[msg.seq] = Buffered{msg.op, msg.token, msg.origin};
+  buffer_.insert_or_assign(msg.seq, Buffered{msg.op, msg.token, msg.origin});
   apply_in_order();
 }
 
 void TobProcess::apply_in_order() {
   while (true) {
-    auto it = buffer_.find(next_seq_to_apply_);
-    if (it == buffer_.end()) return;
-    const Buffered& entry = it->second;
-    const Value ret = obj_->apply(entry.op);
-    if (entry.origin == id()) {
-      if (give_up_token_ == entry.token) {
+    const Buffered* entry = buffer_.find(next_seq_to_apply_);
+    if (entry == nullptr) return;
+    const Value ret = obj_->apply(entry->op);
+    if (entry->origin == id()) {
+      if (give_up_token_ == entry->token) {
         cancel_timer(give_up_timer_);
         give_up_token_ = -1;
       }
-      respond(entry.token, ret);
+      respond(entry->token, ret);
     }
-    buffer_.erase(it);
+    buffer_.erase(next_seq_to_apply_);
     ++next_seq_to_apply_;
   }
 }

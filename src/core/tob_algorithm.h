@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "core/pending_tables.h"
 #include "sim/process.h"
 #include "spec/object_model.h"
 
@@ -82,7 +82,10 @@ class TobProcess final : public Process {
     std::int64_t token = -1;
     ProcessId origin = kNoProcess;
   };
-  std::map<std::int64_t, Buffered> buffer_;  // out-of-order deliveries
+  /// Out-of-order deliveries.  Sequence numbers are assigned consecutively
+  /// and applied as a head pop once the gap fills, so the flat table's
+  /// append/head-pop fast path applies (core/pending_tables.h).
+  FlatMap<std::int64_t, Buffered> buffer_;
   /// The pending give-up timer, if any.  One pending operation per process
   /// means at most one timed token, so a scalar slot replaces the seed's
   /// per-token std::map: -1 means no operation is being timed.

@@ -64,6 +64,18 @@ struct HeavyTrafficOptions {
   /// Trace::messages reservation hint per operation; 0 = clients (sized
   /// for Algorithm 1's broadcast per operation).
   std::size_t messages_per_op = 0;
+  /// Whole-run arena pre-reserve per operation (bytes): covers every
+  /// payload the op pipeline builds per op (broadcast, link frames, acks,
+  /// destructor nodes).  0 leaves the arena to on-demand chunk growth (the
+  /// historical behavior); set it to make the steady-state send path
+  /// allocation-free (sim/pool_set.h) -- ~256 covers plain Algorithm 1,
+  /// ~1024 the hardened link with n = 4.
+  std::size_t payload_bytes_per_op = 0;
+  /// Per-process timer-slot pool to pre-size; 0 = demand growth.
+  std::size_t timer_slots_per_process = 0;
+  /// Calendar bucket lane warm (same-tick events per priority lane);
+  /// 0 = lanes warm up over the first window.
+  std::size_t events_per_tick = 0;
 };
 
 /// Apportion `total_ops` operations across `shards` shards with a zipfian

@@ -185,6 +185,7 @@ std::unique_ptr<ShardedSimulation::ShardState> ShardedSimulation::build_shard(
   so.timing = opt_.timing;
   so.x = opt_.x;
   so.queue_impl = opt_.queue_impl;
+  so.delivery_mode = opt_.delivery_mode;
   so.max_events = opt_.max_events_per_shard;
   if (s < opt_.shard_budget_override.size() && opt_.shard_budget_override[s]) {
     so.max_events = opt_.shard_budget_override[s];
@@ -207,6 +208,14 @@ std::unique_ptr<ShardedSimulation::ShardState> ShardedSimulation::build_shard(
   }
 
   state->system = std::make_unique<ReplicaSystem>(model_, so);
+  // Per-shard pool sizing (sim/pool_set.h, applied through the workload's
+  // arm() below plus the per-replica pending reserves here): each shard
+  // worker owns warmed pools, so its steady-state window stepping does not
+  // allocate -- and, more importantly under parallel drive, does not
+  // contend on the global heap with other workers.
+  for (int p = 0; p < opt_.replicas; ++p) {
+    state->system->replica(static_cast<ProcessId>(p)).reserve_pending(64);
+  }
 
   if (faults.churn.any()) {
     // Generate for the full group, then keep only processes that neither
@@ -235,6 +244,11 @@ std::unique_ptr<ShardedSimulation::ShardState> ShardedSimulation::build_shard(
   // Reservation hint: Algorithm 1 broadcasts to the group per operation,
   // and the hardened link acks each delivery.
   w.messages_per_op = static_cast<std::size_t>(opt_.replicas) + 2;
+  // Arena volume per op: the broadcast payload plus (hardened/recoverable)
+  // per-peer link frames, acks and destructor-list nodes.
+  w.payload_bytes_per_op = opt_.variant == ShardVariant::kStock ? 256 : 1024;
+  w.timer_slots_per_process = 128;
+  w.events_per_tick = 4;
   state->workload =
       std::make_unique<HeavyTrafficWorkload>(state->sim(), std::move(w));
 
@@ -291,6 +305,8 @@ ShardResult ShardedSimulation::finish_shard(const ShardState& state) const {
   r.events = state.sim().events_processed();
   r.ops = trace.ops.size();
   r.end_time = trace.end_time;
+  r.deliver_batches = trace.stats.deliver_batches;
+  r.batched_messages = trace.stats.batched_messages;
   return r;
 }
 
@@ -347,6 +363,8 @@ ShardRunReport ShardedSimulation::drive(
     report.beacons += states[i]->beacons_received;
     report.total_events += report.shards[i].events;
     report.total_ops += report.shards[i].ops;
+    report.deliver_batches += report.shards[i].deliver_batches;
+    report.batched_messages += report.shards[i].batched_messages;
     if (report.shards[i].status == RunStatus::kAborted) ++report.aborted;
   }
   return report;

@@ -105,6 +105,9 @@ struct ShardOptions {
   /// not exceed the minimum cross-shard delay or construction throws.
   Tick lookahead = 0;
   EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
+  /// Per-shard delivery batching (sim/simulator.h DeliveryMode); both modes
+  /// yield byte-identical per-shard traces at every job count.
+  DeliveryMode delivery_mode = DeliveryMode::kBatched;
 
   // --- planted-mutant knobs (tests only) ---
   /// Shard whose epoch-0 beacon is delivered *before* the window ends,
@@ -126,6 +129,8 @@ struct ShardResult {
   std::size_t events = 0;        ///< events processed by the shard's Simulator
   std::size_t ops = 0;           ///< trace ops (workload + received beacons)
   Tick end_time = 0;             ///< trace end time
+  std::uint64_t deliver_batches = 0;   ///< TraceStats: delivery batches run
+  std::uint64_t batched_messages = 0;  ///< TraceStats: deliveries in batches
 };
 
 struct ShardRunReport {
@@ -134,6 +139,8 @@ struct ShardRunReport {
   std::size_t beacons = 0;          ///< cross-shard beacons delivered
   std::size_t total_events = 0;
   std::size_t total_ops = 0;
+  std::uint64_t deliver_batches = 0;   ///< summed over shards (0 under kPerMessage)
+  std::uint64_t batched_messages = 0;  ///< summed over shards
   int aborted = 0;                  ///< shards that ended kAborted
 };
 

@@ -43,13 +43,41 @@ class PayloadArena {
   }
 
   std::size_t objects() const { return objects_; }
-  std::size_t bytes_reserved() const { return chunks_.size() * kChunkSize; }
+  std::size_t bytes_reserved() const {
+    return (chunks_.size() + spare_.size()) * kChunkSize;
+  }
+  /// Bytes of chunk space consumed so far (whole chunks for all but the
+  /// tail; oversized chunks undercount slightly) -- what reserve_bytes
+  /// should have covered for an allocation-free run.
+  std::size_t bytes_used() const {
+    return chunks_.empty() ? 0 : (chunks_.size() - 1) * kChunkSize + used_;
+  }
+
+  /// Pre-allocate enough chunks for `bytes` of payloads (rounded up to
+  /// whole chunks) into a spare pool the bump allocator draws from.  The
+  /// arena grows monotonically for a run's lifetime, so covering the whole
+  /// run's payload volume here is what makes the steady-state send path
+  /// allocation-free -- a warm-up alone cannot, since fresh chunks would
+  /// still be needed mid-run.  Never shrinks; oversized one-off requests
+  /// (> 64 KiB) still allocate their dedicated chunk directly.
+  void reserve_bytes(std::size_t bytes) {
+    const std::size_t want = (bytes + kChunkSize - 1) / kChunkSize;
+    // The chunk-pointer vectors grow by doubling like any vector; size them
+    // here too, or their reallocations would be the hot path's last
+    // remaining heap activity.
+    if (spare_.capacity() < want) spare_.reserve(want);
+    if (chunks_.capacity() < want) chunks_.reserve(want);
+    while (spare_.size() < want) {
+      spare_.emplace_back(new char[kChunkSize]);
+    }
+  }
 
   /// Destroy everything and release the chunks (also run by the dtor).
   void clear() {
     for (DtorNode* n = dtors_; n != nullptr; n = n->next) n->destroy(n->obj);
     dtors_ = nullptr;
     chunks_.clear();
+    spare_.clear();
     used_ = 0;
     objects_ = 0;
   }
@@ -72,7 +100,12 @@ class PayloadArena {
       return align_ptr(chunks_.back().get(), align);
     }
     if (chunks_.empty() || used_ + size + align > kChunkSize) {
-      chunks_.emplace_back(new char[kChunkSize]);
+      if (!spare_.empty()) {
+        chunks_.push_back(std::move(spare_.back()));
+        spare_.pop_back();
+      } else {
+        chunks_.emplace_back(new char[kChunkSize]);
+      }
       used_ = 0;
     }
     char* base = chunks_.back().get() + used_;
@@ -88,6 +121,7 @@ class PayloadArena {
   }
 
   std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::unique_ptr<char[]>> spare_;  ///< pre-reserved, unused chunks
   std::size_t used_ = 0;  ///< bytes consumed in the tail chunk
   std::size_t objects_ = 0;
   DtorNode* dtors_ = nullptr;

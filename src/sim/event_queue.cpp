@@ -6,7 +6,10 @@
 namespace linbound {
 
 EventQueue::EventQueue(EventQueueImpl impl) : impl_(impl) {
-  if (impl_ == EventQueueImpl::kCalendar) buckets_.resize(kWindow);
+  if (impl_ == EventQueueImpl::kCalendar) {
+    buckets_.resize(kWindow);
+    l1_.resize(kL1);
+  }
 }
 
 std::uint64_t EventQueue::push(Tick time, EventPriority priority,
@@ -25,10 +28,11 @@ std::uint64_t EventQueue::push_typed(Tick time, EventPriority priority,
   ev.seq = seq;
   log_push(time, ev.priority);
   ++size_;
+  if (size_ > high_water_) high_water_ = size_;
   if (impl_ == EventQueueImpl::kBinaryHeap) {
     heap_push(heap_, std::move(ev));
   } else {
-    calendar_push(std::move(ev));
+    calendar_push(slim(std::move(ev)));
   }
   return seq;
 }
@@ -44,81 +48,147 @@ SimEvent EventQueue::pop() {
   log_pop();
   --size_;
   if (impl_ == EventQueueImpl::kBinaryHeap) return heap_pop(heap_);
-  return calendar_pop();
+  return fatten(calendar_pop_rec());
+}
+
+bool EventQueue::next_matches_delivery(Tick time, ProcessId pid) {
+  if (size_ == 0) return false;
+  if (impl_ == EventQueueImpl::kBinaryHeap) {
+    const SimEvent& next = heap_.front();
+    return next.kind == EventKind::kDeliver && next.time == time &&
+           next.pid == pid;
+  }
+  const EventRec& next = calendar_front();
+  return next.kind == EventKind::kDeliver && next.time == time &&
+         next.pid == pid;
 }
 
 void EventQueue::reserve(std::size_t events) {
-  // Both the heap impl and the calendar's overflow rung absorb scheduling
-  // bursts (batched open-loop invocations land far in the future), so the
-  // contiguous heap vector is the one worth pre-sizing in either mode.
-  if (heap_.capacity() < events) heap_.reserve(events);
-}
-
-// --- binary-heap machinery --------------------------------------------------
-
-void EventQueue::heap_push(std::vector<SimEvent>& heap, SimEvent ev) {
-  heap.push_back(std::move(ev));
-  sift_up(heap, heap.size() - 1);
-}
-
-SimEvent EventQueue::heap_pop(std::vector<SimEvent>& heap) {
-  assert(!heap.empty());
-  SimEvent out = std::move(heap.front());
-  heap.front() = std::move(heap.back());
-  heap.pop_back();
-  if (!heap.empty()) sift_down(heap, 0);
-  return out;
-}
-
-void EventQueue::sift_up(std::vector<SimEvent>& heap, std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap[parent], heap[i])) break;
-    std::swap(heap[parent], heap[i]);
-    i = parent;
+  // The heap impl and the calendar's wheel pool absorb scheduling bursts
+  // (batched open-loop invocations land far in the future), so each mode's
+  // contiguous storage is the one worth pre-sizing.
+  if (impl_ == EventQueueImpl::kBinaryHeap) {
+    if (heap_.capacity() < events) heap_.reserve(events);
+  } else {
+    if (l1_pool_.capacity() < events) {
+      l1_pool_.reserve(events);
+      l1_next_.reserve(events);
+    }
+    // Far-future bursts are kCall-scheduled workload invocations, each of
+    // which parks a closure; size the pool with them.
+    if (fn_pool_.capacity() < events) fn_pool_.reserve(events);
+    if (free_fn_slots_.capacity() < events) free_fn_slots_.reserve(events);
   }
 }
 
-void EventQueue::sift_down(std::vector<SimEvent>& heap, std::size_t i) {
-  const std::size_t n = heap.size();
-  while (true) {
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    std::size_t best = i;
-    if (l < n && later(heap[best], heap[l])) best = l;
-    if (r < n && later(heap[best], heap[r])) best = r;
-    if (best == i) return;
-    std::swap(heap[i], heap[best]);
-    i = best;
+void EventQueue::warm_buckets(std::size_t per_lane) {
+  for (Bucket& bucket : buckets_) {
+    if (bucket.lane[0].capacity() < per_lane) bucket.lane[0].reserve(per_lane);
+    if (bucket.lane[1].capacity() < per_lane) bucket.lane[1].reserve(per_lane);
   }
+}
+
+// --- fat <-> slim conversion ------------------------------------------------
+
+EventQueue::EventRec EventQueue::slim(SimEvent&& ev) {
+  EventRec rec;
+  rec.time = ev.time;
+  rec.seq = ev.seq;
+  rec.a = ev.a;
+  rec.payload = ev.payload;
+  rec.tag_clock = ev.tag_ts.clock_time;
+  rec.pid = ev.pid;
+  rec.tag_pid = ev.tag_ts.pid;
+  rec.epoch = ev.epoch;
+  rec.tag_kind = ev.tag_kind;
+  rec.kind = ev.kind;
+  rec.priority = static_cast<std::uint8_t>(ev.priority);
+  if (ev.fn) {
+    if (free_fn_slots_.empty()) {
+      fn_pool_.push_back(std::move(ev.fn));
+      rec.fn_slot = static_cast<std::int32_t>(fn_pool_.size() - 1);
+    } else {
+      rec.fn_slot = free_fn_slots_.back();
+      free_fn_slots_.pop_back();
+      fn_pool_[static_cast<std::size_t>(rec.fn_slot)] = std::move(ev.fn);
+    }
+  }
+  return rec;
+}
+
+SimEvent EventQueue::fatten(EventRec&& rec) {
+  SimEvent ev;
+  ev.time = rec.time;
+  ev.priority = rec.priority;
+  ev.seq = rec.seq;
+  ev.kind = rec.kind;
+  ev.pid = rec.pid;
+  ev.a = rec.a;
+  ev.epoch = rec.epoch;
+  ev.tag_kind = rec.tag_kind;
+  ev.tag_ts = Timestamp{rec.tag_clock, rec.tag_pid};
+  ev.payload = rec.payload;
+  if (rec.fn_slot >= 0) {
+    ev.fn = std::move(fn_pool_[static_cast<std::size_t>(rec.fn_slot)]);
+    free_fn_slots_.push_back(rec.fn_slot);
+  }
+  return ev;
 }
 
 // --- calendar machinery -----------------------------------------------------
 
-void EventQueue::calendar_push(SimEvent ev) {
-  if (ev.time < window_start_) {
+void EventQueue::calendar_push(EventRec rec) {
+  if (rec.time < window_start_) {
     // Behind the window (the window never moves back): the early rung.  All
-    // of its times are strictly below every bucketed/overflow time, so the
+    // of its times are strictly below every bucketed/wheel/far time, so the
     // global (time, priority, seq) order is preserved by draining it first.
-    heap_push(early_, std::move(ev));
+    heap_push(early_, std::move(rec));
     return;
   }
-  const Tick off = ev.time - window_start_;
+  const Tick off = rec.time - window_start_;
   if (off >= static_cast<Tick>(kWindow)) {
-    heap_push(heap_, std::move(ev));  // overflow rung
+    if (off < kSpan) {
+      l1_insert(std::move(rec));  // level-1 wheel
+    } else {
+      heap_push(far_, std::move(rec));  // beyond the wheel span
+    }
     return;
   }
   if (static_cast<std::size_t>(off) < cursor_) {
     cursor_ = static_cast<std::size_t>(off);
   }
-  bucket_insert(std::move(ev));
+  bucket_insert(std::move(rec));
 }
 
-void EventQueue::bucket_insert(SimEvent ev) {
-  const std::size_t off = static_cast<std::size_t>(ev.time - window_start_);
+void EventQueue::l1_insert(EventRec rec) {
+  const std::size_t idx = wheel_index(rec.time);
+  std::int32_t slot;
+  if (l1_free_ >= 0) {
+    slot = l1_free_;
+    l1_free_ = l1_next_[static_cast<std::size_t>(slot)];
+    l1_pool_[static_cast<std::size_t>(slot)] = std::move(rec);
+  } else {
+    slot = static_cast<std::int32_t>(l1_pool_.size());
+    l1_pool_.push_back(std::move(rec));
+    l1_next_.push_back(-1);
+  }
+  l1_next_[static_cast<std::size_t>(slot)] = -1;
+  L1Bucket& chain = l1_[idx];
+  if (chain.tail >= 0) {
+    l1_next_[static_cast<std::size_t>(chain.tail)] = slot;
+  } else {
+    chain.head = slot;
+    l1_words_[idx / 64] |= 1ull << (idx % 64);
+    l1_summary_ |= 1ull << (idx / 64);
+  }
+  chain.tail = slot;
+}
+
+void EventQueue::bucket_insert(EventRec rec) {
+  const std::size_t off = static_cast<std::size_t>(rec.time - window_start_);
   assert(off < kWindow);
-  const std::size_t lane = ev.priority == 0 ? 0 : 1;
-  buckets_[off].lane[lane].push_back(std::move(ev));
+  const std::size_t lane = rec.priority == 0 ? 0 : 1;
+  buckets_[off].lane[lane].push_back(std::move(rec));
   words_[off / 64] |= 1ull << (off % 64);
   summary_ |= 1ull << (off / 64);
   ++calendar_live_;
@@ -138,29 +208,100 @@ std::size_t EventQueue::next_populated(std::size_t from) const {
   return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
 }
 
+std::size_t EventQueue::l1_next_index(std::size_t from) const {
+  if (l1_summary_ == 0) return kL1;
+  from &= kL1 - 1;
+  std::size_t w = from / 64;
+  std::uint64_t word = l1_words_[w] & (~0ull << (from % 64));
+  if (word == 0) {
+    const std::uint64_t rest =
+        w + 1 < kL1Words ? l1_summary_ & (~0ull << (w + 1)) : 0;
+    if (rest != 0) {
+      w = static_cast<std::size_t>(__builtin_ctzll(rest));
+      word = l1_words_[w];
+    } else {
+      // Wrap around: the circularly-next populated chain is the globally
+      // first one.
+      w = static_cast<std::size_t>(__builtin_ctzll(l1_summary_));
+      word = l1_words_[w];
+    }
+  }
+  return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+}
+
 Tick EventQueue::calendar_next_time() const {
   if (!early_.empty()) return early_.front().time;
-  if (calendar_live_ > 0) {
-    const std::size_t off = next_populated(cursor_);
-    assert(off < kWindow);
-    return window_start_ + static_cast<Tick>(off);
+  if (calendar_live_ == 0) {
+    // The answer lives on the wheel or far rung; rotating realizes it in
+    // level 0 (chains are seq-ordered, not time-ordered, so only the
+    // migration can say which tick comes first).  Internal restructure
+    // only -- pop order and the push/pop log are untouched.
+    const_cast<EventQueue*>(this)->rotate();
   }
-  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  const std::size_t off = next_populated(cursor_);
+  assert(off < kWindow);
+  return window_start_ + static_cast<Tick>(off);
 }
 
 void EventQueue::rotate() {
-  assert(calendar_live_ == 0 && !heap_.empty());
-  window_start_ = heap_.front().time;
-  cursor_ = 0;
-  // Overflow pops ascend in (time, priority, seq), so per-bucket lanes are
-  // appended in seq order -- the same order a direct push would have built.
-  const Tick window_end = window_start_ + static_cast<Tick>(kWindow);
-  while (!heap_.empty() && heap_.front().time < window_end) {
-    bucket_insert(heap_pop(heap_));
+  assert(calendar_live_ == 0 && size_ > early_.size() &&
+         "rotate needs a pending wheel or far-rung event");
+  // Nearest pending source.  Within the live range no two event times alias
+  // one wheel index, so the circularly-next populated chain is also the
+  // earliest one.
+  Tick new_start = kTimeInfinity;
+  std::size_t idx = kL1;
+  if (l1_summary_ != 0) {
+    idx = l1_next_index(wheel_index(window_start_) + 1);
+    new_start = align_down(
+        l1_pool_[static_cast<std::size_t>(l1_[idx].head)].time);
   }
+  if (!far_.empty()) {
+    const Tick far_start = align_down(far_.front().time);
+    if (far_start < new_start) new_start = far_start;
+  }
+  window_start_ = new_start;
+  cursor_ = 0;
+  const Tick window_end = window_start_ + static_cast<Tick>(kWindow);
+  // Far rung first: any (tick, priority) pair split across the two sources
+  // has its far events carrying strictly smaller seqs (they were pushed
+  // under an older window, or they would have gone onto the wheel), and
+  // lane order must be seq order.  Far pops ascend in (time, priority,
+  // seq), so among themselves they also append in order.
+  while (!far_.empty() && far_.front().time < window_end) {
+    bucket_insert(heap_pop(far_));
+  }
+  if (idx < kL1 &&
+      align_down(l1_pool_[static_cast<std::size_t>(l1_[idx].head)].time) ==
+          window_start_) {
+    // Migrate the chain in link order (= push = seq order); each record
+    // lands in the new window by construction.
+    std::int32_t slot = l1_[idx].head;
+    l1_[idx] = L1Bucket{};
+    l1_words_[idx / 64] &= ~(1ull << (idx % 64));
+    if (l1_words_[idx / 64] == 0) l1_summary_ &= ~(1ull << (idx / 64));
+    while (slot >= 0) {
+      const std::int32_t next = l1_next_[static_cast<std::size_t>(slot)];
+      bucket_insert(std::move(l1_pool_[static_cast<std::size_t>(slot)]));
+      l1_next_[static_cast<std::size_t>(slot)] = l1_free_;
+      l1_free_ = slot;
+      slot = next;
+    }
+  }
+  assert(calendar_live_ > 0 && "rotate migrated nothing");
 }
 
-SimEvent EventQueue::calendar_pop() {
+const EventQueue::EventRec& EventQueue::calendar_front() {
+  if (!early_.empty()) return early_.front();
+  if (calendar_live_ == 0) rotate();
+  const std::size_t off = next_populated(cursor_);
+  assert(off < kWindow && "calendar queue lost track of a live bucket");
+  const Bucket& bucket = buckets_[off];
+  const std::size_t lane = bucket.pos[0] < bucket.lane[0].size() ? 0 : 1;
+  return bucket.lane[lane][bucket.pos[lane]];
+}
+
+EventQueue::EventRec EventQueue::calendar_pop_rec() {
   if (!early_.empty()) return heap_pop(early_);
   if (calendar_live_ == 0) rotate();
   const std::size_t off = next_populated(cursor_);
@@ -168,7 +309,7 @@ SimEvent EventQueue::calendar_pop() {
   Bucket& bucket = buckets_[off];
   const std::size_t lane = bucket.pos[0] < bucket.lane[0].size() ? 0 : 1;
   assert(bucket.pos[lane] < bucket.lane[lane].size());
-  SimEvent out = std::move(bucket.lane[lane][bucket.pos[lane]]);
+  EventRec out = std::move(bucket.lane[lane][bucket.pos[lane]]);
   ++bucket.pos[lane];
   --calendar_live_;
   if (bucket.drained()) {

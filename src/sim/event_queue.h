@@ -9,19 +9,29 @@
 // configuration (DESIGN.md "determinism everywhere"), and both queue
 // implementations below realize *exactly* the same pop order.
 //
-//   kCalendar (default)  -- a bucketed calendar queue keyed by tick: a
-//     window of per-tick buckets (two append-only lanes per bucket, one per
-//     priority class, drained via cursors), a two-level bitmap to find the
-//     next populated tick, a sorted-overflow rung (binary heap) for events
-//     beyond the window, and a small "early" rung for events pushed before
-//     the current window start (possible only through out-of-order push
-//     patterns in tests; the simulator always pushes at t >= now).  Push
-//     and pop are amortized O(1): an event is appended once, migrated from
-//     the overflow rung at most once, and popped once.  When the in-window
-//     events drain, the window rotates forward to the overflow minimum.
-//   kBinaryHeap          -- the seed binary min-heap, kept as a fallback
-//     and as the reference implementation for differential tests and the
-//     throughput-regression gate (bench/bench_throughput.cpp).
+//   kCalendar (default)  -- a two-level calendar queue keyed by tick.
+//     Level 0 is a window of per-tick buckets (two append-only lanes per
+//     bucket, one per priority class, drained via cursors) with a two-level
+//     bitmap to find the next populated tick.  Level 1 is a timing wheel of
+//     kL1 window-sized buckets covering the next ~16.8M ticks; each wheel
+//     bucket is an intrusive FIFO chain through a recycled slot pool, so a
+//     far-future push is one slot write plus a tail link -- no sifting.
+//     When the window drains it rotates to the nearest populated wheel
+//     bucket and migrates that chain (a linear walk) into level 0.  A small
+//     binary-heap "far" rung catches times beyond the wheel span, and an
+//     "early" rung catches times pushed before the current window start
+//     (possible only through out-of-order push patterns in tests; the
+//     simulator always pushes at t >= now).  Push and pop are amortized
+//     O(1): an event is appended once, migrated at most once, and popped
+//     once.  Storage is the slim EventRec below -- one cache line per
+//     event, with kCall closures parked in a side pool -- so every append
+//     and migration moves 64 trivially-copyable bytes instead of a
+//     104-byte struct with a std::function inside.
+//   kBinaryHeap          -- the seed binary min-heap over fat SimEvents,
+//     kept verbatim as the reference implementation for differential tests
+//     and the throughput-regression gate (bench/bench_throughput.cpp): the
+//     gate prices the full data-layout distance between the seed and the
+//     calendar, not just the bucketing.
 //
 // Events are tagged PODs, not closures: the hot-path kinds (deliveries,
 // timers, invocations, crash/recover) carry their operands inline so
@@ -29,6 +39,7 @@
 // glue via Simulator::call_at) still carry a std::function.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -103,9 +114,10 @@ class EventQueue {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  /// Time of the earliest event; kTimeInfinity when empty.  Well-defined
-  /// after a drain (it does not inspect stale storage: rung rotation only
-  /// happens inside pop, and an empty queue reports kTimeInfinity).
+  /// Time of the earliest event; kTimeInfinity when empty.  Logically
+  /// const; in calendar mode it may rotate the window to answer exactly
+  /// (the same internal restructure the next pop would have done -- pop
+  /// order is unaffected).
   Tick next_time() const;
 
   /// Remove and return the earliest event.  Precondition: !empty() --
@@ -113,9 +125,27 @@ class EventQueue {
   /// a recoverable condition.
   SimEvent pop();
 
+  /// True iff the event pop() would return next is a kDeliver at exactly
+  /// (time, pid) -- the batched-delivery membership test (sim/simulator.cpp),
+  /// answered from the queue's native storage without materializing a
+  /// SimEvent.  Non-const: asking may rotate the calendar window (the same
+  /// work the subsequent pop would have done anyway).
+  bool next_matches_delivery(Tick time, ProcessId pid);
+
   /// Pre-size internal storage for roughly `events` simultaneously pending
   /// events (workload size hints; see Simulator::reserve).  Never shrinks.
   void reserve(std::size_t events);
+
+  /// Pre-size every calendar bucket's lanes for `per_lane` same-tick events
+  /// (no-op in kBinaryHeap mode).  Bucket lanes keep their capacity across
+  /// window rotations, so this plus reserve() makes a steady-state run's
+  /// pushes allocation-free from the first event on, instead of after the
+  /// first window's warm-up.
+  void warm_buckets(std::size_t per_lane);
+
+  /// Peak number of simultaneously pending events seen so far -- the pool
+  /// high-water mark the reserve() hints should cover.
+  std::size_t high_water() const { return high_water_; }
 
   /// Optional push/pop log for queue-level replay (bench_throughput): when
   /// set, every push appends (time << 1) | priority and every pop appends
@@ -129,6 +159,28 @@ class EventQueue {
   }
 
  private:
+  /// The calendar's storage record: SimEvent minus the std::function,
+  /// packed to one 64-byte cache line (vs the fat event's 104).  kCall
+  /// closures park in fn_pool_ and the record carries the slot; every other
+  /// kind is trivially copyable end to end.  The (time, priority, seq)
+  /// order key is carried verbatim, so pop order is unaffected by the
+  /// layout -- only the bytes moved per queue operation change.
+  struct EventRec {
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    std::int64_t a = 0;
+    const MessagePayload* payload = nullptr;
+    Tick tag_clock = 0;              ///< TimerTag::ts.clock_time
+    std::int32_t fn_slot = -1;       ///< fn_pool_ index; -1 = no closure
+    ProcessId pid = kNoProcess;
+    ProcessId tag_pid = kNoProcess;  ///< TimerTag::ts.pid
+    std::int32_t epoch = 0;
+    std::int32_t tag_kind = 0;
+    EventKind kind = EventKind::kCall;
+    std::uint8_t priority = 1;
+  };
+  static_assert(sizeof(EventRec) <= 64, "EventRec outgrew a cache line");
+
   // --- shared ordering ---
   /// Strict "a fires after b" on (time, priority, seq).
   static bool later(const SimEvent& a, const SimEvent& b) {
@@ -136,28 +188,87 @@ class EventQueue {
     if (a.priority != b.priority) return a.priority > b.priority;
     return a.seq > b.seq;
   }
+  static bool later(const EventRec& a, const EventRec& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq > b.seq;
+  }
 
-  // --- binary-heap machinery (the kBinaryHeap impl, the calendar's
-  //     sorted-overflow rung, and the rarely-used early rung) ---
-  static void heap_push(std::vector<SimEvent>& heap, SimEvent ev);
-  static SimEvent heap_pop(std::vector<SimEvent>& heap);
-  static void sift_up(std::vector<SimEvent>& heap, std::size_t i);
-  static void sift_down(std::vector<SimEvent>& heap, std::size_t i);
+  // --- binary-heap machinery (the kBinaryHeap impl over fat SimEvents;
+  //     the calendar's overflow and early rungs over slim EventRecs) ---
+  template <typename E>
+  static void heap_push(std::vector<E>& heap, E ev) {
+    heap.push_back(std::move(ev));
+    sift_up(heap, heap.size() - 1);
+  }
+  template <typename E>
+  static E heap_pop(std::vector<E>& heap) {
+    assert(!heap.empty());
+    E out = std::move(heap.front());
+    heap.front() = std::move(heap.back());
+    heap.pop_back();
+    if (!heap.empty()) sift_down(heap, 0);
+    return out;
+  }
+  template <typename E>
+  static void sift_up(std::vector<E>& heap, std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!later(heap[parent], heap[i])) break;
+      std::swap(heap[parent], heap[i]);
+      i = parent;
+    }
+  }
+  template <typename E>
+  static void sift_down(std::vector<E>& heap, std::size_t i) {
+    const std::size_t n = heap.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < n && later(heap[best], heap[l])) best = l;
+      if (r < n && later(heap[best], heap[r])) best = r;
+      if (best == i) return;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+  }
+
+  // --- fat <-> slim conversion (calendar boundary) ---
+  EventRec slim(SimEvent&& ev);
+  SimEvent fatten(EventRec&& rec);
 
   // --- calendar machinery ---
   /// Window size in ticks (one bucket per tick); power of two.  4096 ticks
   /// covers several message-delay bounds (default d = 1000), so in steady
   /// state nearly every delivery/timer lands in a bucket and only far-future
-  /// scheduling (open-loop invocation batches) touches the overflow rung.
+  /// scheduling (open-loop invocation batches) touches the wheel.
   static constexpr std::size_t kWindow = 4096;
+  static constexpr std::size_t kLogWindow = 12;
   static constexpr std::size_t kWords = kWindow / 64;
+  /// Level-1 wheel: kL1 buckets of kWindow ticks each.  The span (~16.8M
+  /// ticks) comfortably exceeds any scheduling horizon the workloads use
+  /// (open-loop batches reach a few million ticks ahead), so the far rung
+  /// is empty in practice.  Within the live range (window_start_,
+  /// window_start_ + kSpan) no two event times can alias one wheel index,
+  /// so index order equals time order.
+  static constexpr std::size_t kL1 = 4096;
+  static constexpr std::size_t kL1Words = kL1 / 64;
+  static constexpr Tick kSpan = static_cast<Tick>(kWindow) * static_cast<Tick>(kL1);
+
+  static constexpr Tick align_down(Tick t) {
+    return t & ~static_cast<Tick>(kWindow - 1);
+  }
+  static constexpr std::size_t wheel_index(Tick t) {
+    return static_cast<std::size_t>(t >> kLogWindow) & (kL1 - 1);
+  }
 
   struct Bucket {
     /// lane[0] = kDelivery, lane[1] = kNormal; append-only, drained via
     /// pos[]. Within a lane events carry increasing seq, so lane order ==
     /// (priority, seq) order and a bucket pops lane 0 before lane 1 --
     /// exactly the heap's tie-break.
-    std::vector<SimEvent> lane[2];
+    std::vector<EventRec> lane[2];
     std::size_t pos[2] = {0, 0};
 
     bool drained() const {
@@ -170,16 +281,41 @@ class EventQueue {
     }
   };
 
-  void calendar_push(SimEvent ev);
-  SimEvent calendar_pop();
-  /// Append into the bucket for `ev.time` (must lie in the current window).
-  void bucket_insert(SimEvent ev);
+  /// One wheel bucket: an intrusive FIFO chain (head/tail slot indices into
+  /// l1_pool_, links in l1_next_).  Appending at the tail keeps each chain
+  /// in push (= seq) order, which is exactly the order a level-0 lane needs.
+  struct L1Bucket {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  void calendar_push(EventRec rec);
+  EventRec calendar_pop_rec();
+  /// The record calendar_pop_rec would return, without removing it.  May
+  /// rotate the window.  Precondition: size_ > 0 in calendar mode.
+  const EventRec& calendar_front();
+  /// Append into the bucket for `rec.time` (must lie in the current window).
+  void bucket_insert(EventRec rec);
+  /// Append onto the wheel chain for `rec.time` (must lie past the window
+  /// but within the wheel span).
+  void l1_insert(EventRec rec);
   /// Offset (>= from) of the next populated bucket; kWindow when none.
   std::size_t next_populated(std::size_t from) const;
-  /// Earliest in-window event time; kTimeInfinity when no bucket is live.
+  /// Wheel index (circularly >= from) of the next populated chain; kL1 when
+  /// the whole wheel is empty.
+  std::size_t l1_next_index(std::size_t from) const;
+  /// Earliest pending event time; kTimeInfinity when no bucket is live.
+  /// Rotates (via const_cast) when the answer lives on the wheel or far
+  /// rung -- a pure internal restructure, invisible to pop order.
   Tick calendar_next_time() const;
-  /// Move the window to the overflow minimum and migrate every overflow
-  /// event that now fits.  Precondition: no live bucketed event.
+  /// Move the window to the nearest pending source -- the closest populated
+  /// wheel chain or the far-rung minimum -- and migrate everything that
+  /// lands in the new window.  The far rung drains first: for any (tick,
+  /// priority) pair split across the two sources, the far events carry
+  /// strictly smaller seqs (they were pushed under an older window, or they
+  /// would have gone onto the wheel), and lane order must be seq order.
+  /// Precondition: no live bucketed event, and the wheel or far rung holds
+  /// at least one.  Postcondition: at least one live bucketed event.
   void rotate();
 
   void log_push(Tick time, int priority) {
@@ -193,10 +329,10 @@ class EventQueue {
 
   EventQueueImpl impl_;
   std::uint64_t next_seq_ = 0;
-  std::size_t size_ = 0;  ///< total events across all structures
+  std::size_t size_ = 0;        ///< total events across all structures
+  std::size_t high_water_ = 0;  ///< max size_ ever reached
 
-  /// kBinaryHeap: the whole queue.  kCalendar: the sorted-overflow rung
-  /// (events at time >= window_start_ + kWindow).
+  /// kBinaryHeap only: the whole queue, fat events, seed layout.
   std::vector<SimEvent> heap_;
 
   // kCalendar state.
@@ -206,10 +342,26 @@ class EventQueue {
   Tick window_start_ = 0;                ///< first tick covered by buckets_
   std::size_t cursor_ = 0;               ///< scan hint: no live bucket below it
   std::size_t calendar_live_ = 0;        ///< events currently in buckets
+  /// Level-1 wheel: chains indexed by wheel_index(time), slots recycled
+  /// through an intrusive free list (l1_free_ chains through l1_next_), so
+  /// a warmed-up run never grows the pool.
+  std::vector<L1Bucket> l1_;             ///< kL1 chains (calendar mode)
+  std::vector<EventRec> l1_pool_;        ///< chain slot storage
+  std::vector<std::int32_t> l1_next_;    ///< chain links, parallel to l1_pool_
+  std::int32_t l1_free_ = -1;            ///< free-slot list head
+  std::uint64_t l1_words_[kL1Words] = {};  ///< bit b: chain b populated
+  std::uint64_t l1_summary_ = 0;           ///< bit w: l1_words_[w] != 0
+  /// Far rung: events at time >= window_start_ + kSpan (binary heap; empty
+  /// under every shipped workload -- the wheel span exceeds their horizons).
+  std::vector<EventRec> far_;
   /// Events pushed at time < window_start_ (the window never moves back).
   /// Empty in simulator runs -- the simulator pushes at t >= now -- but
   /// out-of-order test patterns land here and stay totally ordered.
-  std::vector<SimEvent> early_;
+  std::vector<EventRec> early_;
+  /// Parked kCall closures, addressed by EventRec::fn_slot; slots recycle
+  /// through the free list so a warmed-up run never grows the pool.
+  std::vector<std::function<void()>> fn_pool_;
+  std::vector<std::int32_t> free_fn_slots_;
 
   std::vector<std::int64_t>* log_ = nullptr;
   std::size_t log_cap_ = 0;

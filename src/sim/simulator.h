@@ -23,6 +23,16 @@
 
 namespace linbound {
 
+/// How the event loop hands popped deliveries to their recipients.  Both
+/// modes pop -- and therefore deliver -- in the identical (time, priority,
+/// seq) order, so traces are byte-identical; batching only coalesces the
+/// per-pop loop bookkeeping for consecutive same-tick, same-destination
+/// deliveries (a broadcast fan-in arriving together is the common case).
+enum class DeliveryMode {
+  kBatched,     ///< coalesce consecutive same-(tick, recipient) deliveries
+  kPerMessage,  ///< the seed's one-pop-one-dispatch loop (baselines, tests)
+};
+
 struct SimConfig {
   SystemTiming timing;
   /// Clock offsets c_i (local = real + c_i); resized with zeros to the
@@ -48,6 +58,10 @@ struct SimConfig {
   /// traces; kBinaryHeap is the seed structure kept for differential tests
   /// and throughput-regression baselines.
   EventQueueImpl queue_impl = EventQueueImpl::kCalendar;
+  /// Delivery batching (see DeliveryMode above).  Byte-identical traces in
+  /// either mode -- differentially tested in tests/test_fuzz.cpp and
+  /// tests/test_shard.cpp; kPerMessage is the seed loop kept for baselines.
+  DeliveryMode delivery = DeliveryMode::kBatched;
 };
 
 /// Result of one bounded stepping call (Simulator::run_window).
@@ -171,6 +185,19 @@ class Simulator {
     queue_.reserve(events);
   }
 
+  /// Pre-size every process's timer slot table and free list for
+  /// `per_process` concurrently armed timers (capacities only grow).  Call
+  /// after all processes are added; sim/pool_set.h bundles this with the
+  /// other pool reservations.
+  void reserve_timer_slots(std::size_t per_process) {
+    for (auto& slots : timer_slots_) {
+      if (slots.capacity() < per_process) slots.reserve(per_process);
+    }
+    for (auto& free : timer_free_) {
+      if (free.capacity() < per_process) free.reserve(per_process);
+    }
+  }
+
   const Trace& trace() const { return trace_; }
 
   /// Append a fault event to the trace on behalf of a harness-side
@@ -211,6 +238,13 @@ class Simulator {
   void do_recover(ProcessId pid);
   /// Fire one popped event by kind.
   void dispatch(SimEvent& ev);
+  /// Batched delivery: pop every event directly after `head` that is also a
+  /// delivery at the same tick to the same recipient into batch_, checking
+  /// the event budget before each member pop (so a budget trip leaves the
+  /// queue exactly as the per-message loop would).  Handler pushes during
+  /// the subsequent dispatches carry higher seq numbers than every
+  /// collected member, so pre-collecting does not reorder pops.
+  void collect_delivery_batch(const SimEvent& head);
   /// End of pid's stall window when one covers `now_`; kNoTime otherwise.
   Tick stall_deferral(ProcessId pid);
 
@@ -224,6 +258,10 @@ class Simulator {
   Tick now_ = 0;
   bool started_ = false;
   std::size_t events_processed_ = 0;
+  /// Scratch for collect_delivery_batch (reused across batches; sized once
+  /// at construction -- a batch is one broadcast fan-in, a handful of
+  /// events).
+  std::vector<SimEvent> batch_;
 
   MessageId next_message_id_ = 0;
 

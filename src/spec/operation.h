@@ -22,7 +22,10 @@ using OpCode = std::int32_t;
 
 struct Operation {
   OpCode code = 0;
-  std::vector<Value> args;
+  // Argument lists are 0..2 values for every type in src/types, so the
+  // inline-storage Value::List makes copying an Operation (into pending
+  // tables, broadcast payloads, trace records) allocation-free.
+  Value::List args;
 
   friend bool operator==(const Operation& a, const Operation& b) {
     return a.code == b.code && a.args == b.args;

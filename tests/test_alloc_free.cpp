@@ -1,0 +1,92 @@
+// The allocation-free-steady-state contract (DESIGN.md section 15): with
+// the pools sized from the workload bound (sim/pool_set.h knobs on
+// HeavyTrafficOptions plus ReplicaProcess::reserve_pending), a warmed-up
+// hardened Algorithm 1 run performs ZERO heap allocations -- counted by the
+// global operator new interposer in common/alloc_count.cpp, which this test
+// links (alone among the tier-1 tests; see tests/CMakeLists.txt).
+//
+// The split-run trick: Simulator::run_until(warmup) then run() produces the
+// exact same trace as a single run() over the schedule, so snapshotting the
+// counter between the two halves measures the steady state of the *real*
+// run, not of a special instrumented configuration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/alloc_count.h"
+#include "core/system.h"
+#include "core/workload.h"
+#include "types/register_type.h"
+
+namespace linbound {
+namespace {
+
+constexpr int kN = 4;
+constexpr std::size_t kOps = 10'000;
+
+SystemTiming timing() {
+  SystemTiming t;
+  t.d = 1000;
+  t.u = 400;
+  t.eps = 300;
+  return t;
+}
+
+TEST(AllocFree, HardenedSteadyStateAllocatesNothing) {
+  ASSERT_TRUE(alloc_counting_enabled())
+      << "test_alloc_free must link linbound_alloccount (COUNT_ALLOCS)";
+
+  SystemOptions sys;
+  sys.n = kN;
+  sys.timing = timing();
+  sys.x = 0;
+  HardenedParams hp;  // retransmitting link + dedup tables
+  hp.max_attempts = 2;  // keeps d_eff -- and hence the run length -- small
+  sys.hardened = hp;
+  sys.max_events = kOps * 100 + 100'000;
+
+  ReplicaSystem system(std::make_shared<RegisterModel>(), sys);
+  for (ProcessId p = 0; p < kN; ++p) system.replica(p).reserve_pending(256);
+
+  // The hardened algorithm's waits widen to the effective delivery bound
+  // d_eff, so the open-loop gap must clear d_eff + eps, not d + eps.
+  const Tick d_eff = hp.effective_d(timing());
+  HeavyTrafficOptions w;
+  w.clients = kN;
+  w.total_ops = kOps;
+  w.min_gap = 2 * (d_eff + timing().eps);
+  w.jitter = 997;
+  // Size every pool for the whole run (growth is monotonic, so warm-up
+  // alone cannot protect a pool the steady state keeps growing): hardened
+  // n=4 builds broadcast + link frames + acks + destructor nodes per op.
+  w.messages_per_op = 24;
+  w.payload_bytes_per_op = 1024;
+  w.timer_slots_per_process = 256;
+  w.events_per_tick = 16;
+
+  HeavyTrafficWorkload workload(system.sim(), w);
+  system.sim().start();
+  workload.arm();
+
+  // Warm-up: ~15% of the run, far past every high-water mark (open-loop
+  // arrivals are steady from the start, so capacities peak early).
+  const Tick warmup =
+      static_cast<Tick>(kOps / kN) * (w.min_gap + w.jitter / 2) * 15 / 100;
+  system.sim().run_until(warmup);
+  const std::uint64_t before = heap_allocs();
+  // Debugging a regression here: set_alloc_trap(true) makes the first
+  // steady-state allocation dump a backtrace and exit (common/alloc_count.h).
+  EXPECT_GT(before, 0u);  // the interposer is live and counted the warm-up
+
+  ASSERT_TRUE(system.sim().run());
+  const std::uint64_t steady = heap_allocs() - before;
+
+  const Trace& trace = system.sim().trace();
+  ASSERT_TRUE(trace.complete());
+  ASSERT_EQ(trace.ops.size(), kOps);
+  EXPECT_EQ(steady, 0u)
+      << "steady-state heap allocations leaked into the op pipeline";
+}
+
+}  // namespace
+}  // namespace linbound

@@ -114,8 +114,9 @@ TEST(EventQueue, PushDuringDrainIsAllowed) {
 // on every pop -- (time, priority, seq) plus the payload operand -- for any
 // interleaving of pushes and pops.  The fuzzers below drive both through
 // identical streams chosen to hit every calendar path: dense tie-heavy
-// buckets, in-window spreads, the sorted-overflow rung and window rotation
-// (far-future times), and the early rung (pushes behind the window start).
+// buckets, in-window spreads, the level-1 wheel and window rotation
+// (far-future times), the far rung beyond the wheel span plus wheel
+// wraparound, and the early rung (pushes behind the window start).
 // ---------------------------------------------------------------------------
 
 /// Pop both queues once and compare the full ordering key.  Returns false
@@ -209,11 +210,48 @@ TEST(EventQueueDifferential, FuzzOverflowAndRotation) {
   }
 }
 
+TEST(EventQueueDifferential, FuzzBeyondWheelSpanAndWrap) {
+  // Far pushes reach ~40M ticks out -- past the ~16.8M-tick wheel span, so
+  // they land on the far rung -- and the popped horizon marches across
+  // multiple spans, so wheel indexes wrap and recycle.
+  for (std::uint64_t seed : {41ull, 42ull}) {
+    differential_fuzz(seed, 20'000, /*spread=*/2000, /*far_p=*/0.3,
+                      /*far_spread=*/40'000'000, /*pop_p=*/0.55);
+  }
+}
+
 TEST(EventQueueDifferential, FuzzPopHeavyDrains) {
   // Pop-dominated: the queues run near-empty, so rotation fires on almost
   // every overflow push and the drained/reused paths get constant traffic.
   differential_fuzz(31, 20'000, /*spread=*/500, /*far_p=*/0.2,
                     /*far_spread=*/50'000, /*pop_p=*/0.7);
+}
+
+TEST(EventQueueCalendar, FarRungMergesBySeqOrder) {
+  // A tick split across the far rung and the wheel must still fire in seq
+  // order: the far-resident event was necessarily pushed under an older
+  // window (or it would have gone onto the wheel), so rotation drains the
+  // far rung into the window first.
+  EventQueue q(EventQueueImpl::kCalendar);
+  SimEvent ev;
+  ev.kind = EventKind::kTimer;
+  // Beyond the wheel span from the initial window: the far rung.
+  const std::uint64_t far_seq =
+      q.push_typed(20'000'000, EventPriority::kNormal, ev);
+  // Advance the window deep enough that tick 20M falls within the span.
+  q.push_typed(4'000'000, EventPriority::kNormal, ev);
+  EXPECT_EQ(q.pop().time, 4'000'000);
+  // Same tick again, now within the span: these land on the wheel with
+  // larger seqs.
+  const std::uint64_t wheel_seq1 =
+      q.push_typed(20'000'000, EventPriority::kNormal, ev);
+  const std::uint64_t wheel_seq2 =
+      q.push_typed(20'000'000, EventPriority::kNormal, ev);
+  EXPECT_EQ(q.next_time(), 20'000'000);
+  EXPECT_EQ(q.pop().seq, far_seq);
+  EXPECT_EQ(q.pop().seq, wheel_seq1);
+  EXPECT_EQ(q.pop().seq, wheel_seq2);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueueCalendar, SparseRotationAcrossManyWindows) {
