@@ -166,8 +166,15 @@ int main(int argc, char** argv) {
   seg_serial_opts.jobs = 1;
   CheckOptions par2_opts;
   par2_opts.jobs = 2;
+  // The parallel measurement must actually exercise the fan-out machinery:
+  // on a 1-thread box resolve_jobs(0) is 1, Walker never splits, and the
+  // committed baseline records parallel_tasks = 0 -- a measurement of the
+  // serial path labeled parallel.  Force >= 2 workers here (wall-clock
+  // speedup stays waived on such boxes; task-splitting is structural and
+  // asserted below on every box).
+  const int checker_jobs = std::max(jobs, 2);
   CheckOptions par_opts;
-  par_opts.jobs = jobs;
+  par_opts.jobs = checker_jobs;
 
   double wide_seed_s = 0, wide_serial_s = 0, wide_par_s = 0;
   Stopwatch wide_sw;
@@ -186,9 +193,16 @@ int main(int argc, char** argv) {
   std::printf(
       "checker scaling (wide): seed %.3fs, segmented serial %.3fs, "
       "--jobs %d %.3fs  (%.2fx, %zu tasks, %s)\n",
-      wide_seed_s, wide_serial_s, jobs, wide_par_s, checker_speedup,
+      wide_seed_s, wide_serial_s, checker_jobs, wide_par_s, checker_speedup,
       wide_par.parallel_tasks,
       wide_identical ? "identical output" : "OUTPUT DIVERGED");
+  // With >= 2 workers the wide frontier must split; 0 tasks would mean the
+  // "parallel" column re-measured the serial path.
+  const bool parallel_split_ok = wide_par.parallel_tasks > 0;
+  if (!parallel_split_ok) {
+    std::printf("checker scaling: NO PARALLEL TASKS SPAWNED at --jobs %d\n",
+                checker_jobs);
+  }
 
   Stopwatch multi_sw;
   const CheckResult multi_seed = check_linearizable(*queue, multi);
@@ -203,8 +217,8 @@ int main(int argc, char** argv) {
   std::printf(
       "checker scaling (multi-segment): seed %.3fs, segmented serial %.3fs "
       "(%zu segments), --jobs %d %.3fs  (%s)\n",
-      multi_seed_s, multi_serial_s, multi_serial.segments, jobs, multi_par_s,
-      multi_identical ? "identical output" : "OUTPUT DIVERGED");
+      multi_seed_s, multi_serial_s, multi_serial.segments, checker_jobs,
+      multi_par_s, multi_identical ? "identical output" : "OUTPUT DIVERGED");
 
   // --- 3. Simulator event throughput ---------------------------------------
   constexpr int kSimRuns = 24;
@@ -280,8 +294,8 @@ int main(int argc, char** argv) {
   const bool speedup_ok = !speedup_applicable || best_speedup >= 2.0;
   const bool checker_speedup_ok = !speedup_applicable || checker_speedup >= 2.0;
   const bool ok = all_ok && fault.identical && churn.identical &&
-                  wide_identical && multi_identical && speedup_ok &&
-                  checker_speedup_ok;
+                  wide_identical && multi_identical && parallel_split_ok &&
+                  speedup_ok && checker_speedup_ok;
 
   if (speedup_applicable) {
     std::printf("\nbest sweep speedup at --jobs %d: %.2fx (need >= 2.0x)\n",
@@ -308,6 +322,10 @@ int main(int argc, char** argv) {
   json.set("checker_parallel_speedup", checker_speedup);
   json.set("checker_parallel_speedup_threads", bench::hardware_threads());
   json.set("checker_parallel_tasks", wide_par.parallel_tasks);
+  json.set("checker_parallel_jobs", checker_jobs);
+  // Peak checker memory: the segmented path's memo population on the wide
+  // frontier (the streaming path's sibling lives under streaming_checker_*).
+  json.set("checker_max_resident_states", wide_par.max_resident_states);
   json.set("checker_scaling_identical", wide_identical && multi_identical);
   json.set("checker_multi_segment_segments", multi_serial.segments);
   json.set("checker_multi_segment_seed_s", multi_seed_s);

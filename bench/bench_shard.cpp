@@ -62,6 +62,13 @@ std::size_t parse_size(int argc, char** argv, const char* flag,
                        : static_cast<std::size_t>(std::atoll(value.c_str()));
 }
 
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 std::vector<int> parse_jobs_list(int argc, char** argv) {
   const std::string raw = parse_flag(argc, argv, "--jobs-list", "1,2,4");
   std::vector<int> out;
@@ -190,7 +197,53 @@ int main(int argc, char** argv) {
         hardware_threads(), best_jobs, scaling_speedup);
   }
 
-  // --- 4. JSON merge ------------------------------------------------------
+  // --- 4. Optional --checked run: per-shard streaming checks inline -------
+  // Every shard re-runs with a StreamingChecker riding its simulator hooks
+  // (ShardOptions::streaming_check): the whole multi-tenant history is
+  // verified linearizable *during* the PDES drain, and the traces must stay
+  // byte-identical to the unchecked solo references -- the tap is
+  // observation-only even under the window protocol's barrier scheduling.
+  const bool checked_mode = has_flag(argc, argv, "--checked");
+  bool checked_ok = true;
+  double checked_seconds = 0;
+  std::size_t checked_events = 0;
+  std::size_t check_max_resident = 0;
+  std::size_t check_max_window = 0;
+  int check_failures = 0;
+  if (checked_mode) {
+    ShardOptions copt = opt;
+    copt.streaming_check = true;
+    ShardedSimulation checked_sim(copt);
+    const int cjobs = jobs_list.back();
+    const double t0 = now_seconds();
+    const ShardRunReport creport = checked_sim.run(cjobs);
+    checked_seconds = now_seconds() - t0;
+    checked_events = creport.total_events;
+    check_failures = creport.check_failures;
+    std::size_t cmismatches = 0;
+    bool all_checked = true;
+    for (const ShardResult& shard : creport.shards) {
+      if (shard.trace_hash !=
+          reference[static_cast<std::size_t>(shard.shard)]) {
+        ++cmismatches;
+      }
+      all_checked = all_checked && shard.checked && shard.check_ok;
+      check_max_resident = std::max(check_max_resident,
+                                    shard.check_max_resident);
+      check_max_window = std::max(check_max_window, shard.check_max_window);
+    }
+    checked_ok = creport.aborted == 0 && cmismatches == 0 && all_checked &&
+                 check_failures == 0;
+    std::printf(
+        "\nchecked run (jobs=%d): %.3fs, %d/%zu shards checked, %d failures, "
+        "peak %zu resident states / %zu window ops per shard, traces %s\n",
+        cjobs, checked_seconds, creport.checked, creport.shards.size(),
+        check_failures, check_max_resident, check_max_window,
+        cmismatches == 0 ? "byte-identical to solo references"
+                         : "DIVERGED FROM REFERENCES");
+  }
+
+  // --- 5. JSON merge ------------------------------------------------------
   const TimedRun& best = *std::min_element(
       runs.begin(), runs.end(),
       [](const TimedRun& a, const TimedRun& b) { return a.seconds < b.seconds; });
@@ -234,11 +287,22 @@ int main(int argc, char** argv) {
           : 0.0;
   json.set("shard_deliver_batches", best.report.deliver_batches);
   json.set("shard_batch_mean_size", shard_batch_mean);
+  if (checked_mode) {
+    json.set("shard_checked_run_s", checked_seconds);
+    json.set("shard_checked_events_per_s",
+             checked_seconds > 0 ? checked_events / checked_seconds : 0.0);
+    json.set("shard_check_failures", check_failures);
+    json.set("shard_check_max_resident_states",
+             static_cast<std::uint64_t>(check_max_resident));
+    json.set("shard_check_max_window_ops",
+             static_cast<std::uint64_t>(check_max_window));
+    json.set("shard_checked_ok", checked_ok);
+  }
   if (!json.write()) {
     std::printf("warning: could not write %s\n", json.path().c_str());
   } else {
     std::printf("merged shard_* keys into %s\n", json.path().c_str());
   }
 
-  return finish(all_complete && identity_ok && speedup_ok);
+  return finish(all_complete && identity_ok && speedup_ok && checked_ok);
 }

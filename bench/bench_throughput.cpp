@@ -50,6 +50,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "checker/history.h"
+#include "checker/lin_checker.h"
+#include "checker/streaming_checker.h"
 #include "common/alloc_count.h"
 #include "core/system.h"
 #include "core/workload.h"
@@ -112,14 +115,7 @@ HeavyTrafficOptions workload_options(std::size_t ops) {
   return w;
 }
 
-/// One open-loop run through `SystemT`; when `log` is non-null the queue
-/// records its push/pop stream into it (replica calendar run only -- the
-/// one extra branch per operation biases *against* the calendar, which is
-/// the conservative direction for the gate).
-template <typename SystemT>
-RunResult run_system(const std::shared_ptr<const ObjectModel>& model,
-                     std::size_t ops, RunShape shape,
-                     std::vector<std::int64_t>* log, std::size_t log_cap) {
+SystemOptions system_options(std::size_t ops, const RunShape& shape) {
   SystemOptions sys;
   sys.n = kN;
   sys.timing = default_timing();
@@ -130,7 +126,10 @@ RunResult run_system(const std::shared_ptr<const ObjectModel>& model,
   // Algorithm 1 costs ~3n+2 events per mutator (broadcast + per-replica
   // holdback timers); 40x leaves generous headroom for every system here.
   sys.max_events = ops * 40 + 100'000;
+  return sys;
+}
 
+HeavyTrafficOptions shaped_workload(std::size_t ops, const RunShape& shape) {
   HeavyTrafficOptions w = workload_options(ops);
   if (shape.pooled) {
     // Size every pool for the whole run (pool growth is monotonic; the
@@ -143,6 +142,19 @@ RunResult run_system(const std::shared_ptr<const ObjectModel>& model,
     w.timer_slots_per_process = 1024;
     w.events_per_tick = 16;
   }
+  return w;
+}
+
+/// One open-loop run through `SystemT`; when `log` is non-null the queue
+/// records its push/pop stream into it (replica calendar run only -- the
+/// one extra branch per operation biases *against* the calendar, which is
+/// the conservative direction for the gate).
+template <typename SystemT>
+RunResult run_system(const std::shared_ptr<const ObjectModel>& model,
+                     std::size_t ops, RunShape shape,
+                     std::vector<std::int64_t>* log, std::size_t log_cap) {
+  const SystemOptions sys = system_options(ops, shape);
+  const HeavyTrafficOptions w = shaped_workload(ops, shape);
 
   SystemT system(model, sys);
   if constexpr (std::is_same_v<SystemT, ReplicaSystem>) {
@@ -238,6 +250,94 @@ std::size_t parse_size(int argc, char** argv, const char* flag,
   const std::string value = parse_flag(argc, argv, flag, "");
   return value.empty() ? fallback
                        : static_cast<std::size_t>(std::atoll(value.c_str()));
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// The `--checked` mode: the fast-shape million-op run again, this time
+/// with a StreamingChecker tapping the simulator's invoke/response hooks --
+/// the full history is verified linearizable *online*, during the run, with
+/// resident checker state bounded by the open window instead of the
+/// history.  Everything below is measured against the unchecked fast run:
+///   * the trace must stay byte-identical (the tap is observation-only),
+///   * the online verdict + witness must equal the offline segmented
+///     checker's at jobs 1/2/4 (byte-compared), and
+///   * checker memory (max_resident_states) must stay structurally bounded:
+///     < ops/100, enforced on every box (no thread-count waiver -- it is a
+///     memory property, not a wall-clock one).
+/// The checked/unchecked events-per-second ratio is the overhead price; its
+/// >= 1/3 gate is wall-clock and follows the usual thread waiver.
+struct CheckedRun {
+  bool complete = false;
+  bool tap_invisible = false;   ///< trace hash == unchecked run's
+  bool identical = false;       ///< verdict+witness == offline at jobs 1/2/4
+  bool memory_ok = false;
+  double run_s = 0;             ///< simulate + pipelined drain
+  double finalize_s = 0;        ///< final-window search + witness assembly
+  std::size_t events = 0;
+  CheckResult live;
+  std::size_t max_window = 0;
+  std::size_t segments_retired = 0;
+  std::size_t offline_resident = 0;  ///< offline jobs=1 memo population
+
+  double total_s() const { return run_s + finalize_s; }
+  double events_per_s() const {
+    return total_s() > 0 ? events / total_s() : 0;
+  }
+};
+
+CheckedRun run_checked(const std::shared_ptr<const ObjectModel>& model,
+                       std::size_t ops, int checker_jobs,
+                       std::uint64_t unchecked_hash) {
+  const RunShape shape = fast_shape();
+  ReplicaSystem system(model, system_options(ops, shape));
+  for (ProcessId p = 0; p < kN; ++p) system.replica(p).reserve_pending(256);
+  HeavyTrafficWorkload workload(system.sim(), shaped_workload(ops, shape));
+
+  StreamingCheckOptions so;
+  so.jobs = checker_jobs;
+  so.ring_capacity = 8192;
+  StreamingChecker checker(*model, so);
+  checker.attach(system.sim());
+
+  system.sim().start();
+  workload.arm();
+
+  CheckedRun out;
+  const double t0 = now_seconds();
+  const bool quiescent = system.sim().run();
+  out.run_s = now_seconds() - t0;
+  out.live = checker.finalize();
+  out.finalize_s = now_seconds() - t0 - out.run_s;
+
+  const Trace& trace = system.sim().trace();
+  out.complete = quiescent && trace.complete() && trace.ops.size() == ops &&
+                 checker.ops_seen() == ops;
+  out.events = system.sim().events_processed();
+  out.max_window = checker.max_window_ops();
+  out.segments_retired = checker.segments_retired();
+  out.tap_invisible = hash_trace(trace) == unchecked_hash;
+  out.memory_ok = out.live.max_resident_states < ops / 100;
+
+  // Offline reference: same trace through the segmented checker at jobs
+  // 1/2/4; verdict and witness must be byte-identical to the online run.
+  const auto [history, pending] = history_with_pending(trace);
+  out.identical = true;
+  for (const int jobs : {1, 2, 4}) {
+    CheckOptions co;
+    co.jobs = jobs;
+    const CheckResult off =
+        check_linearizable_with_pending(*model, history, pending, co);
+    out.identical = out.identical && off.ok == out.live.ok &&
+                    off.witness == out.live.witness;
+    if (jobs == 1) out.offline_resident = off.max_resident_states;
+  }
+  return out;
 }
 
 void print_class_latency(const char* label, const LatencyReport& report,
@@ -378,6 +478,47 @@ int main(int argc, char** argv) {
                   class_max(tob.latency, OpClass::kPureAccessor)),
               tob.complete ? "" : "  [INCOMPLETE]");
 
+  // --- 6. Online (streaming) linearizability check at full scale ----------
+  const bool checked_mode = has_flag(argc, argv, "--checked");
+  const int checker_jobs = 2;  // one producer (the sim), one checker worker
+  CheckedRun checked;
+  bool checked_speedup_ok = true;
+  double checked_speedup = 0;
+  if (checked_mode) {
+    std::printf("\nchecked run: streaming checker tapped in, jobs=%d\n",
+                checker_jobs);
+    checked = run_checked(model, ops, checker_jobs, calendar.trace_hash);
+    checked_speedup = calendar.events_per_s() > 0
+                          ? checked.events_per_s() / calendar.events_per_s()
+                          : 0;
+    std::printf(
+        "checked:   %.3fs run + %.3fs finalize (%.0f events/s, %.2fx of "
+        "unchecked)%s\n",
+        checked.run_s, checked.finalize_s, checked.events_per_s(),
+        checked_speedup, checked.complete ? "" : "  [INCOMPLETE]");
+    std::printf(
+        "verdict:   %s, %llu segments (%zu retired online), witness %s "
+        "offline at jobs 1/2/4\n",
+        checked.live.ok ? "linearizable" : "VIOLATION",
+        static_cast<unsigned long long>(checked.live.segments),
+        checked.segments_retired,
+        checked.identical ? "identical to" : "DIVERGED from");
+    std::printf(
+        "memory:    %zu resident states at peak (offline memo: %zu), window "
+        "high water %zu ops -- %s\n",
+        checked.live.max_resident_states, checked.offline_resident,
+        checked.max_window,
+        checked.memory_ok ? "bounded" : "UNBOUNDED (>= ops/100)");
+    std::printf("trace:     %s\n",
+                checked.tap_invisible ? "byte-identical to unchecked run"
+                                      : "PERTURBED BY THE TAP");
+    // The overhead ratio is wall-clock, so it follows the thread waiver;
+    // verdict/witness identity, tap invisibility and the memory bound are
+    // structural and always gate.
+    checked_speedup_ok =
+        !bench::speedup_gates_enforced() || checked_speedup >= 1.0 / 3.0;
+  }
+
   // --- Verdict + JSON ------------------------------------------------------
   // The gate compares the tuned fast shape against the seed shape (heap +
   // reference tables + per-message delivery + cold pools), so it prices the
@@ -404,7 +545,11 @@ int main(int argc, char** argv) {
   }
   const bool ok = calendar.complete && heap.complete && central.complete &&
                   tob.complete && traces_identical && replay_identical &&
-                  bounds_met && speedup_ok;
+                  bounds_met && speedup_ok &&
+                  (!checked_mode ||
+                   (checked.complete && checked.live.ok && checked.identical &&
+                    checked.tap_invisible && checked.memory_ok &&
+                    checked_speedup_ok));
 
   JsonReport json(parse_flag(argc, argv, "--json", "BENCH_perf.json"));
   json.set("throughput_ops", ops);
@@ -464,6 +609,35 @@ int main(int argc, char** argv) {
   json.set("throughput_tob_max_latency",
            static_cast<long long>(
                class_max(tob.latency, OpClass::kPureAccessor)));
+  if (checked_mode) {
+    json.set("streaming_checker_ops", ops);
+    json.set("streaming_checker_jobs", checker_jobs);
+    json.set("streaming_checker_ok", checked.live.ok);
+    json.set("streaming_checker_segments",
+             static_cast<std::uint64_t>(checked.live.segments));
+    json.set("streaming_checker_states",
+             static_cast<std::uint64_t>(checked.live.states_explored));
+    json.set("streaming_checker_states_per_s",
+             checked.total_s() > 0 ? checked.live.states_explored /
+                                         checked.total_s()
+                                   : 0.0);
+    json.set("streaming_checker_run_s", checked.run_s);
+    json.set("streaming_checker_finalize_s", checked.finalize_s);
+    json.set("streaming_checker_events_per_s", checked.events_per_s());
+    json.set("streaming_checker_speedup", checked_speedup);
+    json.set("streaming_checker_speedup_threads", bench::hardware_threads());
+    json.set("streaming_checker_speedup_gate_enforced",
+             bench::speedup_gates_enforced());
+    json.set("streaming_checker_max_resident_states",
+             static_cast<std::uint64_t>(checked.live.max_resident_states));
+    json.set("streaming_checker_offline_resident_states",
+             static_cast<std::uint64_t>(checked.offline_resident));
+    json.set("streaming_checker_max_window_ops",
+             static_cast<std::uint64_t>(checked.max_window));
+    json.set("streaming_checker_memory_ok", checked.memory_ok);
+    json.set("streaming_checker_identical", checked.identical);
+    json.set("streaming_checker_tap_invisible", checked.tap_invisible);
+  }
   std::printf(json.write() ? "wrote %s\n" : "FAILED writing %s\n",
               json.path().c_str());
 

@@ -192,6 +192,9 @@ class Search {
           "cycle)";
     }
     dead_[h].push_back(DeadEntry{frontier_, pending_taken_, state});
+    if (++resident_ > result.max_resident_states) {
+      result.max_resident_states = resident_;
+    }
     return false;
   }
 
@@ -202,6 +205,7 @@ class Search {
   std::vector<std::size_t> frontier_;
   std::vector<PendingInvocation> pending_;
   std::vector<bool> pending_taken_;
+  std::size_t resident_ = 0;  ///< dead-memo entries held (never shrinks)
   std::unordered_map<std::uint64_t, std::vector<DeadEntry>> dead_;
 };
 

@@ -54,6 +54,16 @@ struct CheckResult {
   /// states_explored attributed per segment (parallel subtree work counts
   /// toward the segment it searches).  Empty on the non-segmented paths.
   std::vector<std::size_t> per_segment_states;
+  /// Peak count of search states the checker held resident at once.  For
+  /// the offline checkers this is the dead-memo population, which only
+  /// grows over a call -- the whole point of the streaming checker
+  /// (checker/streaming_checker.h), whose resident set is the open window
+  /// plus one segment's scratch and is measured with the same field, so the
+  /// O(window)-vs-O(history) claim is a number, not an assertion
+  /// (BENCH_perf.json streaming_checker_max_resident_states).  Witness
+  /// chains are excluded on both paths: a witness is a permutation of the
+  /// whole history and is output, not search state.
+  std::size_t max_resident_states = 0;
 
   /// Fraction of node visits the memo table absorbed.
   double memo_hit_rate() const {

@@ -25,10 +25,16 @@ MultiCheckReport check_shards(const ObjectModel& model,
     auto [history, pending] = history_with_pending(*traces[i]);
     out.ops = history.size();
     out.pending = pending.size();
-    out.result = pending.empty()
-                     ? check_linearizable(model, history, check)
-                     : check_linearizable_with_pending(model, history,
-                                                       pending, check);
+    if (options.streaming) {
+      StreamingCheckOptions so = options.streaming_options;
+      so.jobs = 1;  // the outer fan-out owns the pool
+      out.result = streaming_check_trace(model, *traces[i], so);
+    } else {
+      out.result = pending.empty()
+                       ? check_linearizable(model, history, check)
+                       : check_linearizable_with_pending(model, history,
+                                                         pending, check);
+    }
     return out;
   });
   for (const ShardCheck& s : report.shards) {

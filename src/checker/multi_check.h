@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "checker/lin_checker.h"
+#include "checker/streaming_checker.h"
 #include "sim/trace.h"
 #include "spec/object_model.h"
 
@@ -35,6 +36,15 @@ struct MultiCheckOptions {
   CheckOptions check;
   /// Worker threads across shards (resolve_jobs semantics).
   int jobs = 1;
+  /// Route each shard's check through the streaming checker (replayed from
+  /// the trace) instead of the offline segmented one.  Verdict and witness
+  /// are identical either way (the streaming determinism contract); memory
+  /// per shard drops from O(history) to O(open window).  The streaming
+  /// checker's own pipelining stays off for the same reason check.jobs is
+  /// forced to 1: the outer fan-out owns the pool.
+  bool streaming = false;
+  /// Limits for the streaming route (`check.limits` is the offline one).
+  StreamingCheckOptions streaming_options;
 };
 
 struct MultiCheckReport {

@@ -88,9 +88,17 @@ struct SharedCtx {
   const CheckLimits limits;
   const std::size_t min_parallel_fanout;
   const int jobs;
+  /// Stack to give subtree-task threads (0 = platform default): a task
+  /// walks from its split segment to the end of the history, so its
+  /// recursion depth is bounded only by the total operation count.
+  const std::size_t worker_stack_bytes;
 
   std::atomic<std::size_t> states{0};
   std::atomic<std::size_t> memo_hits{0};
+  /// Dead-memo entries retained across the whole call (they are never
+  /// evicted, so the running count is also the peak -- the offline
+  /// checker's resident footprint for CheckResult::max_resident_states).
+  std::atomic<std::size_t> resident{0};
   std::atomic<bool> aborted{false};
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> seg_states;
   std::size_t parallel_tasks = 0;  // written by the coordinating thread only
@@ -107,7 +115,8 @@ struct SharedCtx {
         pending(pend),
         limits(options.limits),
         min_parallel_fanout(options.min_parallel_fanout),
-        jobs(resolve_jobs(options.jobs)) {
+        jobs(resolve_jobs(options.jobs)),
+        worker_stack_bytes(deep_search_stack_bytes(h.size() + pend.size())) {
     seg_states.reserve(segs.size());
     for (std::size_t i = 0; i < segs.size(); ++i) {
       seg_states.push_back(std::make_unique<std::atomic<std::size_t>>(0));
@@ -356,6 +365,7 @@ class Walker {
     if (!any_candidate) record_explanation(kNoCandidateText);
     if (cancelled_) return false;  // partial search: do not poison the memo
     dead_[s][h].push_back(DeadEntry{frontier_, pending_taken_, state});
+    ctx_.resident.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -484,7 +494,7 @@ class Walker {
     ctx_.parallel_tasks += leaves.size();
 
     std::atomic<std::size_t> best{kNoTask};
-    const ParallelSweepExecutor executor(ctx_.jobs);
+    const ParallelSweepExecutor executor(ctx_.jobs, ctx_.worker_stack_bytes);
     SharedCtx& ctx = ctx_;
     std::vector<TaskOutcome> outcomes = executor.map<TaskOutcome>(
         leaves.size(), [&ctx, &leaves, &best, s](std::size_t i) {
@@ -536,6 +546,7 @@ class Walker {
       }
     }
     dead_[s][h].push_back(DeadEntry{frontier_, pending_taken_, state});
+    ctx_.resident.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
@@ -606,13 +617,23 @@ CheckResult run_segmented(const ObjectModel& model, const History& history,
   SharedCtx ctx(model, history, segments, later_min_resp, pending, options);
   Walker walker(ctx, /*in_task=*/false, 0, nullptr);
   Snapshot state = Snapshot::initial(model);
-  result.ok = walker.solve(0, state);
+  // The search recurses once per linearized operation (dfs crosses segment
+  // boundaries through solve), so histories past the default thread stack
+  // run on an explicitly sized one; subtree tasks get the same treatment
+  // through SharedCtx::worker_stack_bytes.
+  if (ctx.worker_stack_bytes == 0) {
+    result.ok = walker.solve(0, state);
+  } else {
+    run_on_stack(ctx.worker_stack_bytes,
+                 [&] { result.ok = walker.solve(0, state); });
+  }
   if (result.ok) result.witness = walker.chosen();
   result.explanation = walker.explanation();
   result.states_explored = ctx.states.load();
   result.memo_hits = ctx.memo_hits.load() + walker.memo_hits();
   result.segments = segments.size();
   result.parallel_tasks = ctx.parallel_tasks;
+  result.max_resident_states = ctx.resident.load();
   result.per_segment_states.reserve(segments.size());
   for (const auto& counter : ctx.seg_states) {
     result.per_segment_states.push_back(counter->load());

@@ -55,6 +55,8 @@ ShardSweepReport run_shard_sweep(const ShardSweepOptions& options) {
     MultiCheckOptions mc;
     mc.check = options.check_options;
     mc.jobs = options.jobs;
+    mc.streaming = options.streaming;
+    mc.streaming_options = options.streaming_options;
     report.checks = check_shards(sim.model(), traces, mc);
   }
 

@@ -49,6 +49,15 @@ struct ShardedSimulation::ShardState {
   std::size_t next_beacon = 0;
   std::size_t beacons_received = 0;
   bool aborted = false;
+  /// Streaming check riding the shard's hooks (ShardOptions::streaming_check).
+  /// Inline (jobs = 1): the checker advances on whichever PDES worker steps
+  /// the shard's window; the inter-window barriers order those accesses, so
+  /// the single-threaded checker core never runs concurrently with itself.
+  std::unique_ptr<StreamingChecker> checker;
+  CheckResult check_result;
+  std::size_t check_max_window = 0;
+  bool check_done = false;
+  std::string check_error;
 
   Simulator& sim() { return system->sim(); }
   const Simulator& sim() const { return system->sim(); }
@@ -252,6 +261,14 @@ std::unique_ptr<ShardedSimulation::ShardState> ShardedSimulation::build_shard(
   state->workload =
       std::make_unique<HeavyTrafficWorkload>(state->sim(), std::move(w));
 
+  if (opt_.streaming_check) {
+    StreamingCheckOptions co;
+    co.limits = opt_.streaming_check_limits;
+    co.jobs = 1;  // inline: the PDES workers are the parallelism
+    state->checker = std::make_unique<StreamingChecker>(*model_, co);
+    state->checker->attach(state->sim());
+  }
+
   state->sim().start();
   state->workload->arm();
   return state;
@@ -293,6 +310,19 @@ void ShardedSimulation::inject_beacons(ShardState& state, Tick horizon) const {
   }
 }
 
+void ShardedSimulation::finalize_check(ShardState& state) {
+  if (!state.checker || state.check_done || !state.check_error.empty()) return;
+  try {
+    state.check_result = state.checker->finalize();
+    state.check_max_window = state.checker->max_window_ops();
+    state.check_done = true;
+  } catch (const std::exception& e) {
+    // A tripped state budget poisons this shard's verdict only; the run
+    // (and every other shard's check) carries on.
+    state.check_error = e.what();
+  }
+}
+
 ShardResult ShardedSimulation::finish_shard(const ShardState& state) const {
   ShardResult r;
   r.shard = state.shard;
@@ -307,6 +337,15 @@ ShardResult ShardedSimulation::finish_shard(const ShardState& state) const {
   r.end_time = trace.end_time;
   r.deliver_batches = trace.stats.deliver_batches;
   r.batched_messages = trace.stats.batched_messages;
+  if (state.check_done) {
+    r.checked = true;
+    r.check_ok = state.check_result.ok;
+    r.check_states = state.check_result.states_explored;
+    r.check_segments = state.check_result.segments;
+    r.check_max_resident = state.check_result.max_resident_states;
+    r.check_max_window = state.check_max_window;
+  }
+  r.check_error = state.check_error;
   return r;
 }
 
@@ -352,6 +391,9 @@ ShardRunReport ShardedSimulation::drive(
 
   exec.map<int>(count, [&](std::size_t i) {
     if (!states[i]->aborted) run_terminal(*states[i]);
+    // Final-window search on the same worker, right after the drain: the
+    // checked run's only serial tail is per shard, not global.
+    finalize_check(*states[i]);
     return 0;
   });
 
@@ -366,6 +408,10 @@ ShardRunReport ShardedSimulation::drive(
     report.deliver_batches += report.shards[i].deliver_batches;
     report.batched_messages += report.shards[i].batched_messages;
     if (report.shards[i].status == RunStatus::kAborted) ++report.aborted;
+    if (report.shards[i].checked) {
+      ++report.checked;
+      if (!report.shards[i].check_ok) ++report.check_failures;
+    }
   }
   return report;
 }

@@ -37,8 +37,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "checker/streaming_checker.h"
 #include "core/system.h"
 #include "core/workload.h"
 #include "fault/fault_policy.h"
@@ -119,6 +121,18 @@ struct ShardOptions {
   /// single-threaded reference; the differential tests must catch it.
   /// -1 = off.
   int mutant_extra_op_shard = -1;
+
+  /// Check each shard's history for linearizability *while it runs*: a
+  /// per-shard StreamingChecker rides the shard's Simulator hooks (inline,
+  /// jobs = 1 -- the PDES workers are the parallelism) and its final-window
+  /// search runs right after the shard's terminal drain, on the same
+  /// worker.  Observation only: hooks never touch the event schedule, so
+  /// per-shard traces and hashes stay byte-identical to an unchecked run at
+  /// every --jobs value.  Results land in ShardResult::check*.
+  bool streaming_check = false;
+  /// State budget per shard for the streaming check.  A shard that trips it
+  /// reports check_error instead of aborting the whole run.
+  CheckLimits streaming_check_limits;
 };
 
 /// Outcome of one shard's run, in canonical shard order.
@@ -131,6 +145,17 @@ struct ShardResult {
   Tick end_time = 0;             ///< trace end time
   std::uint64_t deliver_batches = 0;   ///< TraceStats: delivery batches run
   std::uint64_t batched_messages = 0;  ///< TraceStats: deliveries in batches
+
+  // --- streaming check (ShardOptions::streaming_check only) ---
+  bool checked = false;   ///< a streaming verdict was produced
+  bool check_ok = false;  ///< the shard's history is linearizable
+  std::size_t check_states = 0;        ///< CheckResult::states_explored
+  std::size_t check_segments = 0;      ///< confirmed cuts + 1
+  std::size_t check_max_resident = 0;  ///< CheckResult::max_resident_states
+  std::size_t check_max_window = 0;    ///< StreamingChecker::max_window_ops
+  /// Non-empty when the check itself failed (state budget); checked stays
+  /// false then.
+  std::string check_error;
 };
 
 struct ShardRunReport {
@@ -142,6 +167,8 @@ struct ShardRunReport {
   std::uint64_t deliver_batches = 0;   ///< summed over shards (0 under kPerMessage)
   std::uint64_t batched_messages = 0;  ///< summed over shards
   int aborted = 0;                  ///< shards that ended kAborted
+  int checked = 0;                  ///< shards with a streaming verdict
+  int check_failures = 0;           ///< shards whose verdict was "not linearizable"
 };
 
 class ShardedSimulation {
@@ -198,6 +225,10 @@ class ShardedSimulation {
   static void step_window(ShardState& state, Tick horizon);
   /// Drain `state` to quiescence (the terminal infinite window).
   static void run_terminal(ShardState& state);
+  /// Run the streaming checker's final-window search and stash the verdict
+  /// on the state (no-op unless streaming_check; a state-budget trip is
+  /// recorded as check_error rather than thrown).
+  static void finalize_check(ShardState& state);
   /// Deliver every not-yet-injected beacon for `state`'s shard whose send
   /// time fell inside the window that just closed at `horizon`, validating
   /// recv >= horizon.

@@ -503,6 +503,7 @@ void Simulator::dispatch_invoke(ProcessId pid, std::int64_t token) {
   op_pending_[static_cast<std::size_t>(pid)] = true;
   OperationRecord& rec = trace_.ops.at(static_cast<std::size_t>(token));
   rec.invoke_time = now_;
+  if (invoke_hook_) invoke_hook_(rec);
   procs_[static_cast<std::size_t>(pid)]->on_invoke(token, rec.op);
 }
 

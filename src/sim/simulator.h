@@ -133,6 +133,29 @@ class Simulator {
     response_hook_ = std::move(hook);
   }
 
+  /// Invoked (synchronously) whenever an operation is dispatched to its
+  /// process: after invoke_time is stamped, before Process::on_invoke (which
+  /// may respond within the same call, so the invoke hook always precedes the
+  /// response hook for one operation).  Invocations lost to a crash never
+  /// fire it -- their records keep invoke_time == kNoTime; a stalled
+  /// invocation fires it once, at the deferred dispatch.  Observation only:
+  /// hooks must not touch the simulation (the streaming checker's tap relies
+  /// on firing *after* the record is fully stamped, so it can never perturb
+  /// the event schedule or the trace).
+  void set_invoke_hook(std::function<void(const OperationRecord&)> hook) {
+    invoke_hook_ = std::move(hook);
+  }
+
+  /// The currently installed hooks, so a second observer can chain instead
+  /// of clobbering (checker/streaming_checker.h StreamingChecker::attach
+  /// composes with core/driver.h, which also listens for responses).
+  const std::function<void(const OperationRecord&)>& invoke_hook() const {
+    return invoke_hook_;
+  }
+  const std::function<void(const OperationRecord&)>& response_hook() const {
+    return response_hook_;
+  }
+
   /// Invoked (synchronously, after Process::on_recover) whenever a crashed
   /// process recovers -- the application layer's chance to re-issue an
   /// operation the crash cut (core/driver.h WorkloadDriver::reissue_cut).
@@ -297,6 +320,7 @@ class Simulator {
   std::vector<int> crash_epoch_;  // indexed by process id
 
   std::function<void(const OperationRecord&)> response_hook_;
+  std::function<void(const OperationRecord&)> invoke_hook_;
   std::function<void(ProcessId, Tick)> recovery_hook_;
 };
 

@@ -53,6 +53,21 @@ gate_keys=(
   shard_scaling_speedup
   shard_speedup_gate_enforced
   shard_identity_ok
+  # Online (streaming) checker gates: verdict/witness identity with the
+  # offline checker, the observation-only tap, and the bounded-memory
+  # contract (bench/bench_throughput.cpp --checked).
+  streaming_checker_ok
+  streaming_checker_identical
+  streaming_checker_tap_invisible
+  streaming_checker_memory_ok
+  streaming_checker_max_resident_states
+  streaming_checker_speedup
+  streaming_checker_speedup_gate_enforced
+  # Parallel-checker structural gate: the committed baseline once recorded
+  # checker_parallel_tasks = 0 (the measurement never split on a 1-thread
+  # box); bench_perf now forces >= 2 workers and records the task count.
+  checker_parallel_tasks
+  checker_max_resident_states
 )
 for key in "${gate_keys[@]}"; do
   if ! has_key "$key"; then
